@@ -1,0 +1,64 @@
+"""Micro-benchmark: the alignment's O(|p| + |q|) claim (§4.3).
+
+Times the greedy alignment over growing path lengths and asserts the
+per-element cost stays flat — the observable signature of linear time.
+Also benches the DP reference for contrast (it is O(|p|·|q|)).  Run::
+
+    pytest benchmarks/bench_alignment_linear.py --benchmark-only -s
+"""
+
+import time
+
+import pytest
+
+from repro.paths.alignment import align, align_optimal
+from repro.paths.model import Path
+from repro.rdf.terms import URI, Variable
+from repro.scoring.weights import PAPER_WEIGHTS
+
+_LENGTHS = [8, 32, 128, 512]
+
+_PER_ELEMENT: dict[int, float] = {}
+
+
+def _make_paths(length: int):
+    nodes = [URI(f"http://x/n{i}") for i in range(length)]
+    edges = [URI(f"http://x/e{i}") for i in range(length - 1)]
+    data_path = Path(nodes, edges)
+    query_nodes = [Variable(f"v{i}") if i % 3 else nodes[i]
+                   for i in range(length)]
+    query_path = Path(query_nodes, edges)
+    return data_path, query_path
+
+
+@pytest.mark.parametrize("length", _LENGTHS)
+def test_greedy_alignment_scales_linearly(benchmark, length):
+    data_path, query_path = _make_paths(length)
+    result = benchmark(align, data_path, query_path)
+    assert result is not None
+    # Record per-element time out-of-band for the report test.
+    started = time.perf_counter()
+    rounds = 50
+    for _ in range(rounds):
+        align(data_path, query_path)
+    elapsed = (time.perf_counter() - started) / rounds
+    _PER_ELEMENT[length] = elapsed / length
+
+
+@pytest.mark.parametrize("length", [8, 32, 64])
+def test_optimal_alignment_quadratic_reference(benchmark, length):
+    data_path, query_path = _make_paths(length)
+    benchmark(align_optimal, data_path, query_path, PAPER_WEIGHTS)
+
+
+def test_linearity_report(benchmark):
+    """Render the report (kept alive under --benchmark-only)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert len(_PER_ELEMENT) == len(_LENGTHS), "timings did not run"
+    print("\nalignment cost per path element (µs):")
+    for length in _LENGTHS:
+        print(f"  |p| = {length:4d}: {_PER_ELEMENT[length] * 1e6:8.3f}")
+    # Linear time = flat per-element cost.  Allow generous jitter: the
+    # largest per-element cost may not exceed ~4x the smallest.
+    costs = [_PER_ELEMENT[length] for length in _LENGTHS]
+    assert max(costs) <= 4 * min(costs)

@@ -1,0 +1,101 @@
+"""Ablation benchmarks for the §7 extensions: compression and updates.
+
+Quantifies (a) dictionary compression — index bytes and build time,
+plain vs compressed — and (b) incremental maintenance — per-triple
+update cost vs rebuilding the index from scratch.  Run::
+
+    pytest benchmarks/bench_extensions.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.datasets import dataset
+from repro.evaluation.reporting import format_bytes, format_table
+from repro.index import build_index
+from repro.index.incremental import IncrementalIndex
+
+_SIZES: dict[str, int] = {}
+
+
+def test_bench_plain_index_build(benchmark, lubm_graph, tmp_path):
+    counter = [0]
+
+    def build():
+        counter[0] += 1
+        index, stats = build_index(lubm_graph,
+                                   str(tmp_path / f"plain{counter[0]}"))
+        index.close()
+        return stats
+
+    stats = benchmark.pedantic(build, rounds=2, iterations=1)
+    _SIZES["plain"] = stats.size_bytes
+
+
+def test_bench_compressed_index_build(benchmark, lubm_graph, tmp_path):
+    counter = [0]
+
+    def build():
+        counter[0] += 1
+        index, stats = build_index(lubm_graph,
+                                   str(tmp_path / f"packed{counter[0]}"),
+                                   compress=True)
+        index.close()
+        return stats
+
+    stats = benchmark.pedantic(build, rounds=2, iterations=1)
+    _SIZES["compressed"] = stats.size_bytes
+
+
+def test_compression_report(benchmark):
+    """Render the report (kept alive under --benchmark-only)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert "plain" in _SIZES and "compressed" in _SIZES
+    ratio = _SIZES["compressed"] / _SIZES["plain"]
+    print()
+    print(format_table(
+        ["codec", "bytes", "rendered"],
+        [["plain", _SIZES["plain"], format_bytes(_SIZES["plain"])],
+         ["compressed", _SIZES["compressed"],
+          format_bytes(_SIZES["compressed"])],
+         ["ratio", round(ratio, 3), f"{ratio:.1%}"]],
+        title="Dictionary compression (LUBM index)"))
+    # The whole point: at least 3x smaller.
+    assert ratio < 1 / 3
+
+
+@pytest.fixture(scope="module")
+def update_batch():
+    """Fresh triples to insert: a new department's worth of LUBM data."""
+    extra = dataset("lubm").build(300, seed=99)
+    return list(extra.triples())
+
+
+def test_bench_incremental_updates(benchmark, tmp_path, update_batch):
+    base = dataset("lubm").build(1500, seed=0)
+    index = IncrementalIndex(base.copy(), str(tmp_path / "inc"))
+    batch = iter(update_batch)
+
+    def insert_one():
+        triple = next(batch)
+        index.add_triple(*triple)
+
+    benchmark.pedantic(insert_one, rounds=50, iterations=1)
+    assert index.stats.triples_added >= 50
+    print(f"\nincremental stats: {index.stats}")
+
+
+def test_bench_full_rebuild_for_contrast(benchmark, tmp_path, update_batch):
+    base = dataset("lubm").build(1500, seed=0)
+    graph = base.copy()
+    for triple in update_batch[:50]:
+        graph.add_triple(*triple)
+    counter = [0]
+
+    def rebuild():
+        counter[0] += 1
+        index, stats = build_index(graph,
+                                   str(tmp_path / f"rb{counter[0]}"))
+        index.close()
+        return stats
+
+    benchmark.pedantic(rebuild, rounds=2, iterations=1)

@@ -1,0 +1,71 @@
+"""Fig. 7: Sama's scalability — vs I, vs |Q| nodes, vs #variables.
+
+Each panel is a sweep with a quadratic trendline, like the figure
+(whose trendline equations support the O(h·I²) analysis).  Run::
+
+    pytest benchmarks/bench_fig7_scalability.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.evaluation.reporting import xy_series
+from repro.evaluation.scalability import (quadratic_fit, sweep_data_size,
+                                          sweep_query_nodes,
+                                          sweep_variable_count)
+
+_PANELS: dict[str, tuple] = {}
+
+
+def test_fig7a_runtime_vs_extracted_paths(benchmark):
+    """Panel (a): cold-cache runtime against I (#extracted paths)."""
+
+    def sweep():
+        return sweep_data_size(sizes=[800, 1_600, 2_400, 3_200, 4_000],
+                               runs=2)
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    fit = quadratic_fit(points)
+    _PANELS["7a"] = (points, fit, "I (#extracted paths)")
+    xs = [p.x for p in points]
+    assert xs == sorted(xs)
+    assert len(set(xs)) == len(xs)  # I grows with the data
+
+
+def test_fig7b_runtime_vs_query_nodes(benchmark):
+    """Panel (b): runtime against |Q| in nodes (3-23, like the figure)."""
+
+    def sweep():
+        return sweep_query_nodes(node_counts=[3, 7, 11, 15, 19, 23],
+                                 triples=3_000, runs=2)
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    fit = quadratic_fit(points)
+    _PANELS["7b"] = (points, fit, "#nodes in Q")
+    assert [p.x for p in points] == [3, 7, 11, 15, 19, 23]
+
+
+def test_fig7c_runtime_vs_variables(benchmark):
+    """Panel (c): runtime against the number of variables (1-7)."""
+
+    def sweep():
+        return sweep_variable_count(variable_counts=[1, 2, 3, 4, 5, 6, 7],
+                                    triples=3_000, runs=2)
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    fit = quadratic_fit(points)
+    _PANELS["7c"] = (points, fit, "#variables in Q")
+    assert [p.x for p in points] == [1, 2, 3, 4, 5, 6, 7]
+
+
+def test_print_fig7_report(benchmark):
+    """Render the report (kept alive under --benchmark-only)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert _PANELS, "sweeps did not run"
+    for panel, (points, fit, x_label) in sorted(_PANELS.items()):
+        print()
+        print(xy_series(points, x_label, "msec",
+                        title=f"Fig. {panel}: Sama scalability",
+                        fit_equation=fit.equation()))
+    # Shape: runtime grows with every panel's x overall (last >= first).
+    for panel, (points, _fit, _label) in _PANELS.items():
+        assert points[-1].mean_ms >= points[0].mean_ms * 0.5, panel

@@ -1,0 +1,113 @@
+"""Fig. 9: interpolated precision/recall on LUBM, plus the §6.3 RR table.
+
+Sama's precision is split by query-path count bands like the paper
+(``|Q| in [1,4]``, ``[5,10]``, ``[11,17]``); each baseline gets one
+curve.  Ground truth comes from the relevance oracle (exact matching
+over minimally relaxed queries — the offline stand-in for the paper's
+domain experts).  Run::
+
+    pytest benchmarks/bench_fig9_precision_recall.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.engine.preprocess import prepare_query
+from repro.evaluation.metrics import (average_interpolated,
+                                      interpolated_precision,
+                                      precision_recall_curve,
+                                      reciprocal_rank)
+from repro.evaluation.reporting import format_table
+
+_K = 40
+_QUERY_LIMIT = 6  # Q1..Q6 keep the oracle affordable at bench scale
+
+_CURVES: dict[str, list] = {}
+_RR_ROWS: list = []
+
+
+def _band(spec) -> str:
+    count = len(prepare_query(spec.graph).paths)
+    if count <= 4:
+        return "|Q| in [1,4]"
+    if count <= 10:
+        return "|Q| in [5,10]"
+    return "|Q| in [11,17]"
+
+
+def test_fig9_sama_curves(benchmark, engine, oracle, queries):
+    specs = queries[:_QUERY_LIMIT]
+
+    def evaluate():
+        bands: dict[str, list] = {}
+        for spec in specs:
+            truth = oracle.ground_truth(spec.graph, key=spec.qid)
+            if truth.is_empty:
+                continue
+            answers = engine.query(spec.graph, k=_K)
+            flags = [oracle.judge_sama_answer(truth, a) for a in answers]
+            curve = interpolated_precision(
+                precision_recall_curve(flags, len(truth)))
+            bands.setdefault(_band(spec), []).append(curve)
+            _RR_ROWS.append([spec.qid, truth.relaxation_level, len(truth),
+                             reciprocal_rank(flags)])
+        return {band: average_interpolated(curves)
+                for band, curves in bands.items()}
+
+    result = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    for band, curve in result.items():
+        _CURVES[f"sama {band}"] = curve
+    assert result
+
+
+@pytest.mark.parametrize("system", ["sapper", "bounded", "dogma"])
+def test_fig9_baseline_curves(benchmark, baselines, oracle, queries, system):
+    matcher = baselines[system]
+    specs = queries[:_QUERY_LIMIT]
+
+    def evaluate():
+        curves = []
+        for spec in specs:
+            truth = oracle.ground_truth(spec.graph, key=spec.qid)
+            if truth.is_empty:
+                continue
+            matches = matcher.search(spec.graph, limit=_K)
+            flags = [oracle.judge_match(truth, m) for m in matches]
+            curves.append(interpolated_precision(
+                precision_recall_curve(flags, len(truth))))
+        return average_interpolated(curves)
+
+    _CURVES[system] = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+
+
+def test_print_fig9_report(benchmark):
+    """Render the report (kept alive under --benchmark-only)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert _CURVES, "curves did not run"
+    names = sorted(_CURVES)
+    headers = ["recall"] + names
+    rows = []
+    for position in range(11):
+        row = [round(0.1 * position, 1)]
+        row.extend(_CURVES[name][position].precision for name in names)
+        rows.append(row)
+    print()
+    print(format_table(headers, rows,
+                       title="Fig. 9: interpolated precision/recall on LUBM"))
+    print()
+    print(format_table(["query", "relax level", "#relevant", "RR"],
+                       _RR_ROWS,
+                       title="Reciprocal rank of Sama (§6.3; paper: all 1)"))
+    # §6.3's headline holds for exact ground truth (relaxation level 0,
+    # the analogue of the paper's expert-judged correct answers).  On
+    # queries whose truth only exists after relaxation, the oracle and
+    # the measure can legitimately disagree at bench scale; those RR
+    # values are reported above rather than asserted.
+    exact_rows = [row for row in _RR_ROWS if row[1] == 0]
+    assert exact_rows, "no exact-truth queries were judged"
+    assert all(row[3] == 1.0 for row in exact_rows)
+    # Sama curves exist and start at high precision.
+    sama_curves = [curve for name, curve in _CURVES.items()
+                   if name.startswith("sama")]
+    assert sama_curves
+    for curve in sama_curves:
+        assert curve[0].precision > 0.0

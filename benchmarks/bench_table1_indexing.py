@@ -1,0 +1,58 @@
+"""Table 1: HyperGraphDB indexing — build time, |HV|, |HE|, space.
+
+Regenerates the paper's indexing table over all eight datasets at
+scaled sizes.  The pytest-benchmark timings are the 't' column; the
+printed table carries the full row set.  Run::
+
+    pytest benchmarks/bench_table1_indexing.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.datasets import all_datasets
+from repro.evaluation.reporting import format_bytes, format_seconds, format_table
+from repro.index import build_index
+from repro.paths.extraction import ExtractionLimits
+
+# Bounded so the cyclic datasets (pblog) stay fast at bench scale.
+_LIMITS = ExtractionLimits(max_length=24, max_paths=60_000,
+                           on_limit="truncate")
+
+_ROWS: list = []
+
+
+@pytest.mark.parametrize("spec", all_datasets(), ids=lambda s: s.name)
+def test_table1_index_build(benchmark, spec, tmp_path):
+    """One Table 1 row: index build for one dataset."""
+    graph = spec.build(seed=0)
+    counter = [0]
+
+    def build():
+        counter[0] += 1
+        directory = tmp_path / f"{spec.name}-{counter[0]}"
+        index, stats = build_index(graph, str(directory), limits=_LIMITS)
+        index.close()
+        return stats
+
+    stats = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert stats.path_count > 0
+    assert stats.hv_count == graph.node_count()
+    _ROWS.append([spec.name.upper(), f"(paper {spec.paper_triples})",
+                  stats.triple_count, stats.hv_count, stats.he_count,
+                  format_seconds(stats.build_seconds),
+                  format_bytes(stats.size_bytes),
+                  "yes" if stats.truncated else "no"])
+
+
+def test_print_table1_report(benchmark):
+    """Render the report (kept alive under --benchmark-only)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert _ROWS, "index builds did not run"
+    print()
+    print(format_table(
+        ["DG", "paper size", "#Triples", "|HV|", "|HE|", "t", "Space",
+         "truncated"],
+        _ROWS, title="Table 1: HyperGraphDB indexing (scaled datasets)"))
+    # Shape assertions mirroring the paper: sizes grow down the table.
+    triples = [row[2] for row in _ROWS]
+    assert triples == sorted(triples)

@@ -1,0 +1,62 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks regenerate the paper's tables and figures at reduced scale
+(the session-scoped LUBM graph defaults to 3,000 triples so the whole
+suite runs in minutes; crank ``BENCH_LUBM_TRIPLES`` for bigger runs).
+Each module prints its table/figure rows on top of the pytest-benchmark
+timing output.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.baselines import BoundedMatcher, DogmaMatcher, SapperMatcher
+from repro.datasets import dataset, lubm_queries
+from repro.engine import SamaEngine
+from repro.evaluation.ground_truth import RelevanceOracle
+
+BENCH_TRIPLES = int(os.environ.get("BENCH_LUBM_TRIPLES", "3000"))
+BENCH_SEED = int(os.environ.get("BENCH_SEED", "0"))
+
+
+@pytest.fixture(scope="session")
+def lubm_graph():
+    return dataset("lubm").build(BENCH_TRIPLES, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def engine(lubm_graph, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("bench-lubm-index")
+    sama = SamaEngine.from_graph(lubm_graph, directory=str(directory))
+    yield sama
+    sama.close()
+
+
+@pytest.fixture(scope="session")
+def baselines(lubm_graph):
+    """The three competitors over a simulated disk-resident graph.
+
+    Matching the §6.1 premise (and the Fig. 6 runner): adjacency access
+    pays a small latency; construction is offline and free.
+    """
+    from repro.rdf.latency import AccessAccountedGraph
+    view = AccessAccountedGraph(lubm_graph, access_latency=1e-5)
+    with view.offline():
+        return {
+            "sapper": SapperMatcher(view),
+            "bounded": BoundedMatcher(view),
+            "dogma": DogmaMatcher(view),
+        }
+
+
+@pytest.fixture(scope="session")
+def oracle(lubm_graph):
+    return RelevanceOracle(lubm_graph)
+
+
+@pytest.fixture(scope="session")
+def queries():
+    return lubm_queries()

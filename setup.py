@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside pyproject.toml so that editable installs work on
+machines without the ``wheel`` package (legacy ``setup.py develop``
+path); all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,46 @@
+"""Sama: a similarity measure for approximate querying over RDF data.
+
+A complete, from-scratch reproduction of De Virgilio, Maccioni &
+Torlone, *"A Similarity Measure for Approximate Querying over RDF
+data"* (EDBT 2013): the path-alignment similarity ``score = Λ + Ψ``,
+the disk-resident path index, the top-k approximate query engine, the
+three competitor systems it is evaluated against, and the full
+experimental harness.
+
+Quickstart::
+
+    from repro import SamaEngine
+    from repro.datasets import govtrack_graph
+
+    engine = SamaEngine.from_graph(govtrack_graph())
+    for answer in engine.query('''
+            PREFIX gov: <http://example.org/govtrack/>
+            SELECT * WHERE {
+                gov:CarlaBunes gov:sponsor ?a .
+                ?a gov:aTo ?bill .
+                ?bill gov:subject "Health Care" .
+            }''', k=5):
+        print(answer.score, dict(answer.substitution()))
+
+Package map: :mod:`repro.rdf` (terms/graphs/parsers), :mod:`repro.paths`
+(extraction/alignment/χ), :mod:`repro.scoring` (λ, ψ, score),
+:mod:`repro.storage` (pages/buffer pool), :mod:`repro.index`
+(path index + thesaurus), :mod:`repro.engine` (Sama),
+:mod:`repro.baselines` (SAPPER/BOUNDED/DOGMA/GED),
+:mod:`repro.datasets` (generators), :mod:`repro.evaluation` (harness).
+"""
+
+from .engine import Answer, EngineConfig, SamaEngine, SearchConfig
+from .paths import Path, align, path_of
+from .rdf import (DataGraph, Literal, Namespace, QueryGraph, Triple, URI,
+                  Variable, query_graph)
+from .scoring import PAPER_WEIGHTS, ScoringWeights, score_paths, score_value
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Answer", "DataGraph", "EngineConfig", "Literal", "Namespace",
+    "PAPER_WEIGHTS", "Path", "QueryGraph", "SamaEngine", "ScoringWeights",
+    "SearchConfig", "Triple", "URI", "Variable", "align", "path_of",
+    "query_graph", "score_paths", "score_value", "__version__",
+]

@@ -1,0 +1,18 @@
+"""Competitor systems (§6): SAPPER, BOUNDED, DOGMA — plus exact GED.
+
+Reimplemented from their publications over this library's data-graph
+substrate so the efficiency/effectiveness comparisons of Figures 6, 8
+and 9 can be regenerated end-to-end.
+"""
+
+from .base import BaselineMatcher, GraphMatch, connected_query_order
+from .bounded import BoundedMatcher
+from .dogma import DogmaMatcher
+from .ged import DEFAULT_GED_COSTS, GedCosts, graph_edit_distance
+from .sapper import SapperMatcher
+
+__all__ = [
+    "BaselineMatcher", "BoundedMatcher", "DEFAULT_GED_COSTS", "DogmaMatcher",
+    "GedCosts", "GraphMatch", "SapperMatcher", "connected_query_order",
+    "graph_edit_distance",
+]

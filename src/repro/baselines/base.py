@@ -1,0 +1,138 @@
+"""Common infrastructure for the competitor systems (§6).
+
+The paper compares Sama against three graph-matching systems — SAPPER,
+BOUNDED and DOGMA — reimplemented here over the same data-graph
+substrate.  They share this module's vocabulary:
+
+- :class:`GraphMatch`: an embedding of the query's nodes into the data
+  graph, with an edit/violation cost (0 for exact systems);
+- :class:`BaselineMatcher`: the common interface (`prepare` offline,
+  `search` online) the evaluation harness drives;
+- node-candidate computation by label, shared by all matchers.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from ..rdf.graph import DataGraph, QueryGraph
+from ..rdf.terms import Term, Variable
+
+
+@dataclass(frozen=True)
+class GraphMatch:
+    """One match: a query-node → data-node embedding plus its cost."""
+
+    node_map: tuple[tuple[int, int], ...]
+    cost: float = 0.0
+
+    @classmethod
+    def of(cls, mapping: dict[int, int], cost: float = 0.0) -> "GraphMatch":
+        return cls(tuple(sorted(mapping.items())), cost)
+
+    def mapping(self) -> dict[int, int]:
+        return dict(self.node_map)
+
+    def data_nodes(self) -> frozenset[int]:
+        return frozenset(data for _query, data in self.node_map)
+
+    def bindings(self, query: QueryGraph, graph: DataGraph) -> dict[Variable, Term]:
+        """Variable bindings implied by the embedding."""
+        out = {}
+        for query_node, data_node in self.node_map:
+            label = query.label_of(query_node)
+            if isinstance(label, Variable):
+                out[label] = graph.label_of(data_node)
+        return out
+
+
+class BaselineMatcher(abc.ABC):
+    """A competitor system: built once per data graph, queried many times."""
+
+    #: Short system name used in experiment tables.
+    name = "baseline"
+
+    def __init__(self, graph: DataGraph):
+        self.graph = graph
+        self._nodes_by_label: dict[Term, list[int]] = {}
+        for node in graph.nodes():
+            self._nodes_by_label.setdefault(graph.label_of(node), []).append(node)
+
+    # -- candidate computation shared by all matchers -------------------------
+
+    def candidates(self, query: QueryGraph, query_node: int) -> list[int]:
+        """Data nodes whose label can match the query node's label.
+
+        Constants match by exact label; variables match every node (the
+        concrete matchers narrow this structurally).
+        """
+        label = query.label_of(query_node)
+        if isinstance(label, Variable):
+            return list(self.graph.nodes())
+        return list(self._nodes_by_label.get(label, ()))
+
+    def nodes_labelled(self, label: Term) -> list[int]:
+        return list(self._nodes_by_label.get(label, ()))
+
+    @staticmethod
+    def edge_label_matches(query_label: Term, data_label: Term) -> bool:
+        """Edge labels: variables match anything, constants match exactly."""
+        return isinstance(query_label, Variable) or query_label == data_label
+
+    # -- the interface the harness drives ---------------------------------------
+
+    @abc.abstractmethod
+    def search(self, query: QueryGraph,
+               limit: "int | None" = None) -> list[GraphMatch]:
+        """All (or the first ``limit``) matches of ``query``, best first."""
+
+    def match_count(self, query: QueryGraph,
+                    limit: "int | None" = None) -> int:
+        """Number of matches found — the Fig. 8 metric."""
+        return len(self.search(query, limit=limit))
+
+    def __repr__(self):
+        return f"<{type(self).__name__} over {self.graph!r}>"
+
+
+def connected_query_order(query: QueryGraph) -> list[int]:
+    """Query nodes ordered so each (after the first) touches a previous one.
+
+    Backtracking matchers explore in this order so partial embeddings
+    stay connected and prune early.  Constants come first (smallest
+    candidate sets), then by degree.  Disconnected query components are
+    appended in the same discipline.
+    """
+    nodes = list(query.nodes())
+    if not nodes:
+        return []
+
+    def degree(node: int) -> int:
+        return query.out_degree(node) + query.in_degree(node)
+
+    def seed_priority(node: int) -> tuple:
+        is_variable = isinstance(query.label_of(node), Variable)
+        return (is_variable, -degree(node), node)
+
+    remaining = set(nodes)
+    order: list[int] = []
+    while remaining:
+        seed = min(remaining, key=seed_priority)
+        order.append(seed)
+        remaining.discard(seed)
+        frontier = _neighbours(query, seed) & remaining
+        while frontier:
+            nxt = min(frontier, key=seed_priority)
+            order.append(nxt)
+            remaining.discard(nxt)
+            frontier |= _neighbours(query, nxt) & remaining
+            frontier.discard(nxt)
+            frontier &= remaining
+    return order
+
+
+def _neighbours(query: QueryGraph, node: int) -> set[int]:
+    out = {dst for _label, dst in query.out_edges(node)}
+    out.update(src for _label, src in query.in_edges(node))
+    return out

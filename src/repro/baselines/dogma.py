@@ -1,0 +1,217 @@
+"""DOGMA: disk-oriented exact graph matching (Bröcheler et al., ISWC'09).
+
+DOGMA answers RDF queries by exact subgraph homomorphism, pruned by a
+*distance index*: the data graph is partitioned into clusters of nearby
+nodes, and a lower bound on the graph distance between two nodes is
+derived from the distance between their clusters.  During backtracking,
+a candidate for one query node is discarded when its distance lower
+bound to an already-mapped node exceeds the (exact) distance between
+the corresponding query nodes — an inexpensive necessary condition.
+
+Our reimplementation keeps the algorithmic skeleton: (i) offline,
+partition the graph with BFS region growing and precompute
+inter-cluster distances; (ii) online, order the query nodes
+connectively and backtrack over label candidates with edge checks and
+the distance-based pruning.  Matching is exact (no label or structure
+relaxation), which is why DOGMA returns the fewest matches in Fig. 8.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..rdf.graph import DataGraph, QueryGraph
+from ..rdf.terms import Variable
+from .base import BaselineMatcher, GraphMatch, connected_query_order
+
+_INFINITY = float("inf")
+
+
+class DogmaMatcher(BaselineMatcher):
+    """Exact subgraph matcher with DOGMA-style distance pruning."""
+
+    name = "dogma"
+
+    def __init__(self, graph: DataGraph, cluster_size: int = 32,
+                 visit_budget: int = 2_000_000):
+        super().__init__(graph)
+        if cluster_size < 1:
+            raise ValueError("cluster_size must be >= 1")
+        self.cluster_size = cluster_size
+        #: Candidate-consideration budget per search (real systems run
+        #: under timeouts; unsatisfiable patterns would otherwise
+        #: exhaust the full exponential space).  Exceeding it returns
+        #: the matches found so far.
+        self.visit_budget = visit_budget
+        self._cluster_of: dict[int, int] = {}
+        self._cluster_distance: list[list[int]] = []
+        self._build_distance_index()
+
+    # -- offline: partition + inter-cluster distances --------------------------
+
+    def _build_distance_index(self) -> None:
+        # BFS region growing over the undirected view of the graph.
+        unassigned = set(self.graph.nodes())
+        clusters: list[list[int]] = []
+        while unassigned:
+            seed = min(unassigned)
+            members = []
+            queue = deque([seed])
+            unassigned.discard(seed)
+            while queue and len(members) < self.cluster_size:
+                node = queue.popleft()
+                members.append(node)
+                for neighbour in self._undirected_neighbours(node):
+                    if neighbour in unassigned:
+                        unassigned.discard(neighbour)
+                        queue.append(neighbour)
+            # Nodes pulled off the frontier but not expanded return to
+            # the pool for the next cluster.
+            for node in queue:
+                unassigned.add(node)
+            cluster_id = len(clusters)
+            clusters.append(members)
+            for node in members:
+                self._cluster_of[node] = cluster_id
+        # Cluster adjacency, then all-pairs BFS over the cluster graph.
+        count = len(clusters)
+        adjacency: list[set[int]] = [set() for _ in range(count)]
+        for edge in self.graph.edges():
+            a = self._cluster_of[edge.src]
+            b = self._cluster_of[edge.dst]
+            if a != b:
+                adjacency[a].add(b)
+                adjacency[b].add(a)
+        self._cluster_distance = [self._bfs_layers(start, adjacency)
+                                  for start in range(count)]
+
+    @staticmethod
+    def _bfs_layers(start: int, adjacency: list[set[int]]) -> list[int]:
+        distance = [-1] * len(adjacency)
+        distance[start] = 0
+        queue = deque([start])
+        while queue:
+            node = queue.popleft()
+            for neighbour in adjacency[node]:
+                if distance[neighbour] == -1:
+                    distance[neighbour] = distance[node] + 1
+                    queue.append(neighbour)
+        return distance
+
+    def _undirected_neighbours(self, node: int):
+        for _label, dst in self.graph.out_edges(node):
+            yield dst
+        for _label, src in self.graph.in_edges(node):
+            yield src
+
+    def distance_lower_bound(self, node_a: int, node_b: int) -> float:
+        """A lower bound on the undirected graph distance (the DOGMA prune).
+
+        Nodes in the same cluster bound to 0; otherwise the cluster
+        graph distance (each inter-cluster hop costs at least one edge).
+        Unreachable cluster pairs bound to infinity.
+        """
+        cluster_a = self._cluster_of[node_a]
+        cluster_b = self._cluster_of[node_b]
+        if cluster_a == cluster_b:
+            return 0
+        distance = self._cluster_distance[cluster_a][cluster_b]
+        return _INFINITY if distance == -1 else distance
+
+    # -- online: backtracking search ----------------------------------------------
+
+    def search(self, query: QueryGraph,
+               limit: "int | None" = None) -> list[GraphMatch]:
+        order = connected_query_order(query)
+        if not order:
+            return []
+        query_distance = _undirected_distances(query)
+        matches: list[GraphMatch] = []
+        mapping: dict[int, int] = {}
+        used: set[int] = set()
+        visits = [0]
+
+        def backtrack(position: int) -> bool:
+            if position == len(order):
+                matches.append(GraphMatch.of(mapping))
+                return limit is not None and len(matches) >= limit
+            query_node = order[position]
+            for candidate in self.candidates(query, query_node):
+                visits[0] += 1
+                if visits[0] > self.visit_budget:
+                    return True  # budget exhausted: stop the search
+                if candidate in used:
+                    continue  # injective embeddings
+                if not self._edges_consistent(query, query_node, candidate,
+                                              mapping):
+                    continue
+                if self._distance_pruned(query_node, candidate, mapping,
+                                         query_distance):
+                    continue
+                mapping[query_node] = candidate
+                used.add(candidate)
+                stop = backtrack(position + 1)
+                del mapping[query_node]
+                used.discard(candidate)
+                if stop:
+                    return True
+            return False
+
+        backtrack(0)
+        return matches
+
+    def _edges_consistent(self, query: QueryGraph, query_node: int,
+                          candidate: int, mapping: dict[int, int]) -> bool:
+        """Every query edge between mapped nodes must exist in the data."""
+        for label, dst in query.out_edges(query_node):
+            if dst == query_node:
+                continue
+            mapped = mapping.get(dst)
+            if mapped is None:
+                continue
+            if not self._has_edge(candidate, label, mapped):
+                return False
+        for label, src in query.in_edges(query_node):
+            if src == query_node:
+                continue
+            mapped = mapping.get(src)
+            if mapped is None:
+                continue
+            if not self._has_edge(mapped, label, candidate):
+                return False
+        return True
+
+    def _has_edge(self, src: int, label, dst: int) -> bool:
+        return any(dst == other and self.edge_label_matches(label, data_label)
+                   for data_label, other in self.graph.out_edges(src))
+
+    def _distance_pruned(self, query_node: int, candidate: int,
+                         mapping: dict[int, int],
+                         query_distance: dict[int, dict[int, int]]) -> bool:
+        """DOGMA's necessary condition: d_G(c, m) ≤ d_Q(u, v) must hold."""
+        distances = query_distance[query_node]
+        for mapped_query, mapped_data in mapping.items():
+            allowed = distances.get(mapped_query)
+            if allowed is None:
+                continue
+            if self.distance_lower_bound(candidate, mapped_data) > allowed:
+                return True
+        return False
+
+
+def _undirected_distances(query: QueryGraph) -> dict[int, dict[int, int]]:
+    """All-pairs undirected distances within the (small) query graph."""
+    out: dict[int, dict[int, int]] = {}
+    for start in query.nodes():
+        distance = {start: 0}
+        queue = deque([start])
+        while queue:
+            node = queue.popleft()
+            neighbours = [dst for _l, dst in query.out_edges(node)]
+            neighbours.extend(src for _l, src in query.in_edges(node))
+            for neighbour in neighbours:
+                if neighbour not in distance:
+                    distance[neighbour] = distance[node] + 1
+                    queue.append(neighbour)
+        out[start] = distance
+    return out

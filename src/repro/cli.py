@@ -1,0 +1,178 @@
+"""The ``sama`` command-line interface.
+
+Four subcommands cover the offline/online split of §5 plus utilities::
+
+    sama generate lubm data.nt --triples 10000 --seed 1
+    sama index data.nt ./my-index
+    sama query ./my-index -e 'SELECT ?s WHERE { ?s <http://...> ?o . }'
+    sama inspect ./my-index
+
+``sama query`` accepts SPARQL from a file or inline (``-e``), prints
+the ranked answers with scores and bindings, and with ``--explain``
+also renders the forest of paths (Fig. 4).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .datasets.registry import DATASETS, dataset
+from .engine.sama import EngineConfig, SamaEngine
+from .evaluation.reporting import format_bytes, format_seconds
+from .index.builder import build_index
+from .index.pathindex import PathIndex
+from .paths.extraction import ExtractionLimits
+from .rdf import ntriples, turtle
+from .rdf.graph import DataGraph
+
+
+def _cmd_generate(args) -> int:
+    spec = dataset(args.dataset)
+    triples = args.triples or spec.default_triples
+    graph = spec.build(triples, seed=args.seed)
+    count = ntriples.write_file(graph.triples(), args.output)
+    print(f"wrote {count} triples of {spec.name} to {args.output}")
+    return 0
+
+
+def _load_graph(path: str, fmt: "str | None") -> DataGraph:
+    if fmt is None:
+        fmt = "ttl" if path.endswith((".ttl", ".turtle")) else "nt"
+    if fmt == "ttl":
+        triples = turtle.parse_file(path)
+    else:
+        triples = ntriples.parse_file(path)
+    return DataGraph.from_triples(triples, name=path)
+
+
+def _cmd_index(args) -> int:
+    graph = _load_graph(args.data, args.format)
+    print(f"loaded {graph.edge_count()} triples, "
+          f"{graph.node_count()} nodes from {args.data}")
+    limits = ExtractionLimits(max_length=args.max_length,
+                              max_paths=args.max_paths,
+                              on_limit="truncate")
+    index, stats = build_index(graph, args.index_dir, limits=limits)
+    index.close()
+    print(f"indexed {stats.path_count} paths in "
+          f"{format_seconds(stats.build_seconds)} "
+          f"({format_bytes(stats.size_bytes)} on disk)")
+    print(f"|HV| = {stats.hv_count}, |HE| = {stats.he_count}, "
+          f"sources = {stats.source_count}, sinks = {stats.sink_count}")
+    if stats.truncated:
+        print("note: path extraction hit its budget and truncated "
+              "(raise --max-paths / --max-length to extract more)")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    if args.expression:
+        text = args.expression
+    elif args.query_file:
+        with open(args.query_file, encoding="utf-8") as handle:
+            text = handle.read()
+    else:
+        print("error: provide a query file or -e 'SELECT ...'",
+              file=sys.stderr)
+        return 2
+    config = EngineConfig(matcher_level=args.matcher)
+    engine = SamaEngine.open(args.index_dir, config=config)
+    try:
+        if args.explain:
+            print(engine.explain(text).render())
+            print()
+        answers = engine.query(text, k=args.k)
+        if not answers:
+            print("no answers")
+            return 1
+        for rank, answer in enumerate(answers, start=1):
+            print(f"#{rank} score={answer.score:.3f} "
+                  f"(Λ={answer.quality:.3f}, Ψ={answer.conformity:.3f})"
+                  f"{' exact' if answer.is_exact else ''}")
+            bindings = answer.substitution()
+            for variable in sorted(bindings, key=lambda v: v.value):
+                print(f"    ?{variable.value} = {bindings[variable]}")
+            if args.verbose:
+                for query_path, entry in zip(answer.query_paths,
+                                             answer.entries):
+                    target = entry.path if entry else "(uncovered)"
+                    print(f"    {query_path}  ->  {target}")
+        return 0
+    finally:
+        engine.close()
+
+
+def _cmd_inspect(args) -> int:
+    index = PathIndex.open(args.index_dir)
+    try:
+        print(f"index: {args.index_dir}")
+        for key, value in sorted(index.metadata.items()):
+            print(f"  {key}: {value}")
+        print(f"  paths: {index.path_count}")
+        import os
+        log_path = os.path.join(args.index_dir, "paths.log")
+        if os.path.exists(log_path):
+            print(f"  on disk: {format_bytes(os.path.getsize(log_path))}")
+        if args.sample:
+            print("sample paths:")
+            for offset in index.all_offsets()[:args.sample]:
+                print(f"  {index.path_at(offset)}")
+        return 0
+    finally:
+        index.close()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="sama",
+        description="Approximate querying over RDF via path alignment "
+                    "(EDBT 2013 reproduction).")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate",
+                              help="generate a benchmark dataset")
+    generate.add_argument("dataset", choices=sorted(DATASETS))
+    generate.add_argument("output", help="output .nt file")
+    generate.add_argument("--triples", type=int, default=None)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.set_defaults(func=_cmd_generate)
+
+    index = sub.add_parser("index", help="build a path index from RDF data")
+    index.add_argument("data", help="input .nt or .ttl file")
+    index.add_argument("index_dir", help="directory for the index")
+    index.add_argument("--format", choices=["nt", "ttl"], default=None)
+    index.add_argument("--max-paths", type=int, default=200_000)
+    index.add_argument("--max-length", type=int, default=32)
+    index.set_defaults(func=_cmd_index)
+
+    query = sub.add_parser("query", help="run a SPARQL query on an index")
+    query.add_argument("index_dir")
+    query.add_argument("query_file", nargs="?", default=None,
+                       help="file with a SPARQL SELECT query")
+    query.add_argument("-e", "--expression", default=None,
+                       help="inline SPARQL text")
+    query.add_argument("-k", type=int, default=10)
+    query.add_argument("--matcher", choices=["exact", "lexical", "semantic"],
+                       default="semantic")
+    query.add_argument("--explain", action="store_true",
+                       help="print the forest of paths first")
+    query.add_argument("-v", "--verbose", action="store_true",
+                       help="show per-path alignments")
+    query.set_defaults(func=_cmd_query)
+
+    inspect = sub.add_parser("inspect", help="show index metadata")
+    inspect.add_argument("index_dir")
+    inspect.add_argument("--sample", type=int, default=0,
+                         help="print the first N stored paths")
+    inspect.set_defaults(func=_cmd_inspect)
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

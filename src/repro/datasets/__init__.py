@@ -1,0 +1,22 @@
+"""Benchmark datasets: the paper's eight, as seeded synthetic generators.
+
+Real dumps (GovTrack, KEGG, IMDB, DBLP, PBlog) are unavailable offline,
+so each module mimics its dataset's schema and degree profile at a
+configurable triple scale (DESIGN.md documents the substitution).  The
+exact Fig. 1 running example lives in :mod:`repro.datasets.govtrack`,
+and the 12 benchmark queries in :mod:`repro.datasets.lubm_queries`.
+"""
+
+from .base import DatasetSpec, EntityMinter, TripleBudget
+from .govtrack import (govtrack_figure_graph, govtrack_graph, query_q1,
+                       query_q2)
+from .lubm_queries import QuerySpec, lubm_queries, query_by_id
+from .registry import DATASETS, all_datasets, dataset
+from .workloads import workload, workload_datasets
+
+__all__ = [
+    "DATASETS", "DatasetSpec", "EntityMinter", "QuerySpec", "TripleBudget",
+    "all_datasets", "dataset", "govtrack_figure_graph", "govtrack_graph",
+    "lubm_queries", "query_by_id", "query_q1", "query_q2",
+    "workload", "workload_datasets",
+]

@@ -1,0 +1,91 @@
+"""A Berlin SPARQL Benchmark (BSBM) shaped generator.
+
+BSBM models an e-commerce scenario: producers make products, vendors
+publish offers for them, and reviewers write reviews.  The generator
+reproduces that schema — product types and features, offers with
+vendor/price, reviews with ratings — under a triple budget.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..rdf.graph import DataGraph
+from ..rdf.namespaces import Namespace, RDF
+from ..rdf.terms import Literal
+from .base import EntityMinter, TripleBudget, person_name, pick
+
+BSBM = Namespace("http://www4.wiwiss.fu-berlin.de/bizer/bsbm/v01/vocabulary/")
+
+PRODUCT = BSBM.Product
+PRODUCER = BSBM.Producer
+VENDOR = BSBM.Vendor
+OFFER = BSBM.Offer
+REVIEW = BSBM.Review
+PERSON = BSBM.Person
+
+PRODUCED_BY = BSBM.producer
+PRODUCT_FEATURE = BSBM.productFeature
+PRODUCT_TYPE = BSBM.productType
+OFFERS_PRODUCT = BSBM.product
+OFFERED_BY = BSBM.vendor
+PRICE = BSBM.price
+REVIEW_FOR = BSBM.reviewFor
+REVIEWER = BSBM.reviewer
+RATING = BSBM.rating
+LABEL = BSBM.label
+COUNTRY = BSBM.country
+
+_FEATURES = ["Wireless", "Portable", "Rechargeable", "Waterproof",
+             "Ergonomic", "Compact", "Digital", "Analog"]
+_TYPES = ["Phone", "Laptop", "Camera", "Printer", "Monitor", "Speaker"]
+_COUNTRIES = ["DE", "IT", "US", "JP", "FR", "CN"]
+
+
+def generate(triple_target: int, seed: int = 0) -> DataGraph:
+    """Generate a BSBM-shaped graph of roughly ``triple_target`` triples."""
+    rng = random.Random(f"berlin:{seed}:{triple_target}")
+    graph = DataGraph(name="berlin")
+    budget = TripleBudget(triple_target)
+    minter = EntityMinter(BSBM)
+
+    producers = [minter.mint("Producer") for _ in range(4)]
+    for producer in producers:
+        budget.add(graph, producer, RDF.type, PRODUCER)
+        budget.add(graph, producer, COUNTRY, Literal(pick(rng, _COUNTRIES)))
+    vendors = [minter.mint("Vendor") for _ in range(4)]
+    for vendor in vendors:
+        budget.add(graph, vendor, RDF.type, VENDOR)
+        budget.add(graph, vendor, COUNTRY, Literal(pick(rng, _COUNTRIES)))
+    reviewers = [minter.mint("Reviewer") for _ in range(8)]
+    for index, reviewer in enumerate(reviewers):
+        budget.add(graph, reviewer, RDF.type, PERSON)
+        budget.add(graph, reviewer, LABEL, person_name(rng, index))
+
+    while not budget.exhausted:
+        product = minter.mint("Product")
+        budget.add(graph, product, RDF.type, PRODUCT)
+        budget.add(graph, product, LABEL,
+                   Literal(f"Product {minter.counters['Product'] - 1}"))
+        budget.add(graph, product, PRODUCED_BY, pick(rng, producers))
+        budget.add(graph, product, PRODUCT_TYPE, Literal(pick(rng, _TYPES)))
+        for feature in rng.sample(_FEATURES, k=2):
+            budget.add(graph, product, PRODUCT_FEATURE, Literal(feature))
+        for _ in range(rng.randint(1, 3)):
+            if budget.exhausted:
+                break
+            offer = minter.mint("Offer")
+            budget.add(graph, offer, RDF.type, OFFER)
+            budget.add(graph, offer, OFFERS_PRODUCT, product)
+            budget.add(graph, offer, OFFERED_BY, pick(rng, vendors))
+            budget.add(graph, offer, PRICE,
+                       Literal(str(rng.randint(10, 2000))))
+        for _ in range(rng.randint(0, 2)):
+            if budget.exhausted:
+                break
+            review = minter.mint("Review")
+            budget.add(graph, review, RDF.type, REVIEW)
+            budget.add(graph, review, REVIEW_FOR, product)
+            budget.add(graph, review, REVIEWER, pick(rng, reviewers))
+            budget.add(graph, review, RATING, Literal(str(rng.randint(1, 5))))
+    return graph

@@ -1,0 +1,80 @@
+"""A DBLP-shaped generator (publications, authors, venues, citations).
+
+The largest dataset of Table 1 (26M triples in the paper).  Papers have
+authors (drawn with a rich-get-richer bias, like real bibliographies),
+venues, years, and cite earlier papers — the citation edges give the
+graph long source-to-sink chains, which is what made DBLP the slowest
+index build in Table 1.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..rdf.graph import DataGraph
+from ..rdf.namespaces import Namespace, RDF
+from ..rdf.terms import Literal
+from .base import EntityMinter, TripleBudget, person_name, pick
+
+DBLP = Namespace("http://dblp.l3s.de/d2r/resource/")
+
+ARTICLE = DBLP.Article
+IN_PROCEEDINGS = DBLP.Inproceedings
+AUTHOR = DBLP.Author
+
+CREATOR = DBLP.creator
+CITES = DBLP.cites
+VENUE = DBLP.venue
+YEAR = DBLP.year
+TITLE = DBLP.title
+NAME = DBLP.name
+
+_VENUES = ["VLDB", "SIGMOD", "ICDE", "EDBT", "ISWC", "WWW", "KDD", "PODS"]
+_TOPICS = ["Query", "Graph", "Index", "Stream", "Semantic", "Parallel",
+           "Approximate", "Distributed", "Adaptive", "Similarity"]
+_OBJECTS = ["Processing", "Matching", "Structures", "Evaluation",
+            "Answering", "Optimization", "Search", "Joins"]
+
+
+def generate(triple_target: int, seed: int = 0) -> DataGraph:
+    """Generate a DBLP-shaped graph of roughly ``triple_target`` triples."""
+    rng = random.Random(f"dblp:{seed}:{triple_target}")
+    graph = DataGraph(name="dblp")
+    budget = TripleBudget(triple_target)
+    minter = EntityMinter(DBLP)
+
+    author_pool_size = max(8, triple_target // 15)
+    authors = []
+    for index in range(author_pool_size):
+        if budget.remaining < 2:
+            break
+        author = minter.mint("Author")
+        authors.append(author)
+        budget.add(graph, author, RDF.type, AUTHOR)
+        budget.add(graph, author, NAME, person_name(rng, index))
+
+    papers: list = []
+    # Rich-get-richer author pool: prolific authors repeat.
+    author_pool = list(authors[: max(2, len(authors) // 4)])
+    while not budget.exhausted and authors:
+        paper = minter.mint("Paper")
+        number = minter.counters["Paper"] - 1
+        kind = ARTICLE if number % 3 == 0 else IN_PROCEEDINGS
+        budget.add(graph, paper, RDF.type, kind)
+        budget.add(graph, paper, TITLE, Literal(
+            f"{pick(rng, _TOPICS)} {pick(rng, _OBJECTS)} {number}"))
+        budget.add(graph, paper, VENUE, Literal(pick(rng, _VENUES)))
+        budget.add(graph, paper, YEAR, Literal(str(rng.randint(1990, 2012))))
+        author_count = rng.randint(1, 3)
+        chosen = {pick(rng, author_pool) for _ in range(author_count)}
+        chosen.add(pick(rng, authors))
+        for author in sorted(chosen):
+            budget.add(graph, paper, CREATOR, author)
+            author_pool.append(author)
+        # Cite up to 3 strictly earlier papers (keeps citations acyclic).
+        if papers:
+            for cited in rng.sample(papers, k=min(rng.randint(0, 3),
+                                                  len(papers))):
+                budget.add(graph, paper, CITES, cited)
+        papers.append(paper)
+    return graph

@@ -1,0 +1,184 @@
+"""The GovTrack running example of the paper (Fig. 1).
+
+:func:`govtrack_graph` reconstructs the data graph ``Gd`` exactly as
+the paper's clustering example requires: its path decomposition yields
+the paths ``p1``–``p10`` and ``p17``–``p20`` of Fig. 3, it has seven
+sources (the seven persons) and two sinks (``Health Care`` and
+``Male``), matching §3.2's description of the figure.
+
+:func:`govtrack_figure_graph` additionally includes the decorative
+nodes visible in Fig. 1 (``Female``, the ``Term 10/21/94`` role nodes,
+``Senate NY``) that the worked example never touches; adding them
+introduces further sinks, which is why the canonical graph leaves them
+out (the paper counts exactly two sinks).
+
+:func:`query_q1` and :func:`query_q2` are the queries of Fig. 1(b-c):
+Q1 asks for amendments (?v1) sponsored by Carla Bunes to a bill (?v2)
+on Health Care originally sponsored by a male person (?v3); Q2 relaxes
+the ``sponsor``/``aTo`` chain into a single variable edge ``?e1``.
+"""
+
+from __future__ import annotations
+
+from ..rdf.graph import DataGraph, QueryGraph
+from ..rdf.namespaces import GOV
+from ..rdf.terms import Literal
+
+# Entity URIs (local names follow the paper's labels).
+CARLA_BUNES = GOV["CarlaBunes"]
+PIERCE_DICKES = GOV["PierceDickes"]
+ALICE_NIMBER = GOV["AliceNimber"]
+KEITH_FARMER = GOV["KeithFarmer"]
+JEFF_RYSER = GOV["JeffRyser"]
+JOHN_MCRIE = GOV["JohnMcRie"]
+PETER_TRAVES = GOV["PeterTraves"]
+
+A0056 = GOV["A0056"]
+A0467 = GOV["A0467"]
+A0772 = GOV["A0772"]
+A1232 = GOV["A1232"]
+A1589 = GOV["A1589"]
+
+B0045 = GOV["B0045"]
+B0532 = GOV["B0532"]
+B1432 = GOV["B1432"]
+
+HEALTH_CARE = Literal("Health Care")
+MALE = Literal("Male")
+FEMALE = Literal("Female")
+
+SPONSOR = GOV["sponsor"]
+A_TO = GOV["aTo"]
+SUBJECT = GOV["subject"]
+GENDER = GOV["gender"]
+HAS_ROLE = GOV["hasRole"]
+FOR_OFFICE = GOV["forOffice"]
+
+
+def govtrack_graph() -> DataGraph:
+    """The canonical Fig. 1 data graph (7 sources, 2 sinks, 14 paths)."""
+    graph = DataGraph(name="govtrack")
+    triples = [
+        # Amendments sponsored to bills (the p1-p6 chains).
+        (CARLA_BUNES, SPONSOR, A0056), (A0056, A_TO, B1432),
+        (JEFF_RYSER, SPONSOR, A1589), (A1589, A_TO, B0532),
+        (KEITH_FARMER, SPONSOR, A1232), (A1232, A_TO, B0045),
+        (JOHN_MCRIE, SPONSOR, A0772), (A0772, A_TO, B0045),
+        (JOHN_MCRIE, SPONSOR, A1232),
+        (PIERCE_DICKES, SPONSOR, A0467), (A0467, A_TO, B0532),
+        # Bills on Health Care.
+        (B1432, SUBJECT, HEALTH_CARE),
+        (B0532, SUBJECT, HEALTH_CARE),
+        (B0045, SUBJECT, HEALTH_CARE),
+        # Direct bill sponsorships (the p7-p10 chains).
+        (JEFF_RYSER, SPONSOR, B0045),
+        (PETER_TRAVES, SPONSOR, B0532),
+        (ALICE_NIMBER, SPONSOR, B1432),
+        (PIERCE_DICKES, SPONSOR, B1432),
+        # Genders (the p17-p20 chains).
+        (JEFF_RYSER, GENDER, MALE),
+        (KEITH_FARMER, GENDER, MALE),
+        (JOHN_MCRIE, GENDER, MALE),
+        (PIERCE_DICKES, GENDER, MALE),
+    ]
+    graph.add_triples(triples)
+    return graph
+
+
+def govtrack_figure_graph() -> DataGraph:
+    """Fig. 1 with the decorative role/office/Female nodes included."""
+    graph = govtrack_graph()
+    graph.name = "govtrack-figure"
+    term_mcrie = graph.add_node(Literal("Term 10/21/94"))
+    term_traves = graph.add_node(Literal("Term 10/21/94"))
+    senate_ny = graph.node_for(Literal("Senate NY"))
+    graph.add_edge(graph.node_for(JOHN_MCRIE), HAS_ROLE, term_mcrie)
+    graph.add_edge(graph.node_for(PETER_TRAVES), HAS_ROLE, term_traves)
+    graph.add_edge(term_mcrie, FOR_OFFICE, senate_ny)
+    graph.add_edge(term_traves, FOR_OFFICE, senate_ny)
+    graph.add_triple(CARLA_BUNES, GENDER, FEMALE)
+    graph.add_triple(ALICE_NIMBER, GENDER, FEMALE)
+    graph.add_triple(PETER_TRAVES, GENDER, MALE)
+    return graph
+
+
+def generate(triple_target: int, seed: int = 0) -> DataGraph:
+    """A scaled synthetic GovTrack (the Table 1 "GOV" row).
+
+    Persons sponsor bills and amendments, amendments amend bills, bills
+    carry subjects, persons have genders and hold terms for offices —
+    the schema of Fig. 1 grown to ``triple_target`` triples.
+    """
+    import random
+
+    from .base import EntityMinter, TripleBudget, person_name, pick
+
+    rng = random.Random(f"govtrack:{seed}:{triple_target}")
+    graph = DataGraph(name="govtrack-synthetic")
+    budget = TripleBudget(triple_target)
+    minter = EntityMinter(GOV)
+
+    subjects = [Literal(s) for s in (
+        "Health Care", "Education", "Defense", "Agriculture", "Energy",
+        "Taxation", "Transportation", "Immigration")]
+    offices = [Literal(f"Senate {state}") for state in (
+        "NY", "CA", "TX", "IL", "WA", "FL")]
+    genders = [MALE, FEMALE]
+
+    person_pool_size = max(4, triple_target // 12)
+    persons = []
+    for index in range(person_pool_size):
+        if budget.remaining < 3:
+            break
+        person = minter.mint("Person")
+        persons.append(person)
+        budget.add(graph, person, GENDER, genders[index % 2])
+        term = graph.add_node(Literal(f"Term {rng.randint(1, 12)}/"
+                                      f"{rng.randint(1, 28)}/"
+                                      f"{rng.randint(80, 99)}"))
+        graph.add_edge(graph.node_for(person), HAS_ROLE, term)
+        budget.charge()
+        graph.add_edge(term, FOR_OFFICE,
+                       graph.node_for(pick(rng, offices)))
+        budget.charge()
+
+    bills = []
+    while not budget.exhausted and persons:
+        bill = minter.mint("B")
+        bills.append(bill)
+        budget.add(graph, bill, SUBJECT, pick(rng, subjects))
+        budget.add(graph, pick(rng, persons), SPONSOR, bill)
+        for _ in range(rng.randint(0, 2)):
+            if budget.exhausted:
+                break
+            amendment = minter.mint("A")
+            budget.add(graph, pick(rng, persons), SPONSOR, amendment)
+            budget.add(graph, amendment, A_TO, bill)
+    return graph
+
+
+def query_q1() -> QueryGraph:
+    """Fig. 1(b): amendments by Carla Bunes to a Health Care bill
+    originally sponsored by a male person."""
+    query = QueryGraph(name="govtrack-q1")
+    query.add_triples([
+        (CARLA_BUNES, SPONSOR, "?v1"),
+        ("?v1", A_TO, "?v2"),
+        ("?v2", SUBJECT, HEALTH_CARE),
+        ("?v3", SPONSOR, "?v2"),
+        ("?v3", GENDER, MALE),
+    ])
+    return query
+
+
+def query_q2() -> QueryGraph:
+    """Fig. 1(c): Q1 with the sponsor/aTo chain relaxed to an unknown
+    relationship ?e1 between Carla Bunes and the bill."""
+    query = QueryGraph(name="govtrack-q2")
+    query.add_triples([
+        (CARLA_BUNES, "?e1", "?v2"),
+        ("?v2", SUBJECT, HEALTH_CARE),
+        ("?v3", SPONSOR, "?v2"),
+        ("?v3", GENDER, MALE),
+    ])
+    return query

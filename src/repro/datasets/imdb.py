@@ -1,0 +1,70 @@
+"""An IMDB / LinkedMDB shaped generator (movies, people, genres).
+
+Mirrors the triplified Linked Movie Database: films with directors,
+actors, genres, runtime and release years; people act in several films
+(shared-actor paths are what film queries navigate).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..rdf.graph import DataGraph
+from ..rdf.namespaces import Namespace, RDF
+from ..rdf.terms import Literal
+from .base import EntityMinter, TripleBudget, person_name, pick
+
+MOVIE = Namespace("http://data.linkedmdb.org/resource/movie/")
+
+FILM = MOVIE.Film
+ACTOR = MOVIE.Actor
+DIRECTOR = MOVIE.Director
+
+DIRECTED_BY = MOVIE.director
+STARRING = MOVIE.actor
+GENRE = MOVIE.genre
+TITLE = MOVIE.title
+RELEASE_YEAR = MOVIE.initial_release_date
+RUNTIME = MOVIE.runtime
+NAME = MOVIE.name
+
+_GENRES = ["Drama", "Comedy", "Thriller", "Documentary", "Animation",
+           "Science Fiction", "Romance", "Horror"]
+
+
+def generate(triple_target: int, seed: int = 0) -> DataGraph:
+    """Generate an IMDB-shaped graph of roughly ``triple_target`` triples."""
+    rng = random.Random(f"imdb:{seed}:{triple_target}")
+    graph = DataGraph(name="imdb")
+    budget = TripleBudget(triple_target)
+    minter = EntityMinter(MOVIE)
+
+    people_pool_size = max(6, triple_target // 20)
+    actors = []
+    directors = []
+    for index in range(people_pool_size):
+        if budget.remaining < 3:
+            break
+        if index % 4 == 0:
+            person = minter.mint("Director")
+            directors.append(person)
+            budget.add(graph, person, RDF.type, DIRECTOR)
+        else:
+            person = minter.mint("Actor")
+            actors.append(person)
+            budget.add(graph, person, RDF.type, ACTOR)
+        budget.add(graph, person, NAME, person_name(rng, index))
+
+    while not budget.exhausted and actors and directors:
+        film = minter.mint("Film")
+        number = minter.counters["Film"] - 1
+        budget.add(graph, film, RDF.type, FILM)
+        budget.add(graph, film, TITLE, Literal(f"Film {number}"))
+        budget.add(graph, film, DIRECTED_BY, pick(rng, directors))
+        for actor in rng.sample(actors, k=min(3, len(actors))):
+            budget.add(graph, film, STARRING, actor)
+        budget.add(graph, film, GENRE, Literal(pick(rng, _GENRES)))
+        budget.add(graph, film, RELEASE_YEAR,
+                   Literal(str(rng.randint(1950, 2012))))
+        budget.add(graph, film, RUNTIME, Literal(str(rng.randint(70, 200))))
+    return graph

@@ -1,0 +1,82 @@
+"""A KEGG-shaped generator (genes, enzymes, reactions, compounds, pathways).
+
+KEGG's RDF export links biology entities in long transformation chains:
+genes encode enzymes, enzymes catalyse reactions, reactions consume and
+produce compounds, and reactions belong to pathways.  The chains give
+the data graph the deep, narrow paths typical of biochemical networks
+(the domain most of the competing graph matchers were designed for).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..rdf.graph import DataGraph
+from ..rdf.namespaces import Namespace, RDF
+from ..rdf.terms import Literal
+from .base import EntityMinter, TripleBudget, pick
+
+KEGG = Namespace("http://bio2rdf.org/kegg/")
+
+GENE = KEGG.Gene
+ENZYME = KEGG.Enzyme
+REACTION = KEGG.Reaction
+COMPOUND = KEGG.Compound
+PATHWAY = KEGG.Pathway
+
+ENCODES = KEGG.encodes
+CATALYZES = KEGG.catalyzes
+SUBSTRATE = KEGG.substrate
+PRODUCT = KEGG.product
+PART_OF = KEGG.partOfPathway
+NAME = KEGG.name
+
+_PATHWAY_NAMES = ["Glycolysis", "Citrate cycle", "Fatty acid synthesis",
+                  "Purine metabolism", "Amino sugar metabolism",
+                  "Oxidative phosphorylation"]
+
+
+def generate(triple_target: int, seed: int = 0) -> DataGraph:
+    """Generate a KEGG-shaped graph of roughly ``triple_target`` triples."""
+    rng = random.Random(f"kegg:{seed}:{triple_target}")
+    graph = DataGraph(name="kegg")
+    budget = TripleBudget(triple_target)
+    minter = EntityMinter(KEGG)
+
+    pathways = []
+    for name in _PATHWAY_NAMES:
+        if budget.remaining < 2:
+            break
+        pathway = minter.mint("Pathway")
+        pathways.append(pathway)
+        budget.add(graph, pathway, RDF.type, PATHWAY)
+        budget.add(graph, pathway, NAME, Literal(name))
+
+    compound_pool_size = max(4, triple_target // 12)
+    compounds = []
+    for index in range(compound_pool_size):
+        if budget.remaining < 2:
+            break
+        compound = minter.mint("Compound")
+        compounds.append(compound)
+        budget.add(graph, compound, RDF.type, COMPOUND)
+        budget.add(graph, compound, NAME, Literal(f"C{index:05d}"))
+
+    while not budget.exhausted and compounds and pathways:
+        gene = minter.mint("Gene")
+        budget.add(graph, gene, RDF.type, GENE)
+        budget.add(graph, gene, NAME,
+                   Literal(f"gene{minter.counters['Gene'] - 1}"))
+        enzyme = minter.mint("Enzyme")
+        budget.add(graph, enzyme, RDF.type, ENZYME)
+        budget.add(graph, gene, ENCODES, enzyme)
+        for _ in range(rng.randint(1, 2)):
+            if budget.exhausted:
+                break
+            reaction = minter.mint("Reaction")
+            budget.add(graph, reaction, RDF.type, REACTION)
+            budget.add(graph, enzyme, CATALYZES, reaction)
+            budget.add(graph, reaction, SUBSTRATE, pick(rng, compounds))
+            budget.add(graph, reaction, PRODUCT, pick(rng, compounds))
+            budget.add(graph, reaction, PART_OF, pick(rng, pathways))
+    return graph

@@ -1,0 +1,173 @@
+"""A LUBM-shaped generator (Guo, Pan & Heflin's university benchmark).
+
+LUBM describes universities: departments, faculty (full / associate /
+assistant professors, lecturers), students, courses, publications and
+research groups, linked by the ``univ-bench`` ontology's predicates.
+The original generator scales by number of universities; ours scales by
+a triple budget so Table 1 rows regenerate at any size, but it keeps
+the benchmark's structure: every department hangs off a university,
+faculty teach courses and head departments, students take courses and
+have advisors, publications have faculty authors.
+
+The graph this produces is the workload of Figures 6–9: the 12
+benchmark queries in :mod:`repro.datasets.lubm_queries` run against it.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..rdf.graph import DataGraph
+from ..rdf.namespaces import RDF, UB
+from ..rdf.terms import Literal
+from .base import EntityMinter, TripleBudget, person_name, pick
+
+# Entity classes.
+UNIVERSITY = UB.University
+DEPARTMENT = UB.Department
+FULL_PROFESSOR = UB.FullProfessor
+ASSOCIATE_PROFESSOR = UB.AssociateProfessor
+ASSISTANT_PROFESSOR = UB.AssistantProfessor
+LECTURER = UB.Lecturer
+GRADUATE_STUDENT = UB.GraduateStudent
+UNDERGRADUATE_STUDENT = UB.UndergraduateStudent
+COURSE = UB.Course
+GRADUATE_COURSE = UB.GraduateCourse
+PUBLICATION = UB.Publication
+RESEARCH_GROUP = UB.ResearchGroup
+
+# Predicates.
+SUB_ORGANIZATION_OF = UB.subOrganizationOf
+WORKS_FOR = UB.worksFor
+HEAD_OF = UB.headOf
+MEMBER_OF = UB.memberOf
+ADVISOR = UB.advisor
+TAKES_COURSE = UB.takesCourse
+TEACHER_OF = UB.teacherOf
+PUBLICATION_AUTHOR = UB.publicationAuthor
+UNDERGRAD_DEGREE_FROM = UB.undergraduateDegreeFrom
+MASTERS_DEGREE_FROM = UB.mastersDegreeFrom
+DOCTORAL_DEGREE_FROM = UB.doctoralDegreeFrom
+NAME = UB.name
+EMAIL = UB.emailAddress
+RESEARCH_INTEREST = UB.researchInterest
+
+_FACULTY_TYPES = [FULL_PROFESSOR, ASSOCIATE_PROFESSOR,
+                  ASSISTANT_PROFESSOR, LECTURER]
+
+_RESEARCH_AREAS = [
+    "Databases", "Semantic Web", "Graph Theory", "Machine Learning",
+    "Operating Systems", "Networks", "Information Retrieval",
+    "Query Processing", "Data Integration", "Knowledge Representation",
+]
+
+# Per-department entity proportions (faculty : grads : undergrads :
+# courses : publications per faculty), loosely LUBM's own ratios.
+_FACULTY_PER_DEPT = 6
+_GRADS_PER_DEPT = 8
+_UNDERGRADS_PER_DEPT = 12
+_COURSES_PER_DEPT = 8
+_PUBS_PER_FACULTY = 2
+
+
+def generate(triple_target: int, seed: int = 0) -> DataGraph:
+    """Generate a LUBM-shaped graph of roughly ``triple_target`` triples."""
+    # Seed with a string: random.Random(tuple) would go through hash(),
+    # which PYTHONHASHSEED randomises across processes.
+    rng = random.Random(f"lubm:{seed}:{triple_target}")
+    graph = DataGraph(name="lubm")
+    budget = TripleBudget(triple_target)
+    minter = EntityMinter(UB)
+
+    universities: list = []
+    while not budget.exhausted:
+        university = minter.mint("University")
+        universities.append(university)
+        budget.add(graph, university, RDF.type, UNIVERSITY)
+        budget.add(graph, university, NAME,
+                   Literal(f"University{len(universities) - 1}"))
+        departments_here = rng.randint(2, 4)
+        for _ in range(departments_here):
+            if budget.exhausted:
+                break
+            _generate_department(graph, budget, rng, minter,
+                                 university, universities)
+    return graph
+
+
+def _generate_department(graph: DataGraph, budget: TripleBudget,
+                         rng: random.Random, minter: EntityMinter,
+                         university, universities) -> None:
+    department = minter.mint("Department")
+    budget.add(graph, department, RDF.type, DEPARTMENT)
+    budget.add(graph, department, SUB_ORGANIZATION_OF, university)
+
+    group = minter.mint("ResearchGroup")
+    budget.add(graph, group, RDF.type, RESEARCH_GROUP)
+    budget.add(graph, group, SUB_ORGANIZATION_OF, department)
+
+    faculty = []
+    for position in range(_FACULTY_PER_DEPT):
+        if budget.exhausted:
+            return
+        member = minter.mint("Faculty")
+        faculty.append(member)
+        faculty_type = _FACULTY_TYPES[position % len(_FACULTY_TYPES)]
+        budget.add(graph, member, RDF.type, faculty_type)
+        budget.add(graph, member, WORKS_FOR, department)
+        budget.add(graph, member, NAME, person_name(rng, position))
+        budget.add(graph, member, EMAIL,
+                   Literal(f"{member.local_name.lower()}@example.edu"))
+        budget.add(graph, member, RESEARCH_INTEREST,
+                   Literal(pick(rng, _RESEARCH_AREAS)))
+        budget.add(graph, member, DOCTORAL_DEGREE_FROM,
+                   pick(rng, universities))
+        if position == 0:
+            budget.add(graph, member, HEAD_OF, department)
+
+    courses = []
+    for number in range(_COURSES_PER_DEPT):
+        if budget.exhausted:
+            return
+        kind = GRADUATE_COURSE if number % 2 else COURSE
+        course = minter.mint("Course")
+        courses.append(course)
+        budget.add(graph, course, RDF.type, kind)
+        budget.add(graph, course, NAME,
+                   Literal(f"Course{minter.counters['Course'] - 1}"))
+        if faculty:
+            budget.add(graph, pick(rng, faculty), TEACHER_OF, course)
+
+    for _ in range(_GRADS_PER_DEPT):
+        if budget.exhausted:
+            return
+        student = minter.mint("GraduateStudent")
+        budget.add(graph, student, RDF.type, GRADUATE_STUDENT)
+        budget.add(graph, student, MEMBER_OF, department)
+        budget.add(graph, student, NAME,
+                   person_name(rng, minter.counters["GraduateStudent"]))
+        budget.add(graph, student, UNDERGRAD_DEGREE_FROM,
+                   pick(rng, universities))
+        if faculty:
+            budget.add(graph, student, ADVISOR, pick(rng, faculty))
+        for course in rng.sample(courses, k=min(2, len(courses))):
+            budget.add(graph, student, TAKES_COURSE, course)
+
+    for _ in range(_UNDERGRADS_PER_DEPT):
+        if budget.exhausted:
+            return
+        student = minter.mint("UndergraduateStudent")
+        budget.add(graph, student, RDF.type, UNDERGRADUATE_STUDENT)
+        budget.add(graph, student, MEMBER_OF, department)
+        for course in rng.sample(courses, k=min(3, len(courses))):
+            budget.add(graph, student, TAKES_COURSE, course)
+
+    for member in faculty:
+        for _ in range(_PUBS_PER_FACULTY):
+            if budget.exhausted:
+                return
+            publication = minter.mint("Publication")
+            budget.add(graph, publication, RDF.type, PUBLICATION)
+            budget.add(graph, publication, PUBLICATION_AUTHOR, member)
+            budget.add(graph, publication, NAME,
+                       Literal(f"Publication{minter.counters['Publication'] - 1}"))

@@ -1,0 +1,227 @@
+"""The 12 benchmark queries of §6.2, over the LUBM vocabulary.
+
+The paper formulates "12 queries in SPARQL of different complexities
+(i.e. number of nodes, edges and variables)" per dataset and publishes
+the LUBM results; the complexity ranges are visible in Fig. 7 (queries
+of 3–23 nodes and 1–7 variables).  These queries span exactly those
+ranges, from a 3-node 1-variable lookup (Q1) to a 23-node 7-variable
+pattern (Q12).  Several (Q7, Q10, Q12) intentionally reference labels
+or structures with no exact occurrence in the generated data, so the
+approximate systems have relaxation work to do — the situation Fig. 8
+and Fig. 9 measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from ..rdf.graph import QueryGraph
+from ..rdf.sparql import parse_select
+
+_PREFIXES = """
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>
+"""
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One benchmark query: id, SPARQL text, and what it asks."""
+
+    qid: str
+    sparql: str
+    description: str
+
+    @cached_property
+    def graph(self) -> QueryGraph:
+        return parse_select(self.sparql).graph(name=self.qid)
+
+    @property
+    def node_count(self) -> int:
+        return self.graph.node_count()
+
+    @property
+    def edge_count(self) -> int:
+        return self.graph.edge_count()
+
+    @property
+    def variable_count(self) -> int:
+        return len(self.graph.variables())
+
+    def __str__(self):
+        return (f"{self.qid}: |N|={self.node_count} |E|={self.edge_count} "
+                f"vars={self.variable_count} — {self.description}")
+
+
+def lubm_queries() -> list[QuerySpec]:
+    """Q1–Q12 in increasing structural complexity."""
+    specs = [
+        QuerySpec("Q1", _PREFIXES + """
+            SELECT ?x WHERE {
+                ?x rdf:type ub:FullProfessor .
+                ?x ub:researchInterest "Databases" .
+            }""", "full professors interested in databases"),
+
+        QuerySpec("Q2", _PREFIXES + """
+            SELECT ?s WHERE {
+                ?s rdf:type ub:GraduateStudent .
+                ?s ub:undergraduateDegreeFrom ub:University0 .
+                ?s ub:memberOf ub:Department0 .
+            }""", "graduate students of Department0 with a University0 degree"),
+
+        QuerySpec("Q3", _PREFIXES + """
+            SELECT ?s ?p WHERE {
+                ?s rdf:type ub:GraduateStudent .
+                ?s ub:advisor ?p .
+                ?p rdf:type ub:FullProfessor .
+                ?p ub:worksFor ub:Department1 .
+            }""", "students advised by full professors of Department1"),
+
+        QuerySpec("Q4", _PREFIXES + """
+            SELECT ?x ?c WHERE {
+                ?x rdf:type ub:AssociateProfessor .
+                ?x ub:teacherOf ?c .
+                ?c rdf:type ub:GraduateCourse .
+                ?x ub:worksFor ub:Department0 .
+                ?x ub:researchInterest "Semantic Web" .
+            }""", "associate professors of Department0 teaching a graduate "
+                  "course, interested in the semantic web"),
+
+        QuerySpec("Q5", _PREFIXES + """
+            SELECT ?s ?p ?c WHERE {
+                ?s rdf:type ub:GraduateStudent .
+                ?s ub:advisor ?p .
+                ?s ub:takesCourse ?c .
+                ?p ub:teacherOf ?c .
+                ?p rdf:type ub:FullProfessor .
+                ?c rdf:type ub:GraduateCourse .
+                ?s ub:memberOf ub:Department0 .
+            }""", "the classic LUBM triangle: student taking the course "
+                  "their own advisor teaches"),
+
+        QuerySpec("Q6", _PREFIXES + """
+            SELECT ?pub ?a ?d WHERE {
+                ?pub rdf:type ub:Publication .
+                ?pub ub:publicationAuthor ?a .
+                ?a rdf:type ub:FullProfessor .
+                ?a ub:researchInterest "Databases" .
+                ?a ub:worksFor ?d .
+                ?d rdf:type ub:Department .
+                ?d ub:subOrganizationOf ub:University0 .
+            }""", "publications of database professors at University0"),
+
+        QuerySpec("Q7", _PREFIXES + """
+            SELECT ?s ?p ?c ?d WHERE {
+                ?s rdf:type ub:GraduateStudent .
+                ?s ub:advisor ?p .
+                ?s ub:takesCourse ?c .
+                ?p ub:teacherOf ?c .
+                ?p rdf:type ub:Lecturer .
+                ?p ub:researchInterest "Graph Theory" .
+                ?s ub:memberOf ?d .
+                ?d rdf:type ub:Department .
+                ?d ub:subOrganizationOf ub:University1 .
+            }""", "the Q5 triangle anchored on a lecturer (approximate: "
+                  "lecturers rarely both advise and teach the same student)"),
+
+        QuerySpec("Q8", _PREFIXES + """
+            SELECT ?a ?b ?pub ?d WHERE {
+                ?pub rdf:type ub:Publication .
+                ?pub ub:publicationAuthor ?a .
+                ?pub ub:publicationAuthor ?b .
+                ?a rdf:type ub:FullProfessor .
+                ?b rdf:type ub:AssistantProfessor .
+                ?a ub:worksFor ?d .
+                ?b ub:worksFor ?d .
+                ?d rdf:type ub:Department .
+                ?d ub:subOrganizationOf ub:University0 .
+                ?a ub:researchInterest "Machine Learning" .
+            }""", "co-authored publications across ranks in one department "
+                  "(approximate: generated publications are single-author)"),
+
+        QuerySpec("Q9", _PREFIXES + """
+            SELECT ?s ?c1 ?c2 ?p1 ?p2 WHERE {
+                ?s rdf:type ub:UndergraduateStudent .
+                ?s ub:takesCourse ?c1 .
+                ?s ub:takesCourse ?c2 .
+                ?p1 ub:teacherOf ?c1 .
+                ?p2 ub:teacherOf ?c2 .
+                ?p1 rdf:type ub:FullProfessor .
+                ?p2 rdf:type ub:AssociateProfessor .
+                ?p1 ub:worksFor ub:Department0 .
+                ?p2 ub:worksFor ub:Department0 .
+                ?s ub:memberOf ub:Department0 .
+            }""", "an undergraduate taking courses from two ranks of "
+                  "professor in the same department"),
+
+        QuerySpec("Q10", _PREFIXES + """
+            SELECT ?s ?p ?c ?d ?u WHERE {
+                ?s rdf:type ub:GraduateStudent .
+                ?s ub:advisor ?p .
+                ?s ub:takesCourse ?c .
+                ?p ub:teacherOf ?c .
+                ?p rdf:type ub:FullProfessor .
+                ?p ub:researchInterest "Query Processing" .
+                ?p ub:doctoralDegreeFrom ?u .
+                ?s ub:undergraduateDegreeFrom ?u .
+                ?u rdf:type ub:University .
+                ?s ub:memberOf ?d .
+                ?p ub:worksFor ?d .
+                ?d rdf:type ub:Department .
+            }""", "advisor and student sharing an alma mater (approximate: "
+                  "degree sources are independent in the data)"),
+
+        QuerySpec("Q11", _PREFIXES + """
+            SELECT ?pub1 ?pub2 ?a ?s ?c ?d WHERE {
+                ?pub1 rdf:type ub:Publication .
+                ?pub2 rdf:type ub:Publication .
+                ?pub1 ub:publicationAuthor ?a .
+                ?pub2 ub:publicationAuthor ?a .
+                ?a rdf:type ub:FullProfessor .
+                ?a ub:teacherOf ?c .
+                ?c rdf:type ub:GraduateCourse .
+                ?s ub:takesCourse ?c .
+                ?s rdf:type ub:GraduateStudent .
+                ?s ub:advisor ?a .
+                ?a ub:worksFor ?d .
+                ?s ub:memberOf ?d .
+                ?d rdf:type ub:Department .
+                ?d ub:subOrganizationOf ub:University0 .
+                ?a ub:researchInterest "Databases" .
+            }""", "a prolific database professor with their advisee and "
+                  "course, all within University0"),
+
+        QuerySpec("Q12", _PREFIXES + """
+            SELECT ?s1 ?s2 ?p ?c1 ?c2 ?d ?u WHERE {
+                ?s1 rdf:type ub:GraduateStudent .
+                ?s2 rdf:type ub:GraduateStudent .
+                ?s1 ub:advisor ?p .
+                ?s2 ub:advisor ?p .
+                ?p rdf:type ub:FullProfessor .
+                ?p ub:teacherOf ?c1 .
+                ?p ub:teacherOf ?c2 .
+                ?s1 ub:takesCourse ?c1 .
+                ?s2 ub:takesCourse ?c2 .
+                ?c1 rdf:type ub:GraduateCourse .
+                ?c2 rdf:type ub:GraduateCourse .
+                ?s1 ub:memberOf ?d .
+                ?s2 ub:memberOf ?d .
+                ?p ub:worksFor ?d .
+                ?d rdf:type ub:Department .
+                ?d ub:subOrganizationOf ?u .
+                ?u rdf:type ub:University .
+                ?p ub:researchInterest "Information Retrieval" .
+                ?p ub:emailAddress "faculty0@example.edu" .
+            }""", "two advisees of one IR professor, each taking one of the "
+                  "professor's graduate courses (largest pattern)"),
+    ]
+    return specs
+
+
+def query_by_id(qid: str) -> QuerySpec:
+    """Look up one of Q1–Q12 by its id."""
+    for spec in lubm_queries():
+        if spec.qid == qid:
+            return spec
+    raise KeyError(f"unknown query id {qid!r}")

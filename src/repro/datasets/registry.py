@@ -1,0 +1,47 @@
+"""The dataset registry: Table 1's eight datasets with scaled defaults.
+
+Default sizes preserve the paper's ordering (PBlog smallest … DBLP
+largest) at laptop scale; pass an explicit ``triple_target`` to
+:meth:`DatasetSpec.build` for other sizes.
+"""
+
+from __future__ import annotations
+
+from . import berlin, dblp, govtrack, imdb, kegg, lubm, pblog, uobm
+from .base import DatasetSpec
+
+#: Table 1 rows in the paper's order.
+DATASETS: dict[str, DatasetSpec] = {
+    spec.name: spec for spec in [
+        DatasetSpec("pblog", pblog.generate, 1_000, "50K",
+                    "political blogosphere (cyclic, hub-heavy)"),
+        DatasetSpec("gov", govtrack.generate, 3_000, "1M",
+                    "US Congress bills, amendments, sponsors"),
+        DatasetSpec("kegg", kegg.generate, 4_000, "1M",
+                    "biochemical pathways (deep chains)"),
+        DatasetSpec("berlin", berlin.generate, 5_000, "1M",
+                    "BSBM e-commerce (products, offers, reviews)"),
+        DatasetSpec("imdb", imdb.generate, 8_000, "6M",
+                    "linked movie database"),
+        DatasetSpec("lubm", lubm.generate, 12_000, "12M",
+                    "university benchmark (the Fig. 6-9 workload)"),
+        DatasetSpec("uobm", uobm.generate, 12_000, "12M",
+                    "LUBM with inter-university cross links"),
+        DatasetSpec("dblp", dblp.generate, 20_000, "26M",
+                    "bibliography with citations"),
+    ]
+}
+
+
+def dataset(name: str) -> DatasetSpec:
+    """Look up a dataset spec by its Table 1 name (case-insensitive)."""
+    key = name.lower()
+    if key not in DATASETS:
+        raise KeyError(f"unknown dataset {name!r}; "
+                       f"known: {', '.join(DATASETS)}")
+    return DATASETS[key]
+
+
+def all_datasets() -> list[DatasetSpec]:
+    """The eight Table 1 datasets, in the paper's row order."""
+    return list(DATASETS.values())

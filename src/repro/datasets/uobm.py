@@ -1,0 +1,71 @@
+"""A UOBM-shaped generator (the University Ontology Benchmark).
+
+UOBM extends LUBM with *inter-university* links — students with degrees
+from several universities, faculty who are alumni elsewhere, and
+cross-department friendships — precisely to break LUBM's neat
+tree-per-university structure.  The generator reuses the LUBM
+vocabulary and adds those denser cross links, so its graphs have the
+same scale as LUBM (Table 1 lists both at 12M) but more intertwined
+paths.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..rdf.graph import DataGraph
+from ..rdf.namespaces import Namespace, UB
+from ..rdf.terms import URI
+from . import lubm
+from .base import TripleBudget, pick
+
+UOBM = Namespace("http://semantics.crl.ibm.com/univ-bench-dl.owl#")
+
+IS_FRIEND_OF = UOBM.isFriendOf
+HAS_ALUMNUS = UOBM.hasAlumnus
+LIKES_COURSE = UOBM.like
+
+# Share of the budget reserved for the UOBM-specific cross links.
+_CROSS_LINK_SHARE = 0.25
+
+
+def generate(triple_target: int, seed: int = 0) -> DataGraph:
+    """Generate a UOBM-shaped graph of roughly ``triple_target`` triples."""
+    rng = random.Random(f"uobm:{seed}:{triple_target}")
+    cross_budget_size = max(1, int(triple_target * _CROSS_LINK_SHARE))
+    graph = lubm.generate(triple_target - cross_budget_size, seed=seed)
+    graph.name = "uobm"
+    budget = TripleBudget(cross_budget_size)
+
+    people = _nodes_of_kind(graph, ("Faculty", "GraduateStudent",
+                                    "UndergraduateStudent"))
+    universities = _nodes_of_kind(graph, ("University",))
+    courses = _nodes_of_kind(graph, ("Course",))
+
+    if len(people) >= 2:
+        while not budget.exhausted:
+            person = pick(rng, people)
+            roll = rng.random()
+            if roll < 0.5:
+                friend = pick(rng, people)
+                if friend != person:
+                    budget.add(graph, person, IS_FRIEND_OF, friend)
+            elif roll < 0.8 and universities:
+                budget.add(graph, pick(rng, universities),
+                           HAS_ALUMNUS, person)
+            elif courses:
+                budget.add(graph, person, LIKES_COURSE, pick(rng, courses))
+            else:
+                break
+    return graph
+
+
+def _nodes_of_kind(graph: DataGraph, prefixes: tuple[str, ...]) -> list[URI]:
+    """LUBM entity URIs whose local name starts with one of ``prefixes``."""
+    found = []
+    for label in graph.node_labels():
+        if isinstance(label, URI) and label.value.startswith(UB.prefix):
+            local = label.local_name
+            if local.startswith(prefixes) and local[-1].isdigit():
+                found.append(label)
+    return sorted(found)

@@ -1,0 +1,141 @@
+"""Answers: scored combinations of data paths (Definition 3 made concrete).
+
+An :class:`Answer` holds one cluster entry per query path (or ``None``
+where no candidate covered a query path), the Λ / Ψ breakdown of its
+score, and enough structure to materialise the answer subgraph ``G'``
+and the variable bindings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..paths.model import Path
+from ..paths.substitution import BindingConflict, Substitution
+from ..rdf.graph import DataGraph
+from .clustering import ClusterEntry
+
+
+@dataclass(frozen=True)
+class Answer:
+    """One ranked answer of the top-k search."""
+
+    entries: tuple["ClusterEntry | None", ...]
+    query_paths: tuple[Path, ...]
+    quality: float         # Λ(a, Q)
+    conformity: float      # Ψ(a, Q)
+    #: IG pairs whose data paths share no node (ties broken on this;
+    #: see repro.engine.search._ConformityOracle.evaluate).
+    broken_pairs: int = 0
+
+    @property
+    def score(self) -> float:
+        """score(a, Q) = Λ + Ψ; lower is more relevant."""
+        return self.quality + self.conformity
+
+    @property
+    def matched_count(self) -> int:
+        """How many query paths found a data path."""
+        return sum(1 for entry in self.entries if entry is not None)
+
+    @property
+    def is_complete(self) -> bool:
+        """True when every query path is covered."""
+        return self.matched_count == len(self.entries)
+
+    @property
+    def is_exact(self) -> bool:
+        """True for exact answers: every alignment a pure substitution
+        and perfectly conforming combination (Ψ at its floor)."""
+        return (self.is_complete
+                and all(entry.alignment.is_exact for entry in self.entries))
+
+    def paths(self) -> list[Path]:
+        """The data paths of the answer (covered query paths only)."""
+        return [entry.path for entry in self.entries if entry is not None]
+
+    def offsets(self) -> tuple["int | None", ...]:
+        """Index offsets of the chosen paths (``None`` = uncovered)."""
+        return tuple(entry.offset if entry is not None else None
+                     for entry in self.entries)
+
+    def signature(self) -> frozenset:
+        """A dedup key: the set of label triples the answer covers."""
+        triples = set()
+        for path in self.paths():
+            triples.update(path.triples())
+        return frozenset(triples)
+
+    def subgraph(self) -> DataGraph:
+        """Materialise the answer as a data graph ``G' ⊆ G``.
+
+        Nodes are merged by their original graph identifiers when the
+        paths carry them (paths extracted from a data graph always do),
+        so shared nodes like the paper's ``B1432`` appear once.
+        """
+        graph = DataGraph(name="answer")
+        id_map: dict[int, int] = {}
+        anonymous = 0
+        for path in self.paths():
+            previous = None
+            for position, label in enumerate(path.nodes):
+                if path.node_ids is not None:
+                    original = path.node_ids[position]
+                    node = id_map.get(original)
+                    if node is None:
+                        node = graph.add_node(label)
+                        id_map[original] = node
+                else:
+                    node = graph.add_node(label)
+                    anonymous += 1
+                if previous is not None:
+                    graph.add_edge(previous, path.edges[position - 1], node)
+                previous = node
+        return graph
+
+    def substitution(self, strict: bool = False) -> "Substitution | None":
+        """The merged variable bindings across all aligned paths.
+
+        Different paths may bind a shared variable to different
+        constants (the combination is then *incoherent*; the paper
+        penalises it through conformity rather than rejecting it).
+        With ``strict=False`` the first binding wins and the answer
+        still reports a substitution; with ``strict=True`` an
+        incoherent combination yields ``None``.
+        """
+        merged = Substitution()
+        for entry in self.entries:
+            if entry is None:
+                continue
+            try:
+                merged = merged.merge(entry.alignment.substitution)
+            except BindingConflict:
+                if strict:
+                    return None
+                for variable, value in entry.alignment.substitution.items():
+                    if variable not in merged:
+                        merged = merged.bind(variable, value)
+        return merged
+
+    @property
+    def is_coherent(self) -> bool:
+        """True when all paths agree on every shared variable."""
+        return self.substitution(strict=True) is not None
+
+    def describe(self) -> str:
+        """Multi-line summary for examples and debugging."""
+        lines = [f"answer score={self.score:.3f} "
+                 f"(Λ={self.quality:.3f}, Ψ={self.conformity:.3f})"]
+        for query_path, entry in zip(self.query_paths, self.entries):
+            if entry is None:
+                lines.append(f"  {query_path}  ->  (uncovered)")
+            else:
+                lines.append(f"  {query_path}  ->  {entry.path} "
+                             f"[λ={entry.score:g}]")
+        bindings = self.substitution()
+        if bindings:
+            lines.append(f"  bindings: {bindings}")
+        return "\n".join(lines)
+
+    def __str__(self):
+        return self.describe()

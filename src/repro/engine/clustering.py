@@ -1,0 +1,184 @@
+"""Clustering (§5, step 2): one ranked cluster of data paths per query path.
+
+For every query path ``q`` the engine retrieves candidate data paths
+from the index — by sink when ``q`` ends in a constant, otherwise by
+the first constant found scanning backwards from the sink — evaluates
+the alignment of each candidate, and keeps the cluster ordered by λ
+score, best (lowest) first.  A data path may appear in several clusters
+with different scores (``p1`` scores 0 in ``cl1`` and 1.5 in ``cl2`` in
+the paper's Fig. 3), which is exactly what happens here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..index.pathindex import PathIndex
+from ..paths.alignment import Alignment, LabelMatcher, align, exact_match
+from ..paths.model import Path
+from ..scoring.quality import lambda_cost
+from ..scoring.weights import PAPER_WEIGHTS, ScoringWeights
+from .preprocess import PreparedQuery
+
+
+@dataclass(frozen=True)
+class ClusterEntry:
+    """One candidate data path in a cluster, with its alignment and λ.
+
+    ``path`` may be a *prefix* of the stored path when the query path's
+    sink matched mid-path (see :func:`build_clusters`); ``offset`` still
+    identifies the stored path.  ``uid`` is a small integer unique
+    within one clustering run — the search keys its pairwise-ψ cache on
+    it (cheaper than hashing (offset, prefix-length) tuples millions of
+    times).
+    """
+
+    offset: int
+    path: Path
+    alignment: Alignment
+    score: float
+    uid: int = -1
+
+    @property
+    def cache_key(self) -> tuple[int, int]:
+        return (self.offset, self.path.length)
+
+    def __str__(self):
+        return f"{self.path} [{self.score:g}]"
+
+
+@dataclass
+class Cluster:
+    """All candidates for one query path, sorted best-first by λ.
+
+    ``missing_penalty`` is the λ charged when a combination leaves this
+    query path uncovered (the cluster may be empty, or search may run
+    past its end): every node and edge of the query path is priced as a
+    mismatch.  The paper does not spell this case out; see DESIGN.md.
+    """
+
+    query_path: Path
+    entries: list[ClusterEntry]
+    missing_penalty: float
+
+    def __len__(self):
+        return len(self.entries)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.entries
+
+    def best(self) -> "ClusterEntry | None":
+        return self.entries[0] if self.entries else None
+
+    def score_at(self, index: int) -> float:
+        """λ of the ``index``-th entry, or the missing penalty past the end."""
+        if index < len(self.entries):
+            return self.entries[index].score
+        return self.missing_penalty
+
+
+def _prefix_at_anchor(path: Path, anchor, matcher: LabelMatcher) -> "Path | None":
+    """The longest prefix of ``path`` ending at a node matching ``anchor``.
+
+    Returns ``None`` when no node matches (the candidate matched the
+    containment lookup through an edge label or a token; it cannot be
+    sink-anchored, so it is dropped).
+    """
+    for position in range(path.length - 1, -1, -1):
+        node = path.nodes[position]
+        if node == anchor or matcher(node, anchor):
+            return path.prefix(position + 1)
+    return None
+
+
+def missing_path_penalty(query_path: Path,
+                         weights: ScoringWeights = PAPER_WEIGHTS) -> float:
+    """λ-equivalent cost of leaving a query path completely unmatched.
+
+    Prices every node as a node mismatch (a) and every edge as an edge
+    mismatch (c) — the cost an answer would pay if a data path existed
+    but agreed on nothing.  This keeps "no path at all" comparable to,
+    and never cheaper than, "a bad path".
+    """
+    return (weights.node_mismatch * query_path.length
+            + weights.edge_mismatch * len(query_path.edges))
+
+
+def build_clusters(prepared: PreparedQuery, index: PathIndex,
+                   weights: ScoringWeights = PAPER_WEIGHTS,
+                   matcher: LabelMatcher = exact_match,
+                   semantic_lookup: bool = True,
+                   max_cluster_size: "int | None" = None) -> list[Cluster]:
+    """Build one cluster per query path of ``prepared``.
+
+    ``semantic_lookup`` controls whether index retrieval may widen
+    labels through the thesaurus; ``matcher`` is the label comparison
+    used inside alignments (they are deliberately independent: lookup
+    recall and alignment cost are different dials).  ``max_cluster_size``
+    truncates each cluster after sorting, bounding search work at a
+    possible loss of answers beyond the cut.
+    """
+    clusters = []
+    next_uid = 0
+    # Prefix-trimmed candidates of the same stored path must share a
+    # uid only when the prefix matches; key the uid pool accordingly.
+    uid_pool: dict[tuple[int, int], int] = {}
+    for position, query_path in enumerate(prepared.paths):
+        candidates = prepared.anchor_lists[position]
+        trim_to_anchor = False
+        anchor = None
+        offsets: list[int] = []
+        if not candidates:
+            # Fully-variable query path: every indexed path is a candidate.
+            offsets = index.all_offsets()
+        else:
+            # Walk the anchor fallbacks: sink first (by sink lookup,
+            # then containment with trimming — the sink may be a
+            # mid-graph entity like a department), then earlier
+            # constants by containment (a constant that occurs nowhere
+            # in the data anchors through the next one — that query
+            # still deserves approximate answers).
+            for position_in_list, anchor in enumerate(candidates):
+                if position_in_list == 0 and anchor == query_path.sink:
+                    offsets = index.offsets_with_sink(
+                        anchor, semantic=semantic_lookup)
+                    if offsets:
+                        break
+                    offsets = index.offsets_containing(
+                        anchor, semantic=semantic_lookup)
+                    if offsets:
+                        # Alignment is sink-anchored (§4.3): cut the
+                        # candidate at the matched anchor.
+                        trim_to_anchor = True
+                        break
+                else:
+                    offsets = index.offsets_containing(
+                        anchor, semantic=semantic_lookup)
+                    if offsets:
+                        break
+        entries = []
+        for offset in offsets:
+            path = index.path_at(offset)
+            if trim_to_anchor:
+                path = _prefix_at_anchor(path, anchor, matcher)
+                if path is None:
+                    continue
+            alignment = align(path, query_path, matcher)
+            uid_key = (offset, path.length)
+            uid = uid_pool.get(uid_key)
+            if uid is None:
+                uid = next_uid
+                uid_pool[uid_key] = uid
+                next_uid += 1
+            entries.append(ClusterEntry(
+                offset=offset, path=path, alignment=alignment,
+                score=lambda_cost(alignment.counts, weights), uid=uid))
+        # Best (lowest λ) first; offset breaks ties deterministically.
+        entries.sort(key=lambda entry: (entry.score, entry.offset))
+        if max_cluster_size is not None:
+            entries = entries[:max_cluster_size]
+        clusters.append(Cluster(
+            query_path=query_path, entries=entries,
+            missing_penalty=missing_path_penalty(query_path, weights)))
+    return clusters

@@ -1,0 +1,111 @@
+"""The forest of paths (§5, Fig. 4).
+
+During search the engine conceptually organises candidate combinations
+in a forest: nodes are retrieved data paths, and an edge between two
+paths (drawn from clusters ``cl_i`` and ``cl_j`` whose query paths
+intersect) is labelled ``(q_i, q_j): [degree]`` with the conformity
+degree of the pair — 1.0 for perfectly conforming pairs, lower for
+deficient ones (the paper draws those dashed).
+
+The production search (``repro.engine.search``) explores the
+combination lattice directly; this module materialises the forest
+explicitly for explanation, visualisation and the Fig. 4 tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..paths.intersection import IntersectionGraph
+from ..scoring.conformity import conformity_degree
+from .clustering import Cluster, ClusterEntry
+
+
+@dataclass(frozen=True)
+class ForestEdge:
+    """An edge of the forest: two entries and their conformity degree."""
+
+    cluster_a: int
+    entry_a: ClusterEntry
+    cluster_b: int
+    entry_b: ClusterEntry
+    degree: float
+
+    @property
+    def is_solid(self) -> bool:
+        """Fig. 4 drawing rule: solid when perfectly conforming."""
+        return self.degree >= 1.0
+
+    def label(self) -> str:
+        """The paper's edge label ``(qi, qj): [degree]``."""
+        return f"(q{self.cluster_b + 1}, q{self.cluster_a + 1}): [{self.degree:g}]"
+
+
+@dataclass
+class PathForest:
+    """The materialised forest over the best cluster entries."""
+
+    clusters: list[Cluster]
+    ig: IntersectionGraph
+    entries_per_cluster: int = 4
+    edges: list[ForestEdge] = field(default_factory=list, init=False)
+
+    def __post_init__(self):
+        for i, j, _shared in self.ig.edges():
+            for entry_i in self.clusters[i].entries[:self.entries_per_cluster]:
+                for entry_j in self.clusters[j].entries[:self.entries_per_cluster]:
+                    degree = conformity_degree(
+                        self.clusters[i].query_path, self.clusters[j].query_path,
+                        entry_i.path, entry_j.path)
+                    self.edges.append(ForestEdge(
+                        cluster_a=i, entry_a=entry_i,
+                        cluster_b=j, entry_b=entry_j, degree=degree))
+
+    def solid_edges(self) -> list[ForestEdge]:
+        return [edge for edge in self.edges if edge.is_solid]
+
+    def dashed_edges(self) -> list[ForestEdge]:
+        return [edge for edge in self.edges if not edge.is_solid]
+
+    def trees(self) -> list[set[tuple[int, int]]]:
+        """Connected components over solid edges.
+
+        Nodes are ``(cluster index, entry rank)`` pairs; a component
+        touching every cluster is a candidate first solution (the tree
+        with ``p1``, ``p10``, ``p20`` in the paper's example).
+        """
+        parent: dict[tuple[int, int], tuple[int, int]] = {}
+
+        def find(node):
+            parent.setdefault(node, node)
+            while parent[node] != node:
+                parent[node] = parent[parent[node]]
+                node = parent[node]
+            return node
+
+        def union(a, b):
+            root_a, root_b = find(a), find(b)
+            if root_a != root_b:
+                parent[root_a] = root_b
+
+        for cluster_index, cluster in enumerate(self.clusters):
+            for rank in range(min(len(cluster.entries), self.entries_per_cluster)):
+                find((cluster_index, rank))
+        for edge in self.solid_edges():
+            rank_a = self.clusters[edge.cluster_a].entries.index(edge.entry_a)
+            rank_b = self.clusters[edge.cluster_b].entries.index(edge.entry_b)
+            union((edge.cluster_a, rank_a), (edge.cluster_b, rank_b))
+
+        components: dict[tuple[int, int], set[tuple[int, int]]] = {}
+        for node in list(parent):
+            components.setdefault(find(node), set()).add(node)
+        return sorted(components.values(), key=lambda c: (-len(c), sorted(c)))
+
+    def render(self) -> str:
+        """Text rendering of the forest (edge per line, Fig. 4 style)."""
+        lines = []
+        for edge in self.edges:
+            style = "----" if edge.is_solid else "- - "
+            lines.append(f"{edge.entry_b.path} {style} {edge.entry_a.path}  "
+                         f"{edge.label()}")
+        return "\n".join(lines)

@@ -1,0 +1,107 @@
+"""Query preprocessing (§5, step 1).
+
+On arrival, a query graph is decomposed on the fly into its set of
+paths ``PQ`` (BFS from each source to every sink) and the paths are
+organised into the *intersection query graph* (Fig. 2), whose edges
+record which query paths share nodes.  Everything downstream — the
+clusters, the forest, the conformity checks — is driven by this
+structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..paths.extraction import DEFAULT_LIMITS, ExtractionLimits, extract_paths
+from ..paths.intersection import IntersectionGraph
+from ..paths.model import Path
+from ..rdf.graph import QueryGraph
+from ..rdf.terms import Term, Variable
+
+
+class EmptyQueryError(ValueError):
+    """Raised when the query graph has no nodes (nothing to answer)."""
+
+
+@dataclass
+class PreparedQuery:
+    """The preprocessed form of a query: its paths ``PQ`` and IG.
+
+    ``anchors`` holds each path's primary anchor (its constant sink, or
+    the first constant scanning backwards); ``anchor_lists`` the full
+    ordered fallback sequence retrieval walks when earlier anchors
+    match nothing in the data.
+    """
+
+    graph: QueryGraph
+    paths: list[Path]
+    ig: IntersectionGraph
+    anchors: list["Term | None"] = field(default_factory=list)
+    anchor_lists: list[list[Term]] = field(default_factory=list)
+
+    @property
+    def path_count(self) -> int:
+        return len(self.paths)
+
+    @property
+    def node_count(self) -> int:
+        """|Q| in nodes — the x-axis of Fig. 7b."""
+        return self.graph.node_count()
+
+    @property
+    def variable_count(self) -> int:
+        """Number of distinct variables — the x-axis of Fig. 7c."""
+        return len(self.graph.variables())
+
+    @property
+    def depth(self) -> int:
+        """The h of the O(h·I²) bound: the longest query path (nodes)."""
+        return max((p.length for p in self.paths), default=0)
+
+
+def anchor_candidates(path: Path) -> list[Term]:
+    """Constants of a query path, scanning from the sink backwards (§5).
+
+    Clustering anchors a query path on its sink; when the sink is a
+    variable the anchor falls back to "the first (constant) value v
+    occurring in q (w.r.t. the end of q, i.e. in the contrary way)".
+    The scan interleaves nodes and edges because either can provide the
+    anchor (a query path may have all nodes variable but a constant
+    predicate).  The full ordered list is returned so retrieval can
+    keep falling back when an anchor matches nothing in the data —
+    e.g. a query naming a subject that simply does not occur still
+    anchors through its predicate.  Empty for a fully-variable path.
+    """
+    candidates: list[Term] = []
+    for index in range(path.length - 1, -1, -1):
+        node = path.nodes[index]
+        if not isinstance(node, Variable):
+            candidates.append(node)
+        if index > 0:
+            edge = path.edges[index - 1]
+            if not isinstance(edge, Variable):
+                candidates.append(edge)
+    return candidates
+
+
+def first_constant_from_sink(path: Path) -> "Term | None":
+    """The first constant scanning backwards, or ``None`` (see above)."""
+    candidates = anchor_candidates(path)
+    return candidates[0] if candidates else None
+
+
+def prepare_query(query: QueryGraph,
+                  limits: ExtractionLimits = DEFAULT_LIMITS) -> PreparedQuery:
+    """Decompose ``query`` into ``PQ`` and build its intersection graph."""
+    if query.node_count() == 0:
+        raise EmptyQueryError("the query graph has no nodes")
+    paths = extract_paths(query, limits=limits)
+    ig = IntersectionGraph(paths)
+    anchors: list["Term | None"] = []
+    anchor_lists: list[list[Term]] = []
+    for path in paths:
+        candidates = anchor_candidates(path)
+        anchor_lists.append(candidates)
+        anchors.append(candidates[0] if candidates else None)
+    return PreparedQuery(graph=query, paths=paths, ig=ig, anchors=anchors,
+                         anchor_lists=anchor_lists)

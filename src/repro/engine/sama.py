@@ -1,0 +1,208 @@
+"""The Sama engine facade: index once, query many times.
+
+This is the library's main entry point::
+
+    from repro import SamaEngine
+    from repro.datasets.govtrack import govtrack_graph
+
+    engine = SamaEngine.from_graph(govtrack_graph())
+    answers = engine.query('''
+        PREFIX gov: <http://example.org/govtrack/>
+        SELECT ?v1 ?v2 ?v3 WHERE {
+            gov:CarlaBunes gov:sponsor ?v1 .
+            ?v1 gov:aTo ?v2 .
+            ?v2 gov:subject "Health Care" .
+            ?v3 gov:sponsor ?v2 .
+            ?v3 gov:gender "Male" .
+        }''', k=10)
+
+Queries are SPARQL text, :class:`~repro.rdf.sparql.SelectQuery` objects
+or :class:`~repro.rdf.graph.QueryGraph` instances.  Answers come back
+best-first by the paper's score.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass, field, replace
+
+from ..index.builder import IndexStats, build_index
+from ..index.labels import SemanticMatcher
+from ..index.pathindex import PathIndex
+from ..index.thesaurus import Thesaurus, default_thesaurus
+from ..paths.alignment import LabelMatcher, exact_match
+from ..paths.extraction import DEFAULT_LIMITS, ExtractionLimits
+from ..rdf.graph import DataGraph, QueryGraph
+from ..rdf.sparql import SelectQuery, parse_select
+from ..scoring.weights import PAPER_WEIGHTS, ScoringWeights
+from .answers import Answer
+from .clustering import Cluster, build_clusters
+from .forest import PathForest
+from .preprocess import PreparedQuery, prepare_query
+from .search import SearchConfig, SearchResult, top_k
+
+
+@dataclass
+class EngineConfig:
+    """Tunables of a :class:`SamaEngine`.
+
+    ``matcher_level`` picks the label comparison inside alignments
+    (``exact`` / ``lexical`` / ``semantic``); ``semantic_lookup``
+    controls thesaurus widening during index retrieval.  The defaults
+    reproduce the prototype's behaviour (WordNet-backed matching).
+    """
+
+    weights: ScoringWeights = field(default_factory=ScoringWeights.paper)
+    matcher_level: str = "semantic"
+    semantic_lookup: bool = True
+    limits: ExtractionLimits = DEFAULT_LIMITS
+    #: Budget for the offline index build; ``None`` uses the indexer's
+    #: own truncating default (see ``repro.index.builder.INDEXER_LIMITS``).
+    index_limits: "ExtractionLimits | None" = None
+    max_cluster_size: "int | None" = 4_000
+    search: SearchConfig = field(default_factory=SearchConfig)
+
+
+class SamaEngine:
+    """Approximate top-k query answering over one indexed RDF graph."""
+
+    def __init__(self, index: PathIndex,
+                 config: "EngineConfig | None" = None,
+                 thesaurus: "Thesaurus | None" = None):
+        self.index = index
+        self.config = config or EngineConfig()
+        self.thesaurus = thesaurus if thesaurus is not None else default_thesaurus()
+        self.matcher = self._build_matcher()
+        self.last_result: "SearchResult | None" = None
+        self.index_stats: "IndexStats | None" = None
+
+    def _build_matcher(self) -> LabelMatcher:
+        level = self.config.matcher_level
+        if level == "exact":
+            return exact_match
+        return SemanticMatcher(self.thesaurus, level=level)
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_graph(cls, graph: DataGraph, directory=None,
+                   config: "EngineConfig | None" = None,
+                   thesaurus: "Thesaurus | None" = None) -> "SamaEngine":
+        """Index ``graph`` (under ``directory`` or a temp dir) and wrap it."""
+        config = config or EngineConfig()
+        if thesaurus is None:
+            thesaurus = default_thesaurus()
+        if directory is None:
+            directory = tempfile.mkdtemp(prefix="sama-index-")
+        from ..index.builder import INDEXER_LIMITS
+        index, stats = build_index(
+            graph, directory,
+            limits=config.index_limits or INDEXER_LIMITS,
+            thesaurus=thesaurus)
+        engine = cls(index, config=config, thesaurus=thesaurus)
+        engine.index_stats = stats
+        return engine
+
+    @classmethod
+    def open(cls, directory, config: "EngineConfig | None" = None,
+             thesaurus: "Thesaurus | None" = None,
+             read_latency: float = 0.0) -> "SamaEngine":
+        """Reopen a previously built index directory."""
+        if thesaurus is None:
+            thesaurus = default_thesaurus()
+        index = PathIndex.open(directory, thesaurus=thesaurus,
+                               read_latency=read_latency)
+        return cls(index, config=config, thesaurus=thesaurus)
+
+    # -- query API ----------------------------------------------------------------
+
+    def prepare(self, query) -> PreparedQuery:
+        """Coerce/parse ``query`` and decompose it (step 1)."""
+        graph = self._coerce_query(query)
+        return prepare_query(graph, limits=self.config.limits)
+
+    def clusters(self, prepared: PreparedQuery) -> list[Cluster]:
+        """Clustering (step 2) for an already prepared query."""
+        return build_clusters(prepared, self.index,
+                              weights=self.config.weights,
+                              matcher=self.matcher,
+                              semantic_lookup=self.config.semantic_lookup,
+                              max_cluster_size=self.config.max_cluster_size)
+
+    def query(self, query, k: "int | None" = None) -> list[Answer]:
+        """Answer ``query``: the top-k answers, best (lowest score) first."""
+        prepared = self.prepare(query)
+        clusters = self.clusters(prepared)
+        search_config = self.config.search
+        if k is not None:
+            search_config = replace(search_config, k=k)
+        result = top_k(prepared, clusters, weights=self.config.weights,
+                       config=search_config)
+        self.last_result = result
+        return result.answers
+
+    def select(self, query, k: "int | None" = None):
+        """Answer a SPARQL SELECT and project the bindings rows.
+
+        Returns a :class:`~repro.engine.results.ResultSet`: one row per
+        ranked answer, shaped by the query's projection (and
+        deduplicated under ``SELECT DISTINCT``).  ``query`` must be
+        SPARQL text or a parsed :class:`SelectQuery` — a bare
+        :class:`QueryGraph` has no projection to apply.
+        """
+        from .results import result_set
+
+        if isinstance(query, str):
+            query = parse_select(query)
+        if not isinstance(query, SelectQuery):
+            raise TypeError("select() needs SPARQL text or a SelectQuery; "
+                            "use query() for bare query graphs")
+        answers = self.query(query, k=k)
+        return result_set(query, answers)
+
+    def explain(self, query, entries_per_cluster: int = 4) -> PathForest:
+        """The Fig. 4 forest of paths for ``query`` (diagnostics)."""
+        prepared = self.prepare(query)
+        clusters = self.clusters(prepared)
+        return PathForest(clusters, prepared.ig,
+                          entries_per_cluster=entries_per_cluster)
+
+    def _coerce_query(self, query) -> QueryGraph:
+        if isinstance(query, QueryGraph):
+            return query
+        if isinstance(query, SelectQuery):
+            return query.graph()
+        if isinstance(query, DataGraph):
+            # A plain data graph is a fully-ground query.
+            ground = QueryGraph(name=query.name)
+            ground.add_triples(query.triples())
+            return ground
+        if isinstance(query, str):
+            return parse_select(query).graph()
+        raise TypeError(f"cannot interpret {type(query).__name__} as a query")
+
+    # -- cache control (cold / warm experiments) --------------------------------------
+
+    def cold_cache(self) -> None:
+        """Reset the engine to the cold-cache condition of §6.2."""
+        self.index.clear_cache()
+        if isinstance(self.matcher, SemanticMatcher):
+            self.matcher = self._build_matcher()
+
+    def warm_cache(self) -> None:
+        """Pre-fault the whole index (warm-cache condition)."""
+        self.index.warm_up()
+
+    def close(self) -> None:
+        self.index.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    def __repr__(self):
+        return f"<SamaEngine over {self.index!r}>"

@@ -1,0 +1,563 @@
+"""Top-k answer generation (§5, step 3).
+
+The search combines one entry per cluster into answers, emitting the k
+best by total score without enumerating the whole combination space.
+It is an A* join driven by the intersection query graph:
+
+- clusters are joined in connectivity order (most IG-connected first),
+  so every newly decided path is immediately scored against decided
+  neighbours — conformity guides the search instead of being checked
+  after the fact (this is the role the paper's *forest of paths* plays:
+  combinations grow along IG edges, preferring solid, conforming ones);
+- a partial state's priority is its exact cost so far (λ of decided
+  entries + ψ of fully decided IG pairs) plus an admissible estimate of
+  the remainder (per-cluster minimum λ + per-edge conformity floor);
+- successor enumeration is lazy (best child + next-sibling cursor), so
+  popping a state costs one sort of its candidate list, once;
+- complete states are buffered and emitted only when their score is ≤
+  every bound still in the frontier, so the emitted sequence is exactly
+  the top-k in non-decreasing score order.  This *structural*
+  monotonicity is why the paper's reciprocal-rank experiment (§6.3)
+  reports RR = 1 everywhere.
+
+Empty clusters contribute a "missing" slot priced by
+:func:`~repro.engine.clustering.missing_path_penalty`; IG pairs with a
+missing side pay the full conformity penalty ``e·|χ(q_i, q_j)|``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+
+from ..paths.intersection import chi
+from ..scoring.weights import PAPER_WEIGHTS, ScoringWeights
+from .answers import Answer
+from .clustering import Cluster, ClusterEntry
+from .preprocess import PreparedQuery
+
+#: Rank used for the "missing" slot of an empty cluster.
+_MISSING = -1
+
+#: Cluster-prefix size sampled when estimating each IG edge's best
+#: achievable |χ| (the denominator of its conformity floor).
+_FLOOR_SAMPLE = 64
+
+
+@dataclass(frozen=True)
+class SearchConfig:
+    """Knobs of the top-k search.
+
+    ``max_expansions`` bounds frontier pops (a safety valve; the count
+    is reported on the result and ``exhausted`` turns False when hit).
+    ``strict_bindings`` drops combinations whose paths disagree on a
+    shared variable instead of merely penalising them.  ``dedupe``
+    collapses answers covering the same triple set, keeping the best.
+
+    ``sibling_limit`` bounds how many children of one partial state the
+    search may explore (children are cost-sorted, so only the tail is
+    sacrificed); ``None`` explores everything — exact but potentially
+    slow on clusters with thousands of λ-tied entries.  ``patience``
+    force-emits the best buffered answer after that many expansions
+    without an emission: the conformity floor of the A* bound is loose,
+    so on adversarial plateaus the proof-of-optimality phase can cost
+    far more than finding the answers; patience trades the guarantee
+    for a hard latency bound (forced emissions are counted on the
+    result).  ``None`` disables it.
+    """
+
+    k: int = 10
+    max_expansions: int = 100_000
+    strict_bindings: bool = False
+    dedupe: bool = True
+    sibling_limit: "int | None" = 64
+    patience: "int | None" = 250
+
+
+@dataclass
+class SearchResult:
+    """The ranked answers plus search effort counters.
+
+    ``forced_emissions`` counts answers emitted by the patience rule
+    before their optimality proof completed (0 = fully proven order).
+    """
+
+    answers: list[Answer]
+    expansions: int = 0
+    generated: int = 0
+    exhausted: bool = True
+    forced_emissions: int = 0
+
+    def __iter__(self):
+        return iter(self.answers)
+
+    def __len__(self):
+        return len(self.answers)
+
+    def __getitem__(self, item):
+        return self.answers[item]
+
+
+class _JoinSpace:
+    """Shared immutable context of one top-k search."""
+
+    def __init__(self, prepared: PreparedQuery, clusters: list[Cluster],
+                 weights: ScoringWeights):
+        self.prepared = prepared
+        self.clusters = clusters
+        self.weights = weights
+        self.order = _join_order(prepared, clusters)
+        # position_of[cluster index] = depth at which it is decided.
+        self.position_of = {cluster: depth
+                            for depth, cluster in enumerate(self.order)}
+        self.edge_penalty: dict[tuple[int, int], float] = {
+            (i, j): weights.conformity * len(shared)
+            for i, j, shared in prepared.ig.edges()}
+        # Per-edge conformity floor.  An edge into an *empty* cluster
+        # always pays the full penalty (its side is forcibly missing),
+        # so the floor is exact there.  Elsewhere the floor divides by
+        # the largest |χ| observed over the two clusters' best-entry
+        # prefixes: the true maximum over the full clusters could in
+        # principle exceed the sampled one, but the prefixes are where
+        # the search actually lives, and a tight floor is what stops
+        # A* from grinding λ-plateaus before completing a combination.
+        self.edge_floor: dict[tuple[int, int], float] = {}
+        for (i, j), penalty in self.edge_penalty.items():
+            entries_i = clusters[i].entries
+            entries_j = clusters[j].entries
+            if not entries_i or not entries_j:
+                self.edge_floor[(i, j)] = penalty
+                continue
+            cap = 0
+            for entry_i in entries_i[:_FLOOR_SAMPLE]:
+                labels_i = entry_i.path.node_label_set()
+                for entry_j in entries_j[:_FLOOR_SAMPLE]:
+                    common = len(labels_i & entry_j.path.node_label_set())
+                    if common > cap:
+                        cap = common
+            self.edge_floor[(i, j)] = penalty / cap if cap else penalty
+        self.min_lambda = [
+            cluster.entries[0].score if cluster.entries
+            else cluster.missing_penalty
+            for cluster in clusters]
+        # h(depth): optimistic remainder after ``depth`` clusters decided.
+        self.tail_estimate = self._tail_estimates()
+        self._pair_cache: dict[int, int] = {}
+        # Edges settled when the cluster at each join depth is decided:
+        # (other cluster index, penalty) — ψ against anything else is
+        # irrelevant while scoring that depth's candidates.
+        self.settled_edges: list[list[tuple[int, float]]] = [
+            [] for _ in self.order]
+        for (i, j), penalty in self.edge_penalty.items():
+            pos_i, pos_j = self.position_of[i], self.position_of[j]
+            late, early = ((i, j) if pos_i > pos_j else (j, i))
+            self.settled_edges[self.position_of[late]].append((early, penalty))
+        # Candidate lists depend only on (depth, the decided entries on
+        # that depth's settled edges) — states sharing those share the
+        # list, which this cache exploits.
+        self._candidate_cache: dict[tuple, list[tuple[float, int, int]]] = {}
+        # Per-cluster inverted index: node label → entry ranks, used to
+        # find the entries that *intersect* an anchor path without
+        # scanning the whole cluster.  Built lazily per cluster.
+        self._buckets: dict[int, dict] = {}
+
+    def buckets_of(self, cluster_index: int) -> dict:
+        buckets = self._buckets.get(cluster_index)
+        if buckets is None:
+            buckets = {}
+            for rank, entry in enumerate(self.clusters[cluster_index].entries):
+                for label in entry.path.node_label_set():
+                    buckets.setdefault(label, []).append(rank)
+            self._buckets[cluster_index] = buckets
+        return buckets
+
+    def _longest(self, cluster_index: int) -> int:
+        entries = self.clusters[cluster_index].entries
+        return max((entry.path.length for entry in entries), default=0)
+
+    def _tail_estimates(self) -> list[float]:
+        depth_count = len(self.order)
+        estimates = [0.0] * (depth_count + 1)
+        for depth in range(depth_count - 1, -1, -1):
+            estimates[depth] = (estimates[depth + 1]
+                                + self.min_lambda[self.order[depth]])
+        # Conformity floors attach to the depth at which the edge's
+        # *second* endpoint is decided (that's when its ψ becomes exact).
+        for (i, j), floor in self.edge_floor.items():
+            settled = max(self.position_of[i], self.position_of[j])
+            for depth in range(settled + 1):
+                estimates[depth] += floor
+        return estimates
+
+    def entry(self, cluster_index: int, rank: int) -> "ClusterEntry | None":
+        if rank == _MISSING:
+            return None
+        return self.clusters[cluster_index].entries[rank]
+
+    def common_nodes(self, entry_a: ClusterEntry, entry_b: ClusterEntry) -> int:
+        uid_a, uid_b = entry_a.uid, entry_b.uid
+        key = uid_a * 1_048_576 + uid_b if uid_a <= uid_b \
+            else uid_b * 1_048_576 + uid_a
+        cached = self._pair_cache.get(key)
+        if cached is None:
+            cached = len(entry_a.path.node_label_set()
+                         & entry_b.path.node_label_set())
+            self._pair_cache[key] = cached
+        return cached
+
+    def psi_of_pair(self, entry: "ClusterEntry | None",
+                    other: "ClusterEntry | None",
+                    penalty: float) -> tuple[float, bool]:
+        """(ψ of one IG edge, whether the pair is broken)."""
+        if entry is None or other is None:
+            return penalty, True
+        common = self.common_nodes(entry, other)
+        if common == 0:
+            return penalty, True
+        return penalty / common, False
+
+
+def _join_order(prepared: PreparedQuery, clusters: list[Cluster]) -> list[int]:
+    """Decide clusters most-connected-first, growing along IG edges."""
+    count = len(clusters)
+    if count == 0:
+        return []
+    ig = prepared.ig
+    remaining = set(range(count))
+
+    def degree(index: int) -> int:
+        return len(ig.neighbors(index))
+
+    order = []
+    seed = max(remaining, key=lambda i: (degree(i), -len(clusters[i].entries),
+                                         -i))
+    order.append(seed)
+    remaining.discard(seed)
+    while remaining:
+        def connectivity(index: int) -> int:
+            return sum(1 for decided in order if ig.has_edge(index, decided))
+        best = max(remaining, key=lambda i: (connectivity(i), degree(i), -i))
+        order.append(best)
+        remaining.discard(best)
+    return order
+
+
+class _PartialState:
+    """A prefix of the join: entries decided for ``order[:depth]``."""
+
+    __slots__ = ("depth", "ranks", "cost", "broken", "candidates")
+
+    def __init__(self, depth: int, ranks: tuple[int, ...], cost: float,
+                 broken: int):
+        self.depth = depth
+        self.ranks = ranks            # rank per decided cluster, join order
+        self.cost = cost              # exact Λ + settled Ψ so far
+        self.broken = broken
+        self.candidates: "list[tuple[float, int, int]] | None" = None
+
+
+def top_k(prepared: PreparedQuery, clusters: list[Cluster],
+          weights: ScoringWeights = PAPER_WEIGHTS,
+          config: SearchConfig = SearchConfig()) -> SearchResult:
+    """Generate the top-k answers for a prepared query over its clusters."""
+    if len(clusters) != len(prepared.paths):
+        raise ValueError(f"need one cluster per query path: "
+                         f"{len(clusters)} vs {len(prepared.paths)}")
+    if not clusters:
+        return SearchResult(answers=[], exhausted=True)
+
+    space = _JoinSpace(prepared, clusters, weights)
+    depth_total = len(clusters)
+    tie = itertools.count()
+
+    root = _PartialState(0, (), 0.0, 0)
+    # Heap items: (bound, tie, state, sibling_index).  sibling_index is
+    # the position in state.candidates this item will expand; the root
+    # enters with index 0 and, when popped, re-enqueues index + 1.
+    frontier: list[tuple[float, int, int, _PartialState, int]] = []
+    _enqueue_child(frontier, space, root, 0, tie, config)
+
+    buffered: list[tuple[float, int, int, Answer]] = []
+    emitted: list[Answer] = []
+    signatures: set[frozenset] = set()
+    expansions = 0
+    generated = 0
+    exhausted = True
+    forced = 0
+    since_emission = 0
+
+    def emit_one() -> bool:
+        """Pop the buffered best into the output; False if deduped away."""
+        _score, _broken, _t, answer = heapq.heappop(buffered)
+        if config.dedupe:
+            signature = answer.signature()
+            if signature in signatures:
+                return False
+            signatures.add(signature)
+        emitted.append(answer)
+        return True
+
+    def drain(force: bool = False) -> int:
+        floor = frontier[0][0] if frontier else float("inf")
+        count = 0
+        while buffered and len(emitted) < config.k:
+            # Strict: a frontier state whose bound *equals* the buffered
+            # score could still tie it with fewer broken pairs, so the
+            # plateau is expanded first (the patience rule bounds how
+            # long that may take).
+            if not force and buffered[0][0] >= floor:
+                break
+            if emit_one():
+                count += 1
+        return count
+
+    while frontier and len(emitted) < config.k:
+        if expansions >= config.max_expansions:
+            exhausted = False
+            break
+        _bound, _depth, _t, parent, sibling_index = heapq.heappop(frontier)
+        expansions += 1
+        since_emission += 1
+        # Re-enqueue the parent's next-best child (the cursor trick).
+        _enqueue_child(frontier, space, parent, sibling_index + 1, tie, config)
+        child = _make_child(space, parent, sibling_index)
+        if child.depth == depth_total:
+            answer = _materialize(space, child)
+            if answer is not None and not (config.strict_bindings
+                                           and not answer.is_coherent):
+                generated += 1
+                heapq.heappush(buffered, (answer.score, answer.broken_pairs,
+                                          next(tie), answer))
+        else:
+            _enqueue_child(frontier, space, child, 0, tie, config)
+        if drain():
+            since_emission = 0
+        elif (config.patience is not None
+                and since_emission >= config.patience):
+            # The search is stalling: answers exist (or can be made to
+            # exist) but the optimality proof can't close on the λ-tie
+            # plateau.  Switch to greedy-finish: repeatedly complete
+            # the best-bound frontier state and emit — an anytime
+            # cutover bounding query latency at ~patience expansions
+            # total rather than per answer.  The final sort below
+            # orders whatever was found best-first.
+            while len(emitted) < config.k and (buffered or frontier):
+                if frontier:
+                    _b, _d, _t2, dive_parent, dive_sibling = \
+                        heapq.heappop(frontier)
+                    answer = _materialize(
+                        space, _greedy_complete(space, dive_parent,
+                                                dive_sibling, depth_total,
+                                                config))
+                    if answer is not None and not (
+                            config.strict_bindings
+                            and not answer.is_coherent):
+                        generated += 1
+                        heapq.heappush(buffered,
+                                       (answer.score, answer.broken_pairs,
+                                        next(tie), answer))
+                if buffered and emit_one():
+                    forced += 1
+            break
+
+    drain(force=True)
+    # Forced (patience) emissions can leave the list locally out of
+    # order; the delivered ranking is the sorted one.
+    emitted.sort(key=lambda answer: (answer.score, answer.broken_pairs))
+    return SearchResult(answers=emitted, expansions=expansions,
+                        generated=generated, exhausted=exhausted,
+                        forced_emissions=forced)
+
+
+def _candidates_of(space: _JoinSpace, state: _PartialState,
+                   limit: "int | None") -> list[tuple[float, int, int]]:
+    """Sorted candidate children of a partial state.
+
+    Each item is ``(cost increment, broken increment, rank)`` for the
+    cluster decided at ``state.depth``; the increment is exact — the
+    entry's λ plus the ψ of the IG edges this decision settles — so
+    parent cost + increment is again an exact prefix cost.  With a
+    ``limit`` only the best ``limit`` children are kept (heap
+    selection, O(C log limit)); the discarded tail has the worst
+    increments.
+
+    Only the entries decided on this depth's *settled edges* influence
+    the scores, so the list is memoised on them: sibling states that
+    differ elsewhere share one computation.
+    """
+    depth = state.depth
+    cluster_index = space.order[depth]
+    cluster = space.clusters[cluster_index]
+    settled = space.settled_edges[depth]
+    # The decided entries that matter here (settled-edge endpoints).
+    anchors: list[tuple["ClusterEntry | None", float]] = []
+    cache_key: list = [depth, limit]
+    for other_index, penalty in settled:
+        entry = space.entry(other_index,
+                            state.ranks[space.position_of[other_index]])
+        anchors.append((entry, penalty))
+        cache_key.append(entry.uid if entry is not None else _MISSING)
+    key = tuple(cache_key)
+    cached = space._candidate_cache.get(key)
+    if cached is not None:
+        return cached
+
+    def increments(entry: "ClusterEntry | None", base: float,
+                   ) -> tuple[float, int]:
+        psi_total = 0.0
+        broken_total = 0
+        for other_entry, penalty in anchors:
+            psi, is_broken = space.psi_of_pair(entry, other_entry, penalty)
+            psi_total += psi
+            broken_total += is_broken
+        return base + psi_total, broken_total
+
+    if not cluster.entries:
+        cost, broken = increments(None, cluster.missing_penalty)
+        result = [(cost, broken, _MISSING)]
+    else:
+        ranks = _evaluation_pool(space, cluster_index, anchors, limit)
+        scored = (increments(cluster.entries[rank], cluster.entries[rank].score)
+                  + (rank,) for rank in ranks)
+        if limit is None:
+            result = sorted(scored)
+        else:
+            result = heapq.nsmallest(limit, scored)
+    space._candidate_cache[key] = result
+    return result
+
+
+def _evaluation_pool(space: _JoinSpace, cluster_index: int,
+                     anchors: list[tuple["ClusterEntry | None", float]],
+                     limit: "int | None") -> list[int]:
+    """The entry ranks worth scoring exactly against these anchors.
+
+    With no ``limit`` every rank is scored (exact search).  Otherwise
+    the pool combines (a) entries *intersecting* an anchor path, found
+    through the cluster's label buckets rarest-label-first — these are
+    the conformity-friendly candidates ψ rewards — and (b) the λ-order
+    prefix, which dominates among the non-intersecting entries because
+    their ψ penalty is uniform.  The pool is capped at ``4·limit`` (at
+    least 256): beyond it, candidates are either worse in λ than the
+    whole prefix or no better in ψ than the pooled intersecting ones.
+    """
+    cluster = space.clusters[cluster_index]
+    total = len(cluster.entries)
+    if limit is None:
+        return list(range(total))
+    cap = max(2 * limit, 128)
+    if total <= cap:
+        return list(range(total))
+    pool: list[int] = []
+    seen: set[int] = set()
+    buckets = space.buckets_of(cluster_index)
+    anchor_labels = set()
+    for entry, _penalty in anchors:
+        if entry is not None:
+            anchor_labels |= entry.path.node_label_set()
+    # Rarest labels first: a label shared with few entries pinpoints
+    # the genuinely related candidates (specific entities), while a
+    # label shared with thousands (class nodes) carries no signal.
+    for label in sorted(anchor_labels,
+                        key=lambda l: (len(buckets.get(l, ())), str(l))):
+        for rank in buckets.get(label, ()):
+            if rank not in seen:
+                seen.add(rank)
+                pool.append(rank)
+                if len(pool) >= cap // 2:
+                    break
+        if len(pool) >= cap // 2:
+            break
+    for rank in range(total):
+        if len(pool) >= cap:
+            break
+        if rank not in seen:
+            seen.add(rank)
+            pool.append(rank)
+    return pool
+
+
+def _enqueue_child(frontier, space: _JoinSpace, state: _PartialState,
+                   sibling_index: int, tie, config: SearchConfig) -> None:
+    if state.candidates is None:
+        state.candidates = _candidates_of(space, state, config.sibling_limit)
+    if sibling_index >= len(state.candidates):
+        return
+    increment, _broken, _rank = state.candidates[sibling_index]
+    # Bound: exact cost through the child (parent cost + λ of the entry
+    # + ψ of the edges it settles) plus the optimistic remainder at the
+    # child's depth (min λ of undecided clusters + floors of edges not
+    # yet settled).  increment ≥ min λ + settled floors, so bounds are
+    # non-decreasing along any path — the A* frontier is consistent.
+    # Ties break deepest-first: on the λ-tie plateaus typical of large
+    # clusters, insertion-order ties would explore the plateau
+    # breadth-first and never complete a combination.
+    bound = state.cost + increment + space.tail_estimate[state.depth + 1]
+    heapq.heappush(frontier,
+                   (bound, -(state.depth + 1), next(tie), state, sibling_index))
+
+
+def _greedy_complete(space: _JoinSpace, state: _PartialState,
+                     sibling_index: int, depth_total: int,
+                     config: SearchConfig) -> _PartialState:
+    """Complete a partial state by always taking the best child.
+
+    The anytime fallback of the patience rule: from the frontier's best
+    partial state, dive straight to a full combination.  The result is
+    not provably optimal — it is the best *greedy* completion — but it
+    guarantees the search can always emit an answer.
+    """
+    if state.candidates is None:
+        state.candidates = _candidates_of(space, state, config.sibling_limit)
+    current = _make_child(space, state,
+                          min(sibling_index, len(state.candidates) - 1))
+    while current.depth < depth_total:
+        if current.candidates is None:
+            current.candidates = _candidates_of(space, current,
+                                                config.sibling_limit)
+        current = _make_child(space, current, 0)
+    return current
+
+
+def _make_child(space: _JoinSpace, parent: _PartialState,
+                sibling_index: int) -> _PartialState:
+    increment, broken, rank = parent.candidates[sibling_index]
+    return _PartialState(parent.depth + 1, parent.ranks + (rank,),
+                         parent.cost + increment, parent.broken + broken)
+
+
+def _materialize(space: _JoinSpace, state: _PartialState) -> "Answer | None":
+    """Build the Answer for a complete join state."""
+    entries: list["ClusterEntry | None"] = [None] * len(space.clusters)
+    quality = 0.0
+    conformity = 0.0
+    covered = 0
+    for depth, cluster_index in enumerate(space.order):
+        entry = space.entry(cluster_index, state.ranks[depth])
+        entries[cluster_index] = entry
+        if entry is None:
+            quality += space.clusters[cluster_index].missing_penalty
+        else:
+            quality += entry.score
+            covered += 1
+    if covered == 0:
+        return None
+    # Recompute Ψ exactly over all IG edges (cheap; uses the pair cache).
+    broken = 0
+    for (i, j), penalty in space.edge_penalty.items():
+        entry_i, entry_j = entries[i], entries[j]
+        if entry_i is None or entry_j is None:
+            conformity += penalty
+            broken += 1
+            continue
+        common = space.common_nodes(entry_i, entry_j)
+        if common == 0:
+            conformity += penalty
+            broken += 1
+        else:
+            conformity += penalty / common
+    return Answer(entries=tuple(entries),
+                  query_paths=tuple(space.prepared.paths),
+                  quality=quality, conformity=conformity,
+                  broken_pairs=broken)

@@ -1,0 +1,30 @@
+"""Evaluation harness: metrics, ground truth, timing, and the runner.
+
+Regenerates every table and figure of §6; see
+``python -m repro.evaluation.runner --help`` (or the ``sama-bench``
+console script).
+"""
+
+from .ground_truth import (GroundTruth, RelevanceOracle, answer_data_nodes,
+                           relax_query)
+from .matches import MatchCount, baseline_match_count, sama_match_count
+from .metrics import (PrecisionRecallPoint, STANDARD_RECALL_LEVELS,
+                      average_interpolated, average_precision,
+                      interpolated_precision, precision_recall_curve,
+                      reciprocal_rank)
+from .scalability import (QuadraticFit, SweepPoint, quadratic_fit,
+                          retrieved_path_count, sweep_data_size,
+                          sweep_query_nodes, sweep_variable_count)
+from .timing import (TimingSample, time_baseline, time_callable, time_cold,
+                     time_warm)
+
+__all__ = [
+    "GroundTruth", "MatchCount", "PrecisionRecallPoint", "QuadraticFit",
+    "RelevanceOracle", "STANDARD_RECALL_LEVELS", "SweepPoint",
+    "TimingSample", "answer_data_nodes", "average_interpolated",
+    "average_precision", "baseline_match_count", "interpolated_precision",
+    "precision_recall_curve", "quadratic_fit", "reciprocal_rank",
+    "relax_query", "retrieved_path_count", "sama_match_count",
+    "sweep_data_size", "sweep_query_nodes", "sweep_variable_count",
+    "time_baseline", "time_callable", "time_cold", "time_warm",
+]

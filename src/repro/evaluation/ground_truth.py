@@ -1,0 +1,171 @@
+"""The relevance oracle: a stand-in for the paper's domain experts.
+
+§6.3 says "the evaluation of the matches was performed by experts of
+the domain (e.g. LUBM)".  No experts are available offline, so the
+oracle derives ground truth mechanically, in the spirit of Definition 4
+(minimal-transformation answers are the relevant ones):
+
+1. exact matches of the query are relevant (relaxation level 0);
+2. if a query has no exact match, the oracle enumerates *relaxations* —
+   dropping one triple, or widening one constant to a variable — and
+   takes the exact matches of the minimally relaxed variants as
+   relevant (level 1, then level 2 if still empty).
+
+A system's answer is judged relevant when it covers a ground-truth
+embedding: the overlap between the answer's data nodes and a relevant
+embedding's nodes, relative to the embedding, reaches
+``overlap_threshold`` (1.0 = strict containment; the default 0.8
+tolerates an uncovered fringe node, the way a human judge would).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..baselines.dogma import DogmaMatcher
+from ..rdf.graph import DataGraph, QueryGraph
+from ..rdf.terms import Variable
+
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """The relevant embeddings for one query, with their relaxation level."""
+
+    embeddings: tuple[frozenset[int], ...]
+    relaxation_level: int
+
+    def __len__(self):
+        return len(self.embeddings)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.embeddings
+
+
+@dataclass
+class RelevanceOracle:
+    """Derives and applies ground truth over one data graph."""
+
+    graph: DataGraph
+    overlap_threshold: float = 0.8
+    max_relaxation: int = 2
+    max_variants: int = 60
+    max_matches_per_variant: int = 200
+    _matcher: "DogmaMatcher | None" = field(default=None, repr=False)
+    _cache: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self):
+        if not 0.0 < self.overlap_threshold <= 1.0:
+            raise ValueError("overlap_threshold must be in (0, 1]")
+
+    @property
+    def matcher(self) -> DogmaMatcher:
+        if self._matcher is None:
+            self._matcher = DogmaMatcher(self.graph)
+        return self._matcher
+
+    # -- ground truth construction ------------------------------------------
+
+    def ground_truth(self, query: QueryGraph, key=None) -> GroundTruth:
+        """The relevant embeddings of ``query`` (cached by ``key``)."""
+        if key is not None and key in self._cache:
+            return self._cache[key]
+        truth = self._derive(query)
+        if key is not None:
+            self._cache[key] = truth
+        return truth
+
+    def _derive(self, query: QueryGraph) -> GroundTruth:
+        frontier = [query]
+        for level in range(self.max_relaxation + 1):
+            embeddings: set[frozenset[int]] = set()
+            for variant in frontier:
+                for match in self.matcher.search(
+                        variant, limit=self.max_matches_per_variant):
+                    embeddings.add(match.data_nodes())
+            if embeddings:
+                return GroundTruth(tuple(sorted(embeddings, key=sorted)),
+                                   relaxation_level=level)
+            next_frontier = []
+            for variant in frontier:
+                next_frontier.extend(relax_query(variant))
+                if len(next_frontier) >= self.max_variants:
+                    break
+            frontier = next_frontier[:self.max_variants]
+            if not frontier:
+                break
+        return GroundTruth((), relaxation_level=self.max_relaxation)
+
+    # -- judging answers -----------------------------------------------------------
+
+    def judge_nodes(self, truth: GroundTruth,
+                    answer_nodes: frozenset[int]) -> bool:
+        """True when the answer covers some relevant embedding."""
+        for embedding in truth.embeddings:
+            if not embedding:
+                continue
+            overlap = len(embedding & answer_nodes) / len(embedding)
+            if overlap >= self.overlap_threshold:
+                return True
+        return False
+
+    def judge_sama_answer(self, truth: GroundTruth, answer) -> bool:
+        """Judge a :class:`repro.engine.answers.Answer` (path-based)."""
+        return self.judge_nodes(truth, answer_data_nodes(answer))
+
+    def judge_match(self, truth: GroundTruth, match) -> bool:
+        """Judge a :class:`repro.baselines.base.GraphMatch` (embedding)."""
+        return self.judge_nodes(truth, match.data_nodes())
+
+
+def answer_data_nodes(answer) -> frozenset[int]:
+    """The data node ids a Sama answer touches."""
+    nodes: set[int] = set()
+    for entry in answer.entries:
+        if entry is None or entry.path.node_ids is None:
+            continue
+        nodes.update(entry.path.node_ids)
+    return frozenset(nodes)
+
+
+def relax_query(query: QueryGraph) -> list[QueryGraph]:
+    """All one-step relaxations of a query graph.
+
+    A relaxation either (a) deletes one triple pattern, provided at
+    least one pattern remains, or (b) replaces one constant node label
+    with a fresh variable.  These are the τ-operations of Definition 3
+    applied in reverse to the query, i.e. the ways a domain expert
+    would loosen an over-specified question.
+    """
+    patterns = list(query.triples())
+    variants: list[QueryGraph] = []
+    fresh = itertools.count()
+    existing = {v.value for v in query.variables()}
+
+    def fresh_variable() -> Variable:
+        while True:
+            name = f"relax{next(fresh)}"
+            if name not in existing:
+                return Variable(name)
+
+    # (a) drop one pattern.
+    if len(patterns) > 1:
+        for index in range(len(patterns)):
+            variant = QueryGraph(name=f"{query.name}/drop{index}")
+            variant.add_triples(p for i, p in enumerate(patterns)
+                                if i != index)
+            variants.append(variant)
+
+    # (b) widen one constant node label to a variable.
+    constants = sorted({label for label in query.node_labels()
+                        if not label.is_variable}, key=str)
+    for constant in constants:
+        replacement = fresh_variable()
+        variant = QueryGraph(name=f"{query.name}/widen-{constant}")
+        for subject, predicate, object_ in patterns:
+            subject = replacement if subject == constant else subject
+            object_ = replacement if object_ == constant else object_
+            variant.add_triple(subject, predicate, object_)
+        variants.append(variant)
+    return variants

@@ -1,0 +1,101 @@
+"""Effectiveness metrics: reciprocal rank and precision/recall (§6.3).
+
+The paper uses the reciprocal rank (RR) — "the ratio between 1 and the
+rank at which the first correct answer is returned; or 0 if no correct
+answer is returned" — and the standard IR interpolation between
+precision and recall for ranked result lists (Fig. 9 plots precision at
+the eleven standard recall points).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+#: The eleven standard recall levels of interpolated precision/recall.
+STANDARD_RECALL_LEVELS = tuple(round(0.1 * i, 1) for i in range(11))
+
+
+def reciprocal_rank(relevance: Sequence[bool]) -> float:
+    """RR of a ranked list given per-rank relevance flags.
+
+    ``relevance[i]`` says whether the answer at rank ``i + 1`` is
+    correct.  Returns 0.0 when nothing is relevant.
+    """
+    for index, is_relevant in enumerate(relevance):
+        if is_relevant:
+            return 1.0 / (index + 1)
+    return 0.0
+
+
+@dataclass(frozen=True)
+class PrecisionRecallPoint:
+    """One (recall, precision) pair of a ranked evaluation."""
+
+    recall: float
+    precision: float
+
+
+def precision_recall_curve(relevance: Sequence[bool],
+                           total_relevant: int) -> list[PrecisionRecallPoint]:
+    """The raw P/R points of a ranked list (one per relevant hit).
+
+    ``total_relevant`` is the size of the ground-truth set (the
+    denominator of recall); it may exceed the number of relevant
+    answers in the list when the system missed some.
+    """
+    if total_relevant < 0:
+        raise ValueError("total_relevant must be >= 0")
+    points = []
+    hits = 0
+    for index, is_relevant in enumerate(relevance):
+        if is_relevant:
+            hits += 1
+            points.append(PrecisionRecallPoint(
+                recall=hits / total_relevant if total_relevant else 0.0,
+                precision=hits / (index + 1)))
+    return points
+
+
+def interpolated_precision(points: Iterable[PrecisionRecallPoint],
+                           levels: Sequence[float] = STANDARD_RECALL_LEVELS,
+                           ) -> list[PrecisionRecallPoint]:
+    """Eleven-point interpolated precision (the Fig. 9 curves).
+
+    Interpolated precision at recall level r is the maximum precision
+    at any recall ≥ r; levels beyond the achieved recall get 0.
+    """
+    points = sorted(points, key=lambda p: p.recall)
+    out = []
+    for level in levels:
+        candidates = [p.precision for p in points if p.recall >= level - 1e-9]
+        out.append(PrecisionRecallPoint(recall=level,
+                                        precision=max(candidates, default=0.0)))
+    return out
+
+
+def average_interpolated(curves: Sequence[Sequence[PrecisionRecallPoint]],
+                         levels: Sequence[float] = STANDARD_RECALL_LEVELS,
+                         ) -> list[PrecisionRecallPoint]:
+    """Average several interpolated curves level-by-level (macro average)."""
+    if not curves:
+        return [PrecisionRecallPoint(level, 0.0) for level in levels]
+    out = []
+    for position, level in enumerate(levels):
+        values = [curve[position].precision for curve in curves]
+        out.append(PrecisionRecallPoint(level, sum(values) / len(values)))
+    return out
+
+
+def average_precision(relevance: Sequence[bool], total_relevant: int) -> float:
+    """AP: mean precision over the relevant hits (0 when none found)."""
+    points = precision_recall_curve(relevance, total_relevant)
+    if not total_relevant:
+        return 0.0
+    return sum(p.precision for p in points) / total_relevant
+
+
+def relevance_flags(answers: Sequence, judge: Callable[[object], bool],
+                    ) -> list[bool]:
+    """Apply a relevance judge to a ranked answer list."""
+    return [bool(judge(answer)) for answer in answers]

@@ -1,0 +1,128 @@
+"""Rendering helpers: aligned text tables and ASCII log-scale charts.
+
+The runner regenerates each of the paper's tables and figures as text;
+these helpers keep the output consistent and diff-friendly (every cell
+formatted the same way run-over-run under fixed seeds).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "") -> str:
+    """A fixed-width text table with right-aligned numeric columns."""
+    rendered_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    numeric = [all(_is_numeric(row[i]) for row in rows) if rows else False
+               for i in range(len(headers))]
+
+    def fmt_line(cells):
+        parts = []
+        for index, cell in enumerate(cells):
+            if numeric[index]:
+                parts.append(cell.rjust(widths[index]))
+            else:
+                parts.append(cell.ljust(widths[index]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_line(headers))
+    lines.append(fmt_line(["-" * w for w in widths]))
+    for row in rendered_rows:
+        lines.append(fmt_line(row))
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    if isinstance(value, int):
+        return f"{value:,}" if abs(value) >= 10000 else str(value)
+    return str(value)
+
+
+def _is_numeric(value) -> bool:
+    return isinstance(value, (int, float))
+
+
+def format_bytes(count: int) -> str:
+    """56 MB / 1.2 GB style sizes (the Table 1 'Space' column)."""
+    units = ["B", "KB", "MB", "GB", "TB"]
+    value = float(count)
+    for unit in units:
+        if value < 1024 or unit == units[-1]:
+            if unit == "B":
+                return f"{int(value)} {unit}"
+            return f"{value:.1f} {unit}"
+        value /= 1024
+    return f"{value:.1f} TB"  # pragma: no cover
+
+
+def format_seconds(seconds: float) -> str:
+    """1 sec / 4 min / 102 min style durations (Table 1 't' column)."""
+    if seconds < 120:
+        return f"{seconds:.2f} sec" if seconds < 10 else f"{seconds:.0f} sec"
+    return f"{seconds / 60:.0f} min"
+
+
+def log_bar_chart(labels: Sequence[str], series: dict[str, Sequence[float]],
+                  title: str = "", width: int = 48,
+                  unit: str = "ms") -> str:
+    """Grouped horizontal bars on a log scale (the Fig. 6/8 bar style).
+
+    ``series`` maps system name → one value per label.  Zero and
+    negative values render as empty bars.
+    """
+    positives = [v for values in series.values() for v in values if v > 0]
+    if not positives:
+        return title + "\n(no data)"
+    low = math.log10(min(positives))
+    high = math.log10(max(positives))
+    span = max(high - low, 1e-9)
+
+    def bar(value: float) -> str:
+        if value <= 0:
+            return ""
+        filled = int(round((math.log10(value) - low) / span * (width - 1))) + 1
+        return "#" * max(filled, 1)
+
+    name_width = max(len(name) for name in series)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+        lines.append(f"(log scale, {unit})")
+    for index, label in enumerate(labels):
+        lines.append(label)
+        for name, values in series.items():
+            value = values[index]
+            value_text = f"{value:,.1f}" if value < 10000 else f"{value:,.0f}"
+            lines.append(f"  {name.ljust(name_width)} "
+                         f"{bar(value).ljust(width)} {value_text}")
+    return "\n".join(lines)
+
+
+def xy_series(points, x_label: str, y_label: str, title: str = "",
+              fit_equation: str = "") -> str:
+    """A two-column rendering of a Fig. 7 sweep with its trendline."""
+    headers = [x_label, y_label]
+    rows = [[point.x, point.mean_ms] for point in points]
+    table = format_table(headers, rows, title=title)
+    if fit_equation:
+        table += f"\ntrendline: {fit_equation}"
+    return table

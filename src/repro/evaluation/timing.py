@@ -1,0 +1,80 @@
+"""Timing utilities for the response-time experiments (§6.2, Fig. 6).
+
+The paper runs every query ten times and reports the average response
+time in milliseconds (log scale), under both cold-cache and warm-cache
+conditions.  These helpers run a callable repeatedly, with optional
+before-run hooks (cache clearing for cold runs), and return summary
+statistics.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from statistics import mean, median, stdev
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class TimingSample:
+    """Summary of repeated timed runs (all values in milliseconds)."""
+
+    runs: tuple[float, ...]
+
+    @property
+    def mean_ms(self) -> float:
+        return mean(self.runs)
+
+    @property
+    def median_ms(self) -> float:
+        return median(self.runs)
+
+    @property
+    def min_ms(self) -> float:
+        return min(self.runs)
+
+    @property
+    def stdev_ms(self) -> float:
+        return stdev(self.runs) if len(self.runs) > 1 else 0.0
+
+    def __str__(self):
+        return f"{self.mean_ms:.1f}ms ±{self.stdev_ms:.1f}"
+
+
+def time_callable(fn: Callable[[], object], runs: int = 10,
+                  before_each: "Callable[[], None] | None" = None,
+                  ) -> TimingSample:
+    """Run ``fn`` ``runs`` times and collect wall-clock durations.
+
+    ``before_each`` executes outside the timed window (that's where the
+    cold-cache reset goes).
+    """
+    if runs < 1:
+        raise ValueError("runs must be >= 1")
+    samples = []
+    for _ in range(runs):
+        if before_each is not None:
+            before_each()
+        started = time.perf_counter()
+        fn()
+        samples.append((time.perf_counter() - started) * 1000.0)
+    return TimingSample(tuple(samples))
+
+
+def time_cold(engine, query, k: int = 10, runs: int = 10) -> TimingSample:
+    """Cold-cache timing of a Sama query (§6.2 cold condition)."""
+    return time_callable(lambda: engine.query(query, k=k), runs=runs,
+                         before_each=engine.cold_cache)
+
+
+def time_warm(engine, query, k: int = 10, runs: int = 10) -> TimingSample:
+    """Warm-cache timing: one untimed priming run, then measure."""
+    engine.query(query, k=k)
+    return time_callable(lambda: engine.query(query, k=k), runs=runs)
+
+
+def time_baseline(matcher, query, limit: "int | None" = 10,
+                  runs: int = 10) -> TimingSample:
+    """Timing of a baseline matcher's search."""
+    return time_callable(lambda: matcher.search(query, limit=limit),
+                         runs=runs)

@@ -1,0 +1,22 @@
+"""Index substrate: the HyperGraphDB + Lucene stand-in (§6.1).
+
+Offline, the builder hashes labels, finds sources and sinks, extracts
+every source-to-sink path and persists it in a page-structured record
+log.  At query time the :class:`PathIndex` answers label lookups — by
+sink or by containment, exactly / lexically / thesaurus-widened — so
+the engine never traverses the data graph online.
+"""
+
+from .builder import INDEXER_LIMITS, IndexStats, build_index
+from .hypergraph import Hypergraph, hypergraph_of
+from .incremental import IncrementalIndex, UpdateStats
+from .labels import LabelIndex, SemanticMatcher
+from .pathindex import IndexCorruptError, PathIndex, PathIndexWriter
+from .thesaurus import Thesaurus, default_thesaurus, tokenize_label
+
+__all__ = [
+    "Hypergraph", "INDEXER_LIMITS", "IncrementalIndex", "IndexCorruptError",
+    "IndexStats", "LabelIndex", "PathIndex", "PathIndexWriter",
+    "SemanticMatcher", "Thesaurus", "UpdateStats", "build_index",
+    "default_thesaurus", "hypergraph_of", "tokenize_label",
+]

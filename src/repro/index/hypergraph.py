@@ -1,0 +1,89 @@
+"""The hypergraph representation of an indexed data graph (§6.1, Fig. 5).
+
+HyperGraphDB models data as a hypergraph ``H = (X, E)`` where ``X`` is
+a set of vertices and ``E ⊆ P(X)`` a set of hyperedges.  The paper maps
+a data graph into ``H`` by turning every stored path into one hyperedge
+over the vertices it traverses (Fig. 5 shows ``e1 = {PierceDickes,
+A0467, B0532, ...}``).  Table 1 reports ``|HV|`` and ``|HE|`` for every
+dataset; this module computes both.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..paths.model import Path
+from ..rdf.graph import DataGraph
+
+
+class Hypergraph:
+    """A finite hypergraph over integer vertices."""
+
+    def __init__(self):
+        self._vertices: set[int] = set()
+        self._hyperedges: list[frozenset[int]] = []
+        self._incidence: dict[int, set[int]] = {}
+
+    def add_vertex(self, vertex: int) -> None:
+        if vertex not in self._vertices:
+            self._vertices.add(vertex)
+            self._incidence[vertex] = set()
+
+    def add_hyperedge(self, vertices: Iterable[int]) -> int:
+        """Add a hyperedge (a non-empty vertex set); returns its id."""
+        members = frozenset(vertices)
+        if not members:
+            raise ValueError("a hyperedge must connect at least one vertex")
+        edge_id = len(self._hyperedges)
+        self._hyperedges.append(members)
+        for vertex in members:
+            self.add_vertex(vertex)
+            self._incidence[vertex].add(edge_id)
+        return edge_id
+
+    # -- inspection -----------------------------------------------------------
+
+    @property
+    def vertex_count(self) -> int:
+        """|HV| of Table 1."""
+        return len(self._vertices)
+
+    @property
+    def hyperedge_count(self) -> int:
+        """|HE| of Table 1."""
+        return len(self._hyperedges)
+
+    def hyperedge(self, edge_id: int) -> frozenset[int]:
+        return self._hyperedges[edge_id]
+
+    def hyperedges(self) -> Iterator[tuple[int, frozenset[int]]]:
+        return enumerate(self._hyperedges)
+
+    def incident_edges(self, vertex: int) -> set[int]:
+        """Ids of hyperedges containing ``vertex``."""
+        return set(self._incidence.get(vertex, ()))
+
+    def degree(self, vertex: int) -> int:
+        return len(self._incidence.get(vertex, ()))
+
+    def __repr__(self):
+        return (f"<Hypergraph: {self.vertex_count} vertices, "
+                f"{self.hyperedge_count} hyperedges>")
+
+
+def hypergraph_of(graph: DataGraph, paths: Iterable[Path]) -> Hypergraph:
+    """Build the Fig. 5 hypergraph: every path becomes a hyperedge.
+
+    Vertices are the data graph's node ids; isolated nodes (paths of
+    length one) still produce singleton hyperedges, matching the
+    "paths ending into sinks" the index stores.
+    """
+    hypergraph = Hypergraph()
+    for node in graph.nodes():
+        hypergraph.add_vertex(node)
+    for path in paths:
+        if path.node_ids is None:
+            raise ValueError(f"path {path} carries no graph node ids; "
+                             f"extract it from the data graph first")
+        hypergraph.add_hyperedge(path.node_ids)
+    return hypergraph

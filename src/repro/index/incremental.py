@@ -1,0 +1,328 @@
+"""Incremental index maintenance (the paper's §7 future work).
+
+The paper's index is built offline and its §7 lists "optimization
+techniques to speed-up the creation and the update of the index" as
+future work.  This module implements the update half: an
+:class:`IncrementalIndex` keeps a data graph and its path index in
+sync under triple insertions without rebuilding from scratch.
+
+The invalidation rule is root-based.  Inserting an edge ``u → v`` can
+only change source-to-sink paths that pass through ``u`` (including
+paths that used to *end* at ``u`` when it was a sink) or that start at
+a root whose walks can now continue through the new edge.  Those are
+exactly the paths whose root can reach ``u`` in the updated graph, so:
+
+1. find the affected roots — sources that reach ``u`` backwards, plus
+   ``u`` itself if it just became a source, minus ``v`` if it just
+   stopped being one;
+2. tombstone every stored path rooted there;
+3. re-extract paths from those roots over the updated graph and append
+   them to the (unsealed) record log.
+
+Graphs without sources (hub-promoted roots) fall back to a full
+re-extraction: hub identity is a global property, so locality is lost
+— the fallback is correct, just not incremental (reported via stats).
+
+The class exposes the same lookup surface as
+:class:`~repro.index.pathindex.PathIndex`, so a
+:class:`~repro.engine.sama.SamaEngine` runs on it unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import deque
+from dataclasses import dataclass
+
+from ..paths.extraction import (ExtractionLimits, _Budget, _walk_from)
+from ..paths.model import Path
+from ..rdf.graph import DataGraph
+from ..rdf.terms import Term
+from ..rdf.triples import Triple
+from ..storage.bufferpool import BufferPool
+from ..storage.pagestore import PageStore
+from ..storage.recordfile import RecordFile
+from ..storage.serializer import decode_path, encode_path
+from .builder import INDEXER_LIMITS
+from .labels import LabelIndex
+from .thesaurus import Thesaurus, default_thesaurus
+
+
+@dataclass
+class UpdateStats:
+    """Counters of incremental maintenance work."""
+
+    triples_added: int = 0
+    paths_invalidated: int = 0
+    paths_added: int = 0
+    full_rebuilds: int = 0
+    #: Bytes occupied by tombstoned records (reclaimed by compact()).
+    dead_bytes: int = 0
+
+    @property
+    def live_efficiency(self) -> float:
+        """Fraction of update rounds handled incrementally."""
+        total = self.triples_added
+        if not total:
+            return 1.0
+        return 1.0 - self.full_rebuilds / total
+
+
+class IncrementalIndex:
+    """A path index that stays consistent under triple insertions."""
+
+    def __init__(self, graph: DataGraph, directory,
+                 limits: ExtractionLimits = INDEXER_LIMITS,
+                 thesaurus: "Thesaurus | None" = None,
+                 page_size: int = 4096):
+        self.graph = graph
+        self.directory = directory
+        self.limits = limits
+        self.thesaurus = thesaurus if thesaurus is not None \
+            else default_thesaurus()
+        self.stats = UpdateStats()
+        os.makedirs(directory, exist_ok=True)
+        store = PageStore(os.path.join(os.fspath(directory), "paths.log"),
+                          page_size=page_size)
+        self._records = RecordFile(store, BufferPool(store))
+        self._sink_index = LabelIndex(self.thesaurus)
+        self._contains_index = LabelIndex(self.thesaurus)
+        self._alive: set[int] = set()
+        self._record_size: dict[int, int] = {}
+        self._root_of: dict[int, int] = {}          # offset -> root node id
+        self._offsets_by_root: dict[int, set[int]] = {}
+        self._decoded: dict[int, Path] = {}
+        self._hub_mode = not graph.sources() and graph.node_count() > 0
+        self._extract_roots(self.graph.path_roots())
+
+    # -- construction helpers ------------------------------------------------
+
+    def _extract_roots(self, roots) -> None:
+        budget = _Budget(self.limits, self.graph)
+        budget.emitted = len(self._alive)  # share the global path budget
+        for root in roots:
+            for path in _walk_from(self.graph, root, budget):
+                self._store_path(root, path)
+
+    def _store_path(self, root: int, path: Path) -> None:
+        blob = encode_path(path)
+        offset = self._records.append(blob)
+        self._record_size[offset] = len(blob)
+        self._alive.add(offset)
+        self._root_of[offset] = root
+        self._offsets_by_root.setdefault(root, set()).add(offset)
+        self._sink_index.add(path.sink, offset)
+        for label in set(path.nodes) | set(path.edges):
+            self._contains_index.add(label, offset)
+        self._decoded[offset] = path
+        self.stats.paths_added += 1
+
+    # -- updates -------------------------------------------------------------------
+
+    def add_triple(self, subject, predicate, object) -> None:
+        """Insert one triple and repair the affected paths."""
+        triple = Triple.of(subject, predicate, object)
+        before_sources = set(self.graph.sources())
+        src = self.graph.node_for(triple.subject)
+        dst = self.graph.node_for(triple.object)
+        edge_count_before = self.graph.edge_count()
+        self.graph.add_edge(src, triple.predicate, dst)
+        self.stats.triples_added += 1
+        if self.graph.edge_count() == edge_count_before:
+            return  # duplicate triple: nothing changed
+
+        if self._hub_mode or not self.graph.sources():
+            # Hub-promoted roots are global; rebuild everything.
+            self._hub_mode = not self.graph.sources()
+            self._full_rebuild()
+            return
+
+        after_sources = set(self.graph.sources())
+        # Roots that can reach ``src`` in the updated graph...
+        affected = self._roots_reaching(src, after_sources)
+        # ...plus any root that appeared or disappeared with this edge
+        # (``dst`` may have stopped being a source; ``src`` may be new).
+        affected |= (after_sources - before_sources)
+        vanished = before_sources - after_sources
+        for root in vanished | affected:
+            self._invalidate_root(root)
+        self._extract_roots(sorted(affected))
+
+    def add_triples(self, rows) -> None:
+        for row in rows:
+            self.add_triple(*row)
+
+    def remove_triple(self, subject, predicate, object) -> bool:
+        """Delete one triple and repair the affected paths.
+
+        Returns False when the triple was not present.  The
+        invalidation rule mirrors insertion: removing ``u → v`` can
+        only change paths whose root reaches ``u`` (they may have run
+        through the edge), plus roots that appear (``v`` may become a
+        source) or disappear with the edge.
+
+        The underlying :class:`~repro.rdf.graph.DataGraph` is
+        append-only, so deletion rebuilds the graph without the edge —
+        O(|G|) for the graph structure, but path re-extraction stays
+        local to the affected roots.
+        """
+        triple = Triple.of(subject, predicate, object)
+        if triple not in set(self.graph.triples()):
+            return False
+        before_sources = set(self.graph.sources())
+        old_src = self.graph.node_for(triple.subject)
+        old_labels = {node: self.graph.label_of(node)
+                      for node in self.graph.nodes()}
+
+        rebuilt = type(self.graph)(name=self.graph.name)
+        for existing in self.graph.triples():
+            if existing != triple:
+                rebuilt.add_triple(*existing)
+        # Keep isolated endpoints so node identity stays meaningful.
+        for label in (triple.subject, triple.object):
+            rebuilt.node_for(label)
+        # Node ids may renumber: path node_ids reference the OLD graph,
+        # so a structural change of identity forces a full rebuild.
+        same_ids = (rebuilt.node_count() == len(old_labels) and all(
+            rebuilt.label_of(node) == label
+            for node, label in old_labels.items()))
+        self.graph = rebuilt
+        self.stats.triples_added += 1  # counts update rounds
+
+        if not same_ids or self._hub_mode or not self.graph.sources():
+            self._hub_mode = not self.graph.sources() \
+                and self.graph.node_count() > 0
+            self._full_rebuild()
+            return True
+
+        after_sources = set(self.graph.sources())
+        affected = self._roots_reaching(old_src, after_sources)
+        affected |= (after_sources - before_sources)
+        vanished = before_sources - after_sources
+        for root in vanished | affected:
+            self._invalidate_root(root)
+        self._extract_roots(sorted(affected))
+        return True
+
+    def _roots_reaching(self, node: int, sources: set[int]) -> set[int]:
+        """Sources with a directed path to ``node`` (reverse BFS)."""
+        seen = {node}
+        frontier = deque([node])
+        found = set()
+        while frontier:
+            current = frontier.popleft()
+            if current in sources:
+                found.add(current)
+            for _label, parent in self.graph.in_edges(current):
+                if parent not in seen:
+                    seen.add(parent)
+                    frontier.append(parent)
+        if node in sources:
+            found.add(node)
+        return found
+
+    def _invalidate_root(self, root: int) -> None:
+        for offset in self._offsets_by_root.pop(root, set()):
+            self._alive.discard(offset)
+            self._root_of.pop(offset, None)
+            self._decoded.pop(offset, None)
+            self.stats.paths_invalidated += 1
+            self.stats.dead_bytes += self._record_size.pop(offset, 0)
+
+    def _full_rebuild(self) -> None:
+        self.stats.full_rebuilds += 1
+        for root in list(self._offsets_by_root):
+            self._invalidate_root(root)
+        self._sink_index = LabelIndex(self.thesaurus)
+        self._contains_index = LabelIndex(self.thesaurus)
+        self._decoded.clear()
+        self._extract_roots(self.graph.path_roots())
+
+    # -- the PathIndex lookup surface -----------------------------------------------
+
+    @property
+    def path_count(self) -> int:
+        return len(self._alive)
+
+    def path_at(self, offset: int) -> Path:
+        cached = self._decoded.get(offset)
+        if cached is None:
+            cached = decode_path(self._records.read(offset))
+            self._decoded[offset] = cached
+        return cached
+
+    def all_offsets(self) -> list[int]:
+        return sorted(self._alive)
+
+    def all_paths(self) -> list[Path]:
+        return [self.path_at(offset) for offset in self.all_offsets()]
+
+    def offsets_with_sink(self, label: Term, semantic: bool = True) -> list[int]:
+        found = self._sink_index.lookup(label, semantic=semantic)
+        return sorted(found & self._alive)
+
+    def offsets_containing(self, label: Term, semantic: bool = True) -> list[int]:
+        found = self._contains_index.lookup(label, semantic=semantic)
+        return sorted(found & self._alive)
+
+    def paths_with_sink(self, label: Term, semantic: bool = True) -> list[Path]:
+        return [self.path_at(o) for o in self.offsets_with_sink(label, semantic)]
+
+    def paths_containing(self, label: Term, semantic: bool = True) -> list[Path]:
+        return [self.path_at(o)
+                for o in self.offsets_containing(label, semantic)]
+
+    def clear_cache(self) -> None:
+        self._records.pool.clear()
+        self._decoded.clear()
+
+    def warm_up(self) -> None:
+        for offset in self.all_offsets():
+            self.path_at(offset)
+
+    @property
+    def io_stats(self):
+        return self._records.store.stats
+
+    @property
+    def cache_stats(self):
+        return self._records.pool.stats
+
+    @property
+    def metadata(self) -> dict:
+        return {"dataset": self.graph.name, "incremental": True,
+                "triples": self.graph.edge_count()}
+
+    def close(self) -> None:
+        self._records.store.close()
+
+    def __repr__(self):
+        return (f"<IncrementalIndex: {self.path_count} live paths, "
+                f"{self.stats.paths_invalidated} tombstoned>")
+
+    # -- maintenance -----------------------------------------------------------------
+
+    def compact(self, directory) -> "IncrementalIndex":
+        """Vacuum: rewrite only the live paths into a fresh directory."""
+        fresh = IncrementalIndex.__new__(IncrementalIndex)
+        fresh.graph = self.graph
+        fresh.directory = directory
+        fresh.limits = self.limits
+        fresh.thesaurus = self.thesaurus
+        fresh.stats = UpdateStats()
+        os.makedirs(directory, exist_ok=True)
+        store = PageStore(os.path.join(os.fspath(directory), "paths.log"),
+                          page_size=self._records.store.page_size)
+        fresh._records = RecordFile(store, BufferPool(store))
+        fresh._sink_index = LabelIndex(self.thesaurus)
+        fresh._contains_index = LabelIndex(self.thesaurus)
+        fresh._alive = set()
+        fresh._record_size = {}
+        fresh._root_of = {}
+        fresh._offsets_by_root = {}
+        fresh._decoded = {}
+        fresh._hub_mode = self._hub_mode
+        for offset in self.all_offsets():
+            fresh._store_path(self._root_of[offset], self.path_at(offset))
+        fresh.stats = UpdateStats()
+        return fresh

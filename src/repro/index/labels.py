@@ -1,0 +1,177 @@
+"""The label index: Lucene-Domain-index stand-in over graph labels (§6.1).
+
+The prototype "define[s] a LDi index on the labels of nodes and edges"
+so that "given a label, HGDB retrieves all paths containing data
+elements matching the label in a very efficient way".  This module
+provides that: an inverted index from exact labels and word tokens to
+arbitrary integer entry ids (the path index registers path offsets),
+plus a :class:`SemanticMatcher` that upgrades alignment's label
+comparison with the same lexical and thesaurus machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..rdf.terms import Literal, Term, URI, Variable
+from .thesaurus import Thesaurus, tokenize_label
+
+
+class LabelIndex:
+    """Inverted index: exact label / token → entry ids."""
+
+    def __init__(self, thesaurus: "Thesaurus | None" = None):
+        self.thesaurus = thesaurus
+        self._exact: dict[Term, set[int]] = {}
+        self._tokens: dict[str, set[int]] = {}
+        self._label_count = 0
+
+    def add(self, label: Term, entry_id: int) -> None:
+        """Register ``entry_id`` under ``label`` and all its tokens."""
+        bucket = self._exact.get(label)
+        if bucket is None:
+            bucket = set()
+            self._exact[label] = bucket
+            self._label_count += 1
+        bucket.add(entry_id)
+        from .thesaurus import stem_candidates
+        for token in tokenize_label(label):
+            self._tokens.setdefault(token, set()).add(entry_id)
+            for stemmed in stem_candidates(token):
+                if stemmed != token:
+                    # Index the singular stems too, so "Database"
+                    # retrieves entries labelled "Databases".
+                    self._tokens.setdefault(stemmed, set()).add(entry_id)
+
+    def add_all(self, labels: Iterable[Term], entry_id: int) -> None:
+        for label in labels:
+            self.add(label, entry_id)
+
+    # -- lookup --------------------------------------------------------------
+
+    def lookup_exact(self, label: Term) -> set[int]:
+        """Entries registered under exactly this label."""
+        return set(self._exact.get(label, ()))
+
+    def lookup_token(self, token: str) -> set[int]:
+        """Entries whose labels contain the word ``token``."""
+        return set(self._tokens.get(token.lower(), ()))
+
+    def lookup(self, label: Term, semantic: bool = True) -> set[int]:
+        """Entries matching ``label`` exactly, lexically, or semantically.
+
+        Tries exact match first (the cheap common case); falls back to
+        token conjunction (all the label's words), then — when a
+        thesaurus is configured and ``semantic`` is true — to the union
+        over thesaurus expansions of each token.
+        """
+        exact = self.lookup_exact(label)
+        if exact:
+            return exact
+        tokens = tokenize_label(label)
+        if not tokens:
+            return set()
+        matched = self._conjunction(tokens)
+        if matched or not (semantic and self.thesaurus):
+            return matched
+        widened: set[int] = set()
+        for token in tokens:
+            for variant in self.thesaurus.expand(token):
+                widened |= self.lookup_token(variant)
+        return widened
+
+    def _conjunction(self, tokens: list[str]) -> set[int]:
+        result: "set[int] | None" = None
+        for token in tokens:
+            bucket = self._tokens.get(token)
+            if not bucket:
+                return set()
+            result = set(bucket) if result is None else result & bucket
+            if not result:
+                return set()
+        return result or set()
+
+    @property
+    def label_count(self) -> int:
+        """Distinct exact labels indexed (the |hash| of build step i)."""
+        return self._label_count
+
+    @property
+    def token_count(self) -> int:
+        return len(self._tokens)
+
+    def __repr__(self):
+        return (f"<LabelIndex: {self.label_count} labels, "
+                f"{self.token_count} tokens>")
+
+
+class SemanticMatcher:
+    """A :data:`~repro.paths.alignment.LabelMatcher` with graded laxity.
+
+    Levels
+    ------
+    ``exact``
+        Plain term equality (the alignment default).
+    ``lexical``
+        Equality, or equal token sequences — ``ub:FullProfessor``
+        matches the literal ``"full professor"``.
+    ``semantic``
+        Lexical, or token-wise thesaurus relatedness: every query token
+        must be matched by some related data token.  This is the level
+        the Sama prototype runs at (WordNet-backed matching, §6.1).
+    """
+
+    LEVELS = ("exact", "lexical", "semantic")
+
+    def __init__(self, thesaurus: "Thesaurus | None" = None,
+                 level: str = "semantic"):
+        if level not in self.LEVELS:
+            raise ValueError(f"level must be one of {self.LEVELS}, got {level!r}")
+        if level == "semantic" and thesaurus is None:
+            raise ValueError("semantic level needs a thesaurus")
+        self.thesaurus = thesaurus
+        self.level = level
+        self._cache: dict[tuple[Term, Term], bool] = {}
+
+    def __call__(self, data_label: Term, query_label: Term) -> bool:
+        if data_label == query_label:
+            return True
+        if self.level == "exact":
+            return False
+        key = (data_label, query_label)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = self._match(data_label, query_label)
+            self._cache[key] = cached
+        return cached
+
+    def _match(self, data_label: Term, query_label: Term) -> bool:
+        if isinstance(data_label, Variable) or isinstance(query_label, Variable):
+            # Variables are the alignment's business, not the matcher's.
+            return False
+        data_tokens = tokenize_label(data_label)
+        query_tokens = tokenize_label(query_label)
+        if not data_tokens or not query_tokens:
+            return False
+        if data_tokens == query_tokens:
+            return True
+        if self.level == "lexical":
+            return False
+        return self._tokens_related(data_tokens, query_tokens)
+
+    def _tokens_related(self, data_tokens: list[str],
+                        query_tokens: list[str]) -> bool:
+        from .thesaurus import stem_candidates
+
+        data_stems: set[str] = set()
+        for token in data_tokens:
+            data_stems |= stem_candidates(token)
+        for query_token in query_tokens:
+            expansion = self.thesaurus.expand(query_token)
+            if any(token in expansion for token in data_tokens):
+                continue
+            # Morphological fallback: compare singular stems too.
+            if stem_candidates(query_token) & data_stems:
+                continue
+            return False
+        return True

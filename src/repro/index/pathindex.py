@@ -1,0 +1,267 @@
+"""The disk-resident path index (§6.1).
+
+The index stores every source-to-sink path of the data graph, because
+"they bring information that might match the query" and retrieving them
+"allows us to skip the expensive graph traversal at runtime".  Paths
+live in a page-structured record log; two label indexes — one over
+sink labels, one over all labels a path contains — answer the two
+lookups clustering needs:
+
+- ``paths_with_sink(label)``: paths whose sink matches the sink of a
+  query path;
+- ``paths_containing(label)``: paths containing a label matching the
+  first constant of a query path (used when the query sink is a
+  variable).
+
+Both lookups go through the Lucene-stand-in :class:`LabelIndex`, so
+they match exactly, lexically, or via thesaurus expansion.  Decoded
+paths are fetched through the buffer pool: clearing it reproduces the
+paper's cold-cache condition.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from ..paths.model import Path
+from ..rdf.ntriples import parse_term
+from ..rdf.terms import Term
+from ..storage.bufferpool import BufferPool
+from ..storage.dictionary import (TermDictionary, decode_path_ids,
+                                  encode_path_ids)
+from ..storage.pagestore import PageStore
+from ..storage.recordfile import RecordFile
+from ..storage.serializer import decode_path, encode_path
+from .labels import LabelIndex
+from .thesaurus import Thesaurus
+
+_PATHS_FILE = "paths.log"
+_DICT_FILE = "terms.dict"
+_MAPS_FILE = "maps.json"
+_FORMAT_VERSION = 1
+
+
+class IndexCorruptError(RuntimeError):
+    """Raised when the on-disk index is unreadable or inconsistent."""
+
+
+class PathIndex:
+    """Query-time view of an indexed data graph.
+
+    Build with :func:`repro.index.builder.build_index`; reopen later
+    with :meth:`PathIndex.open`.
+    """
+
+    def __init__(self, directory, records: RecordFile,
+                 sink_index: LabelIndex, contains_index: LabelIndex,
+                 offsets: list[int], metadata: dict,
+                 dictionary: "TermDictionary | None" = None):
+        self.directory = os.fspath(directory)
+        self._records = records
+        self._sink_index = sink_index
+        self._contains_index = contains_index
+        self._offsets = offsets
+        self.metadata = metadata
+        self._dictionary = dictionary
+        self._decoded: dict[int, Path] = {}
+
+    @property
+    def is_compressed(self) -> bool:
+        """True when records are dictionary-encoded (§7 extension)."""
+        return self._dictionary is not None
+
+    # -- opening ---------------------------------------------------------------
+
+    @classmethod
+    def open(cls, directory, thesaurus: "Thesaurus | None" = None,
+             read_latency: float = 0.0,
+             pool_capacity: int = 4096) -> "PathIndex":
+        """Open an index previously persisted under ``directory``."""
+        directory = os.fspath(directory)
+        maps_path = os.path.join(directory, _MAPS_FILE)
+        try:
+            with open(maps_path, encoding="utf-8") as handle:
+                maps = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise IndexCorruptError(f"cannot read {maps_path}: {exc}") from exc
+        if maps.get("version") != _FORMAT_VERSION:
+            raise IndexCorruptError(
+                f"index format {maps.get('version')!r} unsupported "
+                f"(expected {_FORMAT_VERSION})")
+        store = PageStore(os.path.join(directory, _PATHS_FILE),
+                          read_latency=read_latency)
+        pool = BufferPool(store, capacity=pool_capacity)
+        records = RecordFile(store, pool)
+        sink_index = _load_label_map(maps["sink"], thesaurus)
+        contains_index = _load_label_map(maps["contains"], thesaurus)
+        offsets = list(maps["offsets"])
+        dictionary = None
+        if maps.get("compressed"):
+            dictionary = TermDictionary.load(
+                os.path.join(directory, _DICT_FILE))
+        return cls(directory, records, sink_index, contains_index,
+                   offsets, maps.get("metadata", {}), dictionary=dictionary)
+
+    def close(self) -> None:
+        self._records.store.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    # -- lookups ------------------------------------------------------------------
+
+    @property
+    def path_count(self) -> int:
+        return len(self._offsets)
+
+    def path_at(self, offset: int) -> Path:
+        """Decode the path stored at ``offset`` (cached after first use)."""
+        cached = self._decoded.get(offset)
+        if cached is None:
+            blob = self._records.read(offset)
+            if self._dictionary is not None:
+                cached = decode_path_ids(blob, self._dictionary)
+            else:
+                cached = decode_path(blob)
+            self._decoded[offset] = cached
+        return cached
+
+    def all_offsets(self) -> list[int]:
+        return list(self._offsets)
+
+    def all_paths(self) -> list[Path]:
+        """Every indexed path (decodes the full log — benchmarks only)."""
+        return [self.path_at(offset) for offset in self._offsets]
+
+    def offsets_with_sink(self, label: Term, semantic: bool = True) -> list[int]:
+        """Offsets of paths whose sink matches ``label``."""
+        return sorted(self._sink_index.lookup(label, semantic=semantic))
+
+    def offsets_containing(self, label: Term, semantic: bool = True) -> list[int]:
+        """Offsets of paths containing a label matching ``label``."""
+        return sorted(self._contains_index.lookup(label, semantic=semantic))
+
+    def paths_with_sink(self, label: Term, semantic: bool = True) -> list[Path]:
+        return [self.path_at(o) for o in self.offsets_with_sink(label, semantic)]
+
+    def paths_containing(self, label: Term, semantic: bool = True) -> list[Path]:
+        return [self.path_at(o) for o in self.offsets_containing(label, semantic)]
+
+    # -- cache control (cold / warm experiments) ---------------------------------
+
+    def clear_cache(self) -> None:
+        """Cold-cache condition: drop buffer pool and decoded paths."""
+        self._records.pool.clear()
+        self._decoded.clear()
+
+    def warm_up(self) -> None:
+        """Touch every page once so subsequent runs are warm."""
+        for offset in self._offsets:
+            self.path_at(offset)
+
+    @property
+    def io_stats(self):
+        """Physical I/O counters of the underlying store."""
+        return self._records.store.stats
+
+    @property
+    def cache_stats(self):
+        """Buffer pool hit/miss counters."""
+        return self._records.pool.stats
+
+    def __repr__(self):
+        return (f"<PathIndex {self.directory!r}: {self.path_count} paths, "
+                f"{self._sink_index.label_count} sink labels>")
+
+
+class PathIndexWriter:
+    """Accumulates paths during the build, then persists the maps."""
+
+    def __init__(self, directory, thesaurus: "Thesaurus | None" = None,
+                 page_size: int = 4096, compress: bool = False):
+        self.directory = os.fspath(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self._store = PageStore(os.path.join(self.directory, _PATHS_FILE),
+                                page_size=page_size)
+        self._records = RecordFile(self._store)
+        self._thesaurus = thesaurus
+        self._dictionary = TermDictionary() if compress else None
+        self._sink_map: dict[Term, list[int]] = {}
+        self._contains_map: dict[Term, list[int]] = {}
+        self._offsets: list[int] = []
+
+    def add_path(self, path: Path) -> int:
+        """Store one path; returns its offset."""
+        if self._dictionary is not None:
+            blob = encode_path_ids(path, self._dictionary)
+        else:
+            blob = encode_path(path)
+        offset = self._records.append(blob)
+        self._offsets.append(offset)
+        self._sink_map.setdefault(path.sink, []).append(offset)
+        seen: set[Term] = set()
+        for node in path.nodes:
+            seen.add(node)
+        for edge in path.edges:
+            seen.add(edge)
+        for label in seen:
+            self._contains_map.setdefault(label, []).append(offset)
+        return offset
+
+    def finish(self, metadata: "dict | None" = None) -> PathIndex:
+        """Flush, persist the maps, and return the opened index."""
+        self._records.seal()
+        maps = {
+            "version": _FORMAT_VERSION,
+            "metadata": metadata or {},
+            "compressed": self._dictionary is not None,
+            "offsets": self._offsets,
+            "sink": _dump_label_map(self._sink_map),
+            "contains": _dump_label_map(self._contains_map),
+        }
+        if self._dictionary is not None:
+            self._dictionary.save(os.path.join(self.directory, _DICT_FILE))
+        maps_path = os.path.join(self.directory, _MAPS_FILE)
+        with open(maps_path, "w", encoding="utf-8") as handle:
+            json.dump(maps, handle)
+        sink_index = _build_label_index(self._sink_map, self._thesaurus)
+        contains_index = _build_label_index(self._contains_map, self._thesaurus)
+        return PathIndex(self.directory, self._records, sink_index,
+                         contains_index, self._offsets, maps["metadata"],
+                         dictionary=self._dictionary)
+
+    @property
+    def size_bytes(self) -> int:
+        total = self._store.size_bytes()
+        dict_path = os.path.join(self.directory, _DICT_FILE)
+        if os.path.exists(dict_path):
+            total += os.path.getsize(dict_path)
+        return total
+
+
+def _dump_label_map(label_map: dict[Term, list[int]]) -> dict[str, list[int]]:
+    return {label.n3(): offsets for label, offsets in label_map.items()}
+
+
+def _load_label_map(dumped: dict[str, list[int]],
+                    thesaurus: "Thesaurus | None") -> LabelIndex:
+    index = LabelIndex(thesaurus)
+    for n3, offsets in dumped.items():
+        label = parse_term(n3)
+        for offset in offsets:
+            index.add(label, offset)
+    return index
+
+
+def _build_label_index(label_map: dict[Term, list[int]],
+                       thesaurus: "Thesaurus | None") -> LabelIndex:
+    index = LabelIndex(thesaurus)
+    for label, offsets in label_map.items():
+        for offset in offsets:
+            index.add(label, offset)
+    return index

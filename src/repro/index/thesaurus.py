@@ -1,0 +1,265 @@
+"""A WordNet stand-in: synonym / hyponym / hypernym expansion.
+
+The paper's prototype extracts "semantically similar entries such as
+synonyms, hyponyms and hypernyms ... from WordNet" (§6.1) to widen
+label matching.  WordNet itself is not available offline, so this
+module implements the same interface over an explicit lexicon: a
+synonym relation (symmetric, transitive within a group) and an is-a
+hierarchy (hyponym → hypernym edges).
+
+:func:`default_thesaurus` ships a compact English lexicon covering the
+vocabularies of the benchmark datasets (universities, movies,
+publications, government, commerce) so approximate matching has real
+synonymy to exploit; applications can extend it or supply their own.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from ..rdf.terms import Literal, Term, URI
+
+_CAMEL_RE = re.compile(r"(?<=[a-z0-9])(?=[A-Z])|(?<=[A-Z])(?=[A-Z][a-z])")
+_SPLIT_RE = re.compile(r"[^A-Za-z0-9]+")
+
+
+def normalize(word: str) -> str:
+    """Canonical lexicon key: lowercase, stripped."""
+    return word.strip().lower()
+
+
+def stem_candidates(word: str) -> set[str]:
+    """Possible singular forms of ``word``, including itself.
+
+    Deliberately naive (far short of Porter), but WordNet's
+    morphological lookup plays the same role for the prototype, and
+    only common English plurals matter for the benchmark vocabularies.
+    The ``-ies`` suffix is genuinely ambiguous (queries → query but
+    movies → movie), so both candidates are produced.
+    """
+    word = normalize(word)
+    out = {word}
+    if len(word) > 4 and word.endswith("ies"):
+        out.add(word[:-3] + "y")    # queries -> query
+        out.add(word[:-1])          # movies -> movie
+    elif len(word) > 3 and word.endswith(("ches", "shes", "sses", "xes",
+                                          "zes")):
+        out.add(word[:-2])
+    elif len(word) > 3 and word.endswith("s") and not word.endswith("ss"):
+        out.add(word[:-1])
+    return out
+
+
+def stem(word: str) -> str:
+    """The primary singular candidate of ``word`` (see stem_candidates)."""
+    candidates = stem_candidates(word)
+    candidates.discard(normalize(word))
+    if not candidates:
+        return normalize(word)
+    # Prefer the consonant+y reading for -ies; shortest otherwise.
+    return sorted(candidates, key=lambda w: (not w.endswith("y"), w))[0]
+
+
+def tokenize_label(term: "Term | str") -> list[str]:
+    """Split a term's lexical form into lowercase word tokens.
+
+    URIs use their local name; camelCase, digits-letter boundaries and
+    punctuation all split, so ``ub:FullProfessor`` tokenizes to
+    ``['full', 'professor']`` and ``"Health Care"`` to
+    ``['health', 'care']``.
+    """
+    if isinstance(term, URI):
+        text = term.local_name
+    elif isinstance(term, Literal):
+        text = term.value
+    elif isinstance(term, Term):
+        text = term.value
+    else:
+        text = str(term)
+    words = []
+    for rough in _SPLIT_RE.split(text):
+        if not rough:
+            continue
+        for word in _CAMEL_RE.split(rough):
+            if word:
+                words.append(word.lower())
+    return words
+
+
+class Thesaurus:
+    """Synonym groups plus an is-a hierarchy over normalised words."""
+
+    def __init__(self):
+        self._group_of: dict[str, int] = {}
+        self._groups: dict[int, set[str]] = {}
+        self._next_group = 0
+        self._hypernyms: dict[str, set[str]] = {}
+        self._hyponyms: dict[str, set[str]] = {}
+
+    # -- construction ---------------------------------------------------------
+
+    def add_synonyms(self, words: Iterable[str]) -> None:
+        """Declare the words mutually synonymous (merging groups)."""
+        keys = [normalize(w) for w in words]
+        keys = [k for k in keys if k]
+        if len(keys) < 2:
+            return
+        touched = {self._group_of[k] for k in keys if k in self._group_of}
+        if touched:
+            target = min(touched)
+        else:
+            target = self._next_group
+            self._next_group += 1
+            self._groups[target] = set()
+        for group_id in touched - {target}:
+            for member in self._groups.pop(group_id):
+                self._group_of[member] = target
+                self._groups[target].add(member)
+        for key in keys:
+            self._group_of[key] = target
+            self._groups[target].add(key)
+
+    def add_hypernym(self, hyponym: str, hypernym: str) -> None:
+        """Declare ``hyponym`` is-a ``hypernym`` (e.g. professor → faculty)."""
+        child = normalize(hyponym)
+        parent = normalize(hypernym)
+        if not child or not parent or child == parent:
+            return
+        self._hypernyms.setdefault(child, set()).add(parent)
+        self._hyponyms.setdefault(parent, set()).add(child)
+
+    # -- lookup -------------------------------------------------------------------
+
+    def synonyms(self, word: str) -> set[str]:
+        """The synonym group of ``word`` (without the word itself)."""
+        key = normalize(word)
+        group_id = self._group_of.get(key)
+        if group_id is None:
+            return set()
+        return self._groups[group_id] - {key}
+
+    def hypernyms(self, word: str) -> set[str]:
+        """Direct hypernyms (is-a parents) of ``word``."""
+        return set(self._hypernyms.get(normalize(word), ()))
+
+    def hyponyms(self, word: str) -> set[str]:
+        """Direct hyponyms (is-a children) of ``word``."""
+        return set(self._hyponyms.get(normalize(word), ()))
+
+    def expand(self, word: str, hierarchy: bool = True) -> set[str]:
+        """``word`` plus synonyms, plus (optionally) direct is-a neighbours.
+
+        Expansion also applies synonym closure to the hierarchy
+        neighbours, mirroring WordNet's synset-level pointers, and
+        always includes the singular stem (WordNet's morphological
+        lookup equivalent), so ``databases`` expands to ``database``.
+        """
+        key = normalize(word)
+        if not key:
+            return set()
+        expanded = {key} | self.synonyms(key)
+        for stemmed in stem_candidates(key):
+            if stemmed != key:
+                expanded.add(stemmed)
+                expanded |= self.synonyms(stemmed)
+        if hierarchy:
+            neighbours = set()
+            for member in list(expanded):
+                neighbours |= self.hypernyms(member)
+                neighbours |= self.hyponyms(member)
+            for neighbour in list(neighbours):
+                neighbours |= self.synonyms(neighbour)
+            expanded |= neighbours
+        return expanded
+
+    def related(self, word_a: str, word_b: str, hierarchy: bool = True) -> bool:
+        """True when the two words are synonyms or is-a neighbours."""
+        key_b = normalize(word_b)
+        if normalize(word_a) == key_b:
+            return True
+        return key_b in self.expand(word_a, hierarchy=hierarchy)
+
+    def __len__(self):
+        return len(self._group_of) + len(self._hypernyms)
+
+
+def default_thesaurus() -> Thesaurus:
+    """The built-in lexicon for the benchmark vocabularies."""
+    thesaurus = Thesaurus()
+    synonym_groups = [
+        # people & roles
+        ("person", "human", "individual"),
+        ("teacher", "professor", "instructor", "lecturer"),
+        ("student", "pupil", "learner"),
+        ("author", "writer"),
+        ("doctor", "physician"),
+        ("chair", "head", "chairperson"),
+        ("employee", "worker", "staff"),
+        # gender labels of the GovTrack example
+        ("male", "man"),
+        ("female", "woman"),
+        # academia (LUBM / UOBM / DBLP)
+        ("university", "college"),
+        ("course", "class", "lecture"),
+        ("publication", "paper", "article"),
+        ("department", "dept", "division"),
+        ("research", "study"),
+        ("degree", "diploma"),
+        ("advisor", "supervisor", "mentor"),
+        # government (GovTrack)
+        ("bill", "act", "law"),
+        ("amendment", "revision"),
+        ("sponsor", "backer", "supporter"),
+        ("subject", "topic", "theme"),
+        ("senate", "chamber"),
+        # movies (IMDB / LinkedMDB)
+        ("movie", "film", "picture"),
+        ("actor", "performer"),
+        ("director", "filmmaker"),
+        ("genre", "category", "kind"),
+        # commerce (Berlin / BSBM)
+        ("product", "item", "good"),
+        ("producer", "manufacturer", "maker"),
+        ("vendor", "seller", "retailer"),
+        ("review", "evaluation", "critique"),
+        ("offer", "deal"),
+        ("price", "cost"),
+        # biology (KEGG)
+        ("gene", "locus"),
+        ("pathway", "route"),
+        ("enzyme", "catalyst"),
+        ("compound", "chemical", "substance"),
+        # misc
+        ("name", "title", "label"),
+        ("email", "mail"),
+        ("healthcare", "health"),
+    ]
+    for group in synonym_groups:
+        thesaurus.add_synonyms(group)
+    hypernym_pairs = [
+        ("professor", "faculty"),
+        ("lecturer", "faculty"),
+        ("faculty", "employee"),
+        ("student", "person"),
+        ("employee", "person"),
+        ("professor", "person"),
+        ("senator", "politician"),
+        ("politician", "person"),
+        ("actor", "person"),
+        ("director", "person"),
+        ("author", "person"),
+        ("university", "organization"),
+        ("department", "organization"),
+        ("company", "organization"),
+        ("amendment", "document"),
+        ("bill", "document"),
+        ("publication", "document"),
+        ("movie", "work"),
+        ("course", "work"),
+        ("gene", "sequence"),
+        ("enzyme", "protein"),
+    ]
+    for child, parent in hypernym_pairs:
+        thesaurus.add_hypernym(child, parent)
+    return thesaurus

@@ -1,0 +1,24 @@
+"""Path machinery: extraction, alignment, and intersection analysis.
+
+Everything in §3.2–§4.3 of the paper lives here: the path model
+(Definition 5), source/sink/hub analysis and BFS path enumeration, the
+linear-time greedy alignment together with an optimal DP reference, and
+the χ intersection function with the intersection query graph.
+"""
+
+from .alignment import (Alignment, AlignmentCounts, EditOp, LabelMatcher,
+                        align, align_optimal, exact_match)
+from .extraction import (DEFAULT_LIMITS, ExtractionLimits,
+                         PathExplosionError, extract_paths, iter_paths,
+                         query_paths)
+from .intersection import IntersectionGraph, chi
+from .model import Path, path_of
+from .substitution import BindingConflict, EMPTY_SUBSTITUTION, Substitution
+
+__all__ = [
+    "Alignment", "AlignmentCounts", "BindingConflict", "DEFAULT_LIMITS",
+    "EMPTY_SUBSTITUTION", "EditOp", "ExtractionLimits", "IntersectionGraph",
+    "LabelMatcher", "Path", "PathExplosionError", "Substitution", "align",
+    "align_optimal", "chi", "exact_match", "extract_paths", "iter_paths",
+    "path_of", "query_paths",
+]

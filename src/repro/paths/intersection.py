@@ -1,0 +1,98 @@
+"""The χ function and the intersection query graph (IG) of §5.
+
+``χ(p1, p2)`` is the set of node labels two paths share.  The
+*intersection query graph* has one node per query path and an edge
+between two query paths whenever they share at least one node — e.g. in
+the running example ``q1`` and ``q2`` share ``?v2`` and ``Health Care``
+while ``q2`` and ``q3`` share ``?v3`` (Fig. 2).  The engine uses the IG
+to know which pairs of retrieved data paths must be checked for
+conformity (ψ) when combining them into answers.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterator, Sequence
+
+from ..rdf.terms import Term
+from .model import Path
+
+
+def chi(path_a: Path, path_b: Path) -> frozenset[Term]:
+    """The set of node labels in common between two paths (χ).
+
+    Variables are labels too: two query paths sharing ``?v2`` intersect
+    on it, which is exactly how Fig. 2 counts.
+    """
+    return path_a.node_label_set() & path_b.node_label_set()
+
+
+class IntersectionGraph:
+    """The IG over an ordered family of paths.
+
+    Paths are addressed by their index in the input sequence, so the
+    same structure serves both query paths and candidate combinations.
+    Precomputes all pairwise χ sets once: clustering and search consult
+    them repeatedly.
+    """
+
+    def __init__(self, paths: Sequence[Path]):
+        self.paths = list(paths)
+        self._common: dict[tuple[int, int], frozenset[Term]] = {}
+        self._adjacent: dict[int, set[int]] = {i: set() for i in range(len(self.paths))}
+        for i, j in combinations(range(len(self.paths)), 2):
+            shared = chi(self.paths[i], self.paths[j])
+            if shared:
+                self._common[(i, j)] = shared
+                self._adjacent[i].add(j)
+                self._adjacent[j].add(i)
+
+    def __len__(self) -> int:
+        return len(self.paths)
+
+    def has_edge(self, i: int, j: int) -> bool:
+        """True when paths ``i`` and ``j`` share at least one node."""
+        return self._key(i, j) in self._common
+
+    def common(self, i: int, j: int) -> frozenset[Term]:
+        """``χ(paths[i], paths[j])`` (empty set when disjoint)."""
+        return self._common.get(self._key(i, j), frozenset())
+
+    def neighbors(self, i: int) -> set[int]:
+        """Indices of paths intersecting path ``i``."""
+        return set(self._adjacent[i])
+
+    def edges(self) -> Iterator[tuple[int, int, frozenset[Term]]]:
+        """All IG edges as ``(i, j, shared labels)`` with ``i < j``."""
+        for (i, j), shared in sorted(self._common.items()):
+            yield i, j, shared
+
+    def edge_count(self) -> int:
+        return len(self._common)
+
+    def is_connected(self) -> bool:
+        """True when the IG is a single connected component.
+
+        A disconnected IG means the query asks independent questions;
+        the engine still answers but conformity cannot tie the parts
+        together.
+        """
+        if len(self.paths) <= 1:
+            return True
+        seen = {0}
+        frontier = [0]
+        while frontier:
+            current = frontier.pop()
+            for neighbor in self._adjacent[current]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        return len(seen) == len(self.paths)
+
+    @staticmethod
+    def _key(i: int, j: int) -> tuple[int, int]:
+        return (i, j) if i <= j else (j, i)
+
+    def __repr__(self):
+        return (f"<IntersectionGraph: {len(self.paths)} paths, "
+                f"{self.edge_count()} intersections>")

@@ -1,0 +1,105 @@
+"""Variable substitutions (the φ of Definition 3).
+
+A substitution maps query variables to constants.  Alignments produce
+one substitution per query path; combining paths into an answer merges
+the per-path substitutions, and a merge conflict (the same variable
+bound to two different constants) is how the engine detects that two
+candidate paths disagree.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from ..rdf.terms import Term, Variable
+
+
+class BindingConflict(ValueError):
+    """Raised when a merge would bind one variable to two constants."""
+
+    def __init__(self, variable: Variable, existing: Term, incoming: Term):
+        super().__init__(f"{variable} already bound to {existing!r}, "
+                         f"cannot rebind to {incoming!r}")
+        self.variable = variable
+        self.existing = existing
+        self.incoming = incoming
+
+
+class Substitution(Mapping[Variable, Term]):
+    """An immutable-by-convention mapping from variables to constants."""
+
+    __slots__ = ("_bindings",)
+
+    def __init__(self, bindings: "Mapping[Variable, Term] | None" = None):
+        self._bindings: dict[Variable, Term] = dict(bindings or {})
+
+    # -- Mapping protocol ---------------------------------------------------
+
+    def __getitem__(self, variable: Variable) -> Term:
+        return self._bindings[variable]
+
+    def __iter__(self) -> Iterator[Variable]:
+        return iter(self._bindings)
+
+    def __len__(self) -> int:
+        return len(self._bindings)
+
+    def __repr__(self):
+        inner = ", ".join(f"{v}={t}" for v, t in sorted(
+            self._bindings.items(), key=lambda item: item[0].value))
+        return f"Substitution({inner})"
+
+    def __eq__(self, other):
+        if isinstance(other, Substitution):
+            return self._bindings == other._bindings
+        if isinstance(other, Mapping):
+            return self._bindings == dict(other)
+        return NotImplemented
+
+    def __hash__(self):
+        return hash(frozenset(self._bindings.items()))
+
+    # -- construction ---------------------------------------------------------
+
+    def bind(self, variable: Variable, value: Term) -> "Substitution":
+        """A new substitution with ``variable`` bound to ``value``.
+
+        Raises :class:`BindingConflict` if the variable is already
+        bound to a different constant; rebinding to the same constant
+        is a no-op.
+        """
+        existing = self._bindings.get(variable)
+        if existing is not None:
+            if existing == value:
+                return self
+            raise BindingConflict(variable, existing, value)
+        merged = dict(self._bindings)
+        merged[variable] = value
+        return Substitution(merged)
+
+    def merge(self, other: "Mapping[Variable, Term]") -> "Substitution":
+        """The union of two substitutions.
+
+        Raises :class:`BindingConflict` on disagreement.
+        """
+        result = self
+        for variable, value in other.items():
+            result = result.bind(variable, value)
+        return result
+
+    def compatible_with(self, other: "Mapping[Variable, Term]") -> bool:
+        """True when :meth:`merge` would succeed."""
+        for variable, value in other.items():
+            existing = self._bindings.get(variable)
+            if existing is not None and existing != value:
+                return False
+        return True
+
+    def apply(self, term: Term) -> Term:
+        """Resolve ``term`` if it is a bound variable, else return it."""
+        if isinstance(term, Variable):
+            return self._bindings.get(term, term)
+        return term
+
+
+EMPTY_SUBSTITUTION = Substitution()

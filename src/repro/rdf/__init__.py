@@ -1,0 +1,20 @@
+"""RDF substrate: terms, triples, graphs, and parsers.
+
+This package implements everything the paper assumes from the RDF
+stack: the labelled-directed-graph data model (Definitions 1–2), the
+N-Triples and Turtle wire formats, and a SPARQL basic-graph-pattern
+front-end that turns query text into :class:`QueryGraph` instances.
+"""
+
+from .graph import DataGraph, Edge, QueryGraph
+from .namespaces import FOAF, GOV, Namespace, OWL, RDF, RDFS, UB, XSD
+from .terms import (BlankNode, Literal, Term, URI, Variable, coerce_term)
+from .triples import Triple, triples_of
+from .sparql import SelectQuery, SparqlSyntaxError, parse_select, query_graph
+
+__all__ = [
+    "BlankNode", "DataGraph", "Edge", "FOAF", "GOV", "Literal", "Namespace",
+    "OWL", "QueryGraph", "RDF", "RDFS", "SelectQuery", "SparqlSyntaxError",
+    "Term", "Triple", "UB", "URI", "Variable", "XSD", "coerce_term",
+    "parse_select", "query_graph", "triples_of",
+]

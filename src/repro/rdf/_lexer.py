@@ -1,0 +1,206 @@
+"""A small shared tokenizer for the SPARQL and Turtle front-ends.
+
+Produces a flat token stream; the grammar lives in the parsers.  Tokens
+carry their source position for error messages.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, NamedTuple
+
+# Token kinds
+IRI = "IRI"                # <...>
+PNAME = "PNAME"            # prefix:local or prefix:
+VAR = "VAR"                # ?name or $name
+STRING = "STRING"          # "..." with escapes resolved
+LANGTAG = "LANGTAG"        # @en
+DTYPE_SEP = "DTYPE_SEP"    # ^^
+NUMBER = "NUMBER"          # 42, 3.14, -1
+KEYWORD = "KEYWORD"        # bare words: SELECT, WHERE, PREFIX, a, true...
+PUNCT = "PUNCT"            # { } ( ) . ; , *
+EOF = "EOF"
+
+_PUNCT_CHARS = "{}().;,*[]"
+
+_STRING_ESCAPES = {
+    "t": "\t", "b": "\b", "n": "\n", "r": "\r", "f": "\f",
+    '"': '"', "'": "'", "\\": "\\",
+}
+
+
+class Token(NamedTuple):
+    kind: str
+    value: str
+    line: int
+    column: int
+
+    def __str__(self):
+        return f"{self.kind}({self.value!r}) at {self.line}:{self.column}"
+
+
+class LexError(ValueError):
+    """Raised on characters the tokenizer cannot interpret."""
+
+
+def tokenize(text: str) -> Iterator[Token]:
+    """Tokenize SPARQL/Turtle source into a flat token stream."""
+    line = 1
+    column = 1
+    pos = 0
+    length = len(text)
+
+    def advance(count: int = 1) -> None:
+        nonlocal pos, line, column
+        for _ in range(count):
+            if pos < length and text[pos] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            pos += 1
+
+    while pos < length:
+        char = text[pos]
+        if char in " \t\r\n":
+            advance()
+            continue
+        if char == "#":
+            while pos < length and text[pos] != "\n":
+                advance()
+            continue
+        start_line, start_col = line, column
+        if char == "<":
+            end = text.find(">", pos + 1)
+            if end == -1:
+                raise LexError(f"unterminated IRI at {start_line}:{start_col}")
+            value = text[pos + 1:end]
+            advance(end - pos + 1)
+            yield Token(IRI, value, start_line, start_col)
+            continue
+        if char in "?$":
+            end = pos + 1
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            if end == pos + 1:
+                raise LexError(f"empty variable name at {start_line}:{start_col}")
+            value = text[pos + 1:end]
+            advance(end - pos)
+            yield Token(VAR, value, start_line, start_col)
+            continue
+        if char in "\"'":
+            value, consumed = _read_string(text, pos)
+            advance(consumed)
+            yield Token(STRING, value, start_line, start_col)
+            continue
+        if char == "@":
+            end = pos + 1
+            while end < length and (text[end].isalnum() or text[end] == "-"):
+                end += 1
+            value = text[pos + 1:end]
+            advance(end - pos)
+            # @prefix / @base are Turtle keywords, not language tags.
+            if value in ("prefix", "base"):
+                yield Token(KEYWORD, "@" + value, start_line, start_col)
+            else:
+                yield Token(LANGTAG, value, start_line, start_col)
+            continue
+        if text.startswith("^^", pos):
+            advance(2)
+            yield Token(DTYPE_SEP, "^^", start_line, start_col)
+            continue
+        if char in _PUNCT_CHARS:
+            # Disambiguate '.' as punctuation vs decimal point: a '.'
+            # directly followed by a digit belongs to a number only when
+            # preceded by digits, which the NUMBER branch consumes first.
+            advance()
+            yield Token(PUNCT, char, start_line, start_col)
+            continue
+        if char.isdigit() or (char == "-" and pos + 1 < length
+                              and text[pos + 1].isdigit()):
+            end = pos + 1
+            seen_dot = False
+            while end < length and (text[end].isdigit()
+                                    or (text[end] == "." and not seen_dot
+                                        and end + 1 < length
+                                        and text[end + 1].isdigit())):
+                if text[end] == ".":
+                    seen_dot = True
+                end += 1
+            value = text[pos:end]
+            advance(end - pos)
+            yield Token(NUMBER, value, start_line, start_col)
+            continue
+        if char.isalpha() or char == "_":
+            end = pos + 1
+            while end < length and (text[end].isalnum() or text[end] in "_-."):
+                end += 1
+            word = text[pos:end]
+            # Trailing dots are statement terminators, not name parts.
+            while word.endswith("."):
+                word = word[:-1]
+                end -= 1
+            advance(end - pos)
+            if end < length and text[end] == ":":
+                # prefixed name: prefix ':' local
+                advance()  # ':'
+                local_end = pos
+                while local_end < length and (text[local_end].isalnum()
+                                              or text[local_end] in "_-."):
+                    local_end += 1
+                local = text[pos:local_end]
+                while local.endswith("."):
+                    local = local[:-1]
+                    local_end -= 1
+                advance(local_end - pos)
+                yield Token(PNAME, f"{word}:{local}", start_line, start_col)
+            else:
+                yield Token(KEYWORD, word, start_line, start_col)
+            continue
+        if char == ":":
+            # default-prefix name  :local
+            advance()
+            local_end = pos
+            while local_end < length and (text[local_end].isalnum()
+                                          or text[local_end] in "_-."):
+                local_end += 1
+            local = text[pos:local_end]
+            while local.endswith("."):
+                local = local[:-1]
+                local_end -= 1
+            advance(local_end - pos)
+            yield Token(PNAME, f":{local}", start_line, start_col)
+            continue
+        raise LexError(f"unexpected character {char!r} at {start_line}:{start_col}")
+    yield Token(EOF, "", line, column)
+
+
+def _read_string(text: str, pos: int) -> tuple[str, int]:
+    """Read a quoted string starting at ``pos``; returns (value, chars)."""
+    quote = text[pos]
+    out = []
+    cursor = pos + 1
+    while cursor < len(text):
+        char = text[cursor]
+        if char == quote:
+            return "".join(out), cursor - pos + 1
+        if char == "\\":
+            cursor += 1
+            if cursor >= len(text):
+                break
+            esc = text[cursor]
+            if esc in _STRING_ESCAPES:
+                out.append(_STRING_ESCAPES[esc])
+                cursor += 1
+                continue
+            if esc in "uU":
+                width = 4 if esc == "u" else 8
+                digits = text[cursor + 1:cursor + 1 + width]
+                if len(digits) != width:
+                    raise LexError("truncated unicode escape in string")
+                out.append(chr(int(digits, 16)))
+                cursor += 1 + width
+                continue
+            raise LexError(f"unknown string escape \\{esc}")
+        out.append(char)
+        cursor += 1
+    raise LexError("unterminated string literal")

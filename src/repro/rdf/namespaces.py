@@ -1,0 +1,66 @@
+"""Namespace helpers for building URIs tersely.
+
+A :class:`Namespace` is a URI prefix that mints full :class:`~repro.rdf.terms.URI`
+terms via attribute or item access::
+
+    GOV = Namespace("http://example.org/gov/")
+    GOV.sponsor            # URI('http://example.org/gov/sponsor')
+    GOV["Carla Bunes"]     # URI('http://example.org/gov/Carla%20Bunes')
+"""
+
+from __future__ import annotations
+
+from urllib.parse import quote
+
+from .terms import URI
+
+
+class Namespace:
+    """A URI prefix that can be extended into full URIs."""
+
+    __slots__ = ("prefix",)
+
+    def __init__(self, prefix: str):
+        self.prefix = prefix
+
+    def term(self, local: str) -> URI:
+        """Mint the URI for ``local`` under this namespace.
+
+        Spaces and other reserved characters in ``local`` are
+        percent-encoded so the result is a syntactically valid IRI.
+        """
+        return URI(self.prefix + quote(local, safe=""))
+
+    def __getattr__(self, local: str) -> URI:
+        if local.startswith("__"):
+            raise AttributeError(local)
+        return self.term(local)
+
+    def __getitem__(self, local: str) -> URI:
+        return self.term(local)
+
+    def __contains__(self, uri) -> bool:
+        return isinstance(uri, URI) and uri.value.startswith(self.prefix)
+
+    def __repr__(self):
+        return f"Namespace({self.prefix!r})"
+
+    def __eq__(self, other):
+        return isinstance(other, Namespace) and self.prefix == other.prefix
+
+    def __hash__(self):
+        return hash(("Namespace", self.prefix))
+
+
+#: Standard RDF namespaces used by parsers and dataset generators.
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+XSD = Namespace("http://www.w3.org/2001/XMLSchema#")
+OWL = Namespace("http://www.w3.org/2002/07/owl#")
+FOAF = Namespace("http://xmlns.com/foaf/0.1/")
+
+#: The namespace used for the GovTrack running example of the paper (Fig. 1).
+GOV = Namespace("http://example.org/govtrack/")
+
+#: LUBM's university benchmark ontology namespace.
+UB = Namespace("http://swat.cse.lehigh.edu/onto/univ-bench.owl#")

@@ -1,0 +1,260 @@
+"""A SPARQL basic-graph-pattern front-end producing query graphs.
+
+The paper's workload is "12 queries in SPARQL of different complexities"
+(§6.2), all conjunctive basic graph patterns.  This module parses that
+subset::
+
+    PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>
+    SELECT ?x ?y WHERE {
+        ?x ub:advisor ?y ;
+           ub:takesCourse ?c .
+        ?y ub:teacherOf ?c .
+        ?c ub:name "Course12" .
+    }
+
+Supported: ``PREFIX``/``BASE``, ``SELECT`` with projection or ``*``,
+``DISTINCT``/``REDUCED``, ``WHERE`` blocks with ``.``-separated triple
+patterns, ``;`` (same subject) and ``,`` (same subject+predicate)
+abbreviations, the ``a`` keyword, IRIs, prefixed names, variables,
+plain/typed/tagged literals and numbers.  Anything outside the BGP
+fragment (OPTIONAL, FILTER, UNION...) raises :class:`SparqlSyntaxError`
+— approximate matching subsumes most of what FILTER relaxation would
+give, and the paper's engine is BGP-only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from . import _lexer
+from ._lexer import Token
+from .graph import QueryGraph
+from .namespaces import RDF, XSD
+from .terms import BlankNode, Literal, Term, URI, Variable
+from .triples import Triple
+
+_UNSUPPORTED = {"OPTIONAL", "FILTER", "UNION", "GRAPH", "MINUS", "SERVICE",
+                "BIND", "VALUES", "CONSTRUCT", "ASK", "DESCRIBE"}
+
+
+class SparqlSyntaxError(ValueError):
+    """Raised when the query text falls outside the supported fragment."""
+
+
+@dataclass
+class SelectQuery:
+    """A parsed ``SELECT`` query: projection + basic graph pattern."""
+
+    variables: list[Variable]
+    patterns: list[Triple]
+    distinct: bool = False
+    prefixes: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def select_all(self) -> bool:
+        """True when the projection was ``SELECT *``."""
+        return not self.variables
+
+    def graph(self, name: str = "") -> QueryGraph:
+        """Materialise the BGP as a :class:`QueryGraph` (Definition 2)."""
+        query = QueryGraph(name=name)
+        for pattern in self.patterns:
+            pattern.validate_pattern()
+            query.add_triple(*pattern)
+        return query
+
+    def all_variables(self) -> set[Variable]:
+        """Every variable mentioned in the pattern."""
+        found: set[Variable] = set()
+        for pattern in self.patterns:
+            found.update(pattern.variables())
+        return found
+
+
+class _TokenCursor:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    def peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def next(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind != _lexer.EOF:
+            self._pos += 1
+        return token
+
+    def accept(self, kind: str, value: str | None = None) -> Token | None:
+        token = self.peek()
+        if token.kind != kind:
+            return None
+        if value is not None and token.value.upper() != value.upper():
+            return None
+        return self.next()
+
+    def expect(self, kind: str, value: str | None = None) -> Token:
+        token = self.accept(kind, value)
+        if token is None:
+            want = value or kind
+            raise SparqlSyntaxError(f"expected {want}, found {self.peek()}")
+        return token
+
+
+class _Parser:
+    def __init__(self, text: str):
+        try:
+            tokens = list(_lexer.tokenize(text))
+        except _lexer.LexError as exc:
+            raise SparqlSyntaxError(str(exc)) from exc
+        self.cursor = _TokenCursor(tokens)
+        self.prefixes: dict[str, str] = {}
+        self.base = ""
+        self._blank_counter = 0
+
+    # -- entry -----------------------------------------------------------
+
+    def parse(self) -> SelectQuery:
+        self._parse_prologue()
+        self.cursor.expect(_lexer.KEYWORD, "SELECT")
+        distinct = bool(self.cursor.accept(_lexer.KEYWORD, "DISTINCT")
+                        or self.cursor.accept(_lexer.KEYWORD, "REDUCED"))
+        variables = self._parse_projection()
+        self.cursor.expect(_lexer.KEYWORD, "WHERE")
+        patterns = self._parse_group()
+        self._parse_trailing_modifiers()
+        self.cursor.expect(_lexer.EOF)
+        if not patterns:
+            raise SparqlSyntaxError("empty WHERE block")
+        return SelectQuery(variables=variables, patterns=patterns,
+                           distinct=distinct, prefixes=dict(self.prefixes))
+
+    def _parse_prologue(self) -> None:
+        while True:
+            if self.cursor.accept(_lexer.KEYWORD, "PREFIX"):
+                name = self.cursor.expect(_lexer.PNAME).value
+                prefix = name.split(":", 1)[0]
+                iri = self.cursor.expect(_lexer.IRI).value
+                self.prefixes[prefix] = iri
+            elif self.cursor.accept(_lexer.KEYWORD, "BASE"):
+                self.base = self.cursor.expect(_lexer.IRI).value
+            else:
+                return
+
+    def _parse_projection(self) -> list[Variable]:
+        if self.cursor.accept(_lexer.PUNCT, "*"):
+            return []
+        variables = []
+        while True:
+            token = self.cursor.accept(_lexer.VAR)
+            if token is None:
+                break
+            variables.append(Variable(token.value))
+        if not variables:
+            raise SparqlSyntaxError("SELECT needs at least one variable or *")
+        return variables
+
+    def _parse_trailing_modifiers(self) -> None:
+        # LIMIT / OFFSET are accepted and ignored: the engine's own top-k
+        # parameter supersedes them.
+        while True:
+            if (self.cursor.accept(_lexer.KEYWORD, "LIMIT")
+                    or self.cursor.accept(_lexer.KEYWORD, "OFFSET")):
+                self.cursor.expect(_lexer.NUMBER)
+                continue
+            return
+
+    # -- graph pattern -----------------------------------------------------
+
+    def _parse_group(self) -> list[Triple]:
+        self.cursor.expect(_lexer.PUNCT, "{")
+        patterns: list[Triple] = []
+        while not self.cursor.accept(_lexer.PUNCT, "}"):
+            token = self.cursor.peek()
+            if token.kind == _lexer.KEYWORD and token.value.upper() in _UNSUPPORTED:
+                raise SparqlSyntaxError(
+                    f"{token.value.upper()} is outside the BGP fragment the "
+                    f"paper's engine evaluates")
+            patterns.extend(self._parse_triples_block())
+            # Optional '.' separators between blocks.
+            while self.cursor.accept(_lexer.PUNCT, "."):
+                pass
+        return patterns
+
+    def _parse_triples_block(self) -> list[Triple]:
+        subject = self._parse_term(position="subject")
+        patterns = []
+        while True:
+            predicate = self._parse_verb()
+            while True:
+                obj = self._parse_term(position="object")
+                patterns.append(Triple(subject, predicate, obj))
+                if not self.cursor.accept(_lexer.PUNCT, ","):
+                    break
+            if not self.cursor.accept(_lexer.PUNCT, ";"):
+                break
+            # A dangling ';' before '.' or '}' is tolerated (common in
+            # hand-written queries).
+            nxt = self.cursor.peek()
+            if nxt.kind == _lexer.PUNCT and nxt.value in ".}":
+                break
+        return patterns
+
+    def _parse_verb(self) -> Term:
+        if self.cursor.accept(_lexer.KEYWORD, "a"):
+            return RDF.type
+        token = self.cursor.peek()
+        if token.kind in (_lexer.IRI, _lexer.PNAME, _lexer.VAR):
+            return self._parse_term(position="predicate")
+        raise SparqlSyntaxError(f"expected predicate, found {token}")
+
+    def _parse_term(self, position: str) -> Term:
+        token = self.cursor.next()
+        if token.kind == _lexer.IRI:
+            return URI(self.base + token.value if self.base
+                       and "://" not in token.value else token.value)
+        if token.kind == _lexer.PNAME:
+            return self._expand_pname(token)
+        if token.kind == _lexer.VAR:
+            return Variable(token.value)
+        if token.kind == _lexer.STRING:
+            return self._finish_literal(token.value)
+        if token.kind == _lexer.NUMBER:
+            datatype = XSD.decimal if "." in token.value else XSD.integer
+            return Literal(token.value, datatype=datatype)
+        if token.kind == _lexer.KEYWORD and token.value in ("true", "false"):
+            return Literal(token.value, datatype=XSD.boolean)
+        if token.kind == _lexer.PUNCT and token.value == "[":
+            self.cursor.expect(_lexer.PUNCT, "]")
+            self._blank_counter += 1
+            return BlankNode(f"anon{self._blank_counter}")
+        raise SparqlSyntaxError(f"expected {position}, found {token}")
+
+    def _finish_literal(self, value: str) -> Literal:
+        lang = self.cursor.accept(_lexer.LANGTAG)
+        if lang:
+            return Literal(value, language=lang.value)
+        if self.cursor.accept(_lexer.DTYPE_SEP):
+            token = self.cursor.next()
+            if token.kind == _lexer.IRI:
+                return Literal(value, datatype=URI(token.value))
+            if token.kind == _lexer.PNAME:
+                return Literal(value, datatype=self._expand_pname(token))
+            raise SparqlSyntaxError(f"expected datatype IRI, found {token}")
+        return Literal(value)
+
+    def _expand_pname(self, token: Token) -> URI:
+        prefix, _, local = token.value.partition(":")
+        if prefix not in self.prefixes:
+            raise SparqlSyntaxError(f"undeclared prefix {prefix!r}: {token}")
+        return URI(self.prefixes[prefix] + local)
+
+
+def parse_select(text: str) -> SelectQuery:
+    """Parse a SPARQL ``SELECT`` query in the supported BGP fragment."""
+    return _Parser(text).parse()
+
+
+def query_graph(text: str, name: str = "") -> QueryGraph:
+    """Parse SPARQL text directly into a :class:`QueryGraph`."""
+    return parse_select(text).graph(name=name)

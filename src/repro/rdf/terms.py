@@ -1,0 +1,196 @@
+"""RDF term model: URIs, literals, blank nodes, and query variables.
+
+The paper (Definition 1 and 2) works with node labels drawn from
+``U ∪ L`` for data graphs and ``U ∪ L ∪ VAR`` for query graphs, and edge
+labels drawn from ``U`` (``U ∪ VAR`` for queries).  This module provides
+those label alphabets as small immutable term classes.
+
+Terms are hashable value objects: two ``URI`` instances with the same
+string compare equal, which is what makes them usable as graph node keys
+and index keys throughout the library.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+
+class Term:
+    """Base class for every RDF term.
+
+    Terms are immutable and compare by ``(type, lexical value)``.  The
+    ``value`` slot always carries the lexical form as a ``str``.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: str):
+        if not isinstance(value, str):
+            raise TypeError(f"term value must be str, got {type(value).__name__}")
+        object.__setattr__(self, "value", value)
+
+    def __setattr__(self, name, val):  # pragma: no cover - guard rail
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def __eq__(self, other):
+        return type(self) is type(other) and self.value == other.value
+
+    def __hash__(self):
+        return hash((type(self).__name__, self.value))
+
+    def __lt__(self, other):
+        if not isinstance(other, Term):
+            return NotImplemented
+        return (type(self).__name__, self.value) < (type(other).__name__, other.value)
+
+    def __repr__(self):
+        return f"{type(self).__name__}({self.value!r})"
+
+    def __str__(self):
+        return self.value
+
+    @property
+    def is_variable(self) -> bool:
+        """True when the term is a query variable."""
+        return isinstance(self, Variable)
+
+    @property
+    def is_constant(self) -> bool:
+        """True for URIs, literals, and blank nodes (anything bindable)."""
+        return not self.is_variable
+
+    def n3(self) -> str:
+        """Render the term in N-Triples / SPARQL surface syntax."""
+        raise NotImplementedError
+
+
+class URI(Term):
+    """A resource identifier (an element of the set ``U`` in the paper).
+
+    The lexical value is the full IRI string, e.g.
+    ``http://example.org/gov/CarlaBunes``.
+    """
+
+    __slots__ = ()
+
+    def n3(self) -> str:
+        return f"<{self.value}>"
+
+    @property
+    def local_name(self) -> str:
+        """The fragment or last path segment — the human-readable part."""
+        value = self.value
+        for sep in ("#", "/", ":"):
+            if sep in value:
+                tail = value.rsplit(sep, 1)[1]
+                if tail:
+                    return tail
+        return value
+
+
+class Literal(Term):
+    """An RDF literal value (an element of the set ``L``).
+
+    Only plain literals (optionally language-tagged or datatyped) are
+    modelled; the label alphabet of the paper does not distinguish
+    further.
+    """
+
+    __slots__ = ("language", "datatype")
+
+    def __init__(self, value: str, language: str | None = None,
+                 datatype: "URI | None" = None):
+        super().__init__(value)
+        if language is not None and datatype is not None:
+            raise ValueError("a literal cannot carry both language and datatype")
+        object.__setattr__(self, "language", language)
+        object.__setattr__(self, "datatype", datatype)
+
+    def __eq__(self, other):
+        return (type(self) is type(other)
+                and self.value == other.value
+                and self.language == other.language
+                and self.datatype == other.datatype)
+
+    def __hash__(self):
+        return hash(("Literal", self.value, self.language, self.datatype))
+
+    def __repr__(self):
+        extras = []
+        if self.language:
+            extras.append(f"language={self.language!r}")
+        if self.datatype:
+            extras.append(f"datatype={self.datatype!r}")
+        suffix = (", " + ", ".join(extras)) if extras else ""
+        return f"Literal({self.value!r}{suffix})"
+
+    def n3(self) -> str:
+        escaped = (self.value.replace("\\", "\\\\").replace('"', '\\"')
+                   .replace("\n", "\\n").replace("\r", "\\r").replace("\t", "\\t"))
+        body = f'"{escaped}"'
+        if self.language:
+            return f"{body}@{self.language}"
+        if self.datatype:
+            return f"{body}^^{self.datatype.n3()}"
+        return body
+
+
+class BlankNode(Term):
+    """An anonymous resource; the value is the local blank-node label."""
+
+    __slots__ = ()
+
+    def n3(self) -> str:
+        return f"_:{self.value}"
+
+
+class Variable(Term):
+    """A query variable (an element of ``VAR``), written ``?name``.
+
+    The stored ``value`` never includes the leading ``?``.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, value: str):
+        if value.startswith("?"):
+            value = value[1:]
+        if not value:
+            raise ValueError("variable name must be non-empty")
+        super().__init__(value)
+
+    def n3(self) -> str:
+        return f"?{self.value}"
+
+    def __str__(self):
+        return f"?{self.value}"
+
+
+#: Anything usable as a node label in a data graph (``ΣN = U ∪ L``).
+DataNodeLabel = Union[URI, Literal, BlankNode]
+
+#: Anything usable as a node label in a query graph (``U ∪ L ∪ VAR``).
+QueryNodeLabel = Union[URI, Literal, BlankNode, Variable]
+
+
+def coerce_term(value: "Term | str") -> Term:
+    """Coerce a plain string into a term using lightweight conventions.
+
+    Strings that start with ``?`` become :class:`Variable`, strings that
+    look like IRIs (contain ``://`` or start with ``urn:``) become
+    :class:`URI`, strings prefixed ``_:`` become :class:`BlankNode`, and
+    everything else becomes a :class:`Literal`.  Existing terms pass
+    through unchanged.  This keeps example code and tests readable
+    without a full parser in the way.
+    """
+    if isinstance(value, Term):
+        return value
+    if not isinstance(value, str):
+        raise TypeError(f"cannot coerce {type(value).__name__} to an RDF term")
+    if value.startswith("?"):
+        return Variable(value)
+    if value.startswith("_:"):
+        return BlankNode(value[2:])
+    if "://" in value or value.startswith("urn:"):
+        return URI(value)
+    return Literal(value)

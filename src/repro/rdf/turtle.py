@@ -1,0 +1,227 @@
+"""A Turtle-subset reader for loading datasets and examples.
+
+Shares the tokenizer with the SPARQL front-end and supports the common
+Turtle core: ``@prefix``/``PREFIX``, ``@base``, ``a``, ``;`` and ``,``
+abbreviations, IRIs, prefixed names, numbers, booleans and string
+literals with language tags or datatypes.  Collections and nested blank
+node property lists are outside the subset (the benchmark data never
+uses them) and raise :class:`TurtleSyntaxError`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from . import _lexer
+from .namespaces import RDF, XSD
+from .sparql import _TokenCursor
+from .terms import BlankNode, Literal, Term, URI, Variable
+from .triples import Triple
+
+
+class TurtleSyntaxError(ValueError):
+    """Raised on input outside the supported Turtle subset."""
+
+
+class _TurtleParser:
+    def __init__(self, text: str):
+        try:
+            tokens = list(_lexer.tokenize(text))
+        except _lexer.LexError as exc:
+            raise TurtleSyntaxError(str(exc)) from exc
+        self.cursor = _TokenCursor(tokens)
+        self.prefixes: dict[str, str] = {}
+        self.base = ""
+        self._blank_counter = 0
+
+    def parse(self) -> Iterator[Triple]:
+        from .sparql import SparqlSyntaxError
+
+        try:
+            while self.cursor.peek().kind != _lexer.EOF:
+                if self._parse_directive():
+                    continue
+                yield from self._parse_statement()
+        except SparqlSyntaxError as exc:
+            # The token cursor is shared with the SPARQL parser and
+            # raises its error type; re-badge it for Turtle callers.
+            raise TurtleSyntaxError(str(exc)) from exc
+
+    def _parse_directive(self) -> bool:
+        token = self.cursor.peek()
+        if token.kind != _lexer.KEYWORD:
+            return False
+        word = token.value
+        if word in ("@prefix", "PREFIX", "prefix"):
+            self.cursor.next()
+            name = self.cursor.expect(_lexer.PNAME).value
+            prefix = name.split(":", 1)[0]
+            iri = self.cursor.expect(_lexer.IRI).value
+            self.prefixes[prefix] = iri
+            self.cursor.accept(_lexer.PUNCT, ".")
+            return True
+        if word in ("@base", "BASE", "base"):
+            self.cursor.next()
+            self.base = self.cursor.expect(_lexer.IRI).value
+            self.cursor.accept(_lexer.PUNCT, ".")
+            return True
+        return False
+
+    def _parse_statement(self) -> Iterator[Triple]:
+        subject = self._parse_term(position="subject")
+        while True:
+            predicate = self._parse_verb()
+            while True:
+                obj = self._parse_term(position="object")
+                yield Triple(subject, predicate, obj)
+                if not self.cursor.accept(_lexer.PUNCT, ","):
+                    break
+            if not self.cursor.accept(_lexer.PUNCT, ";"):
+                break
+            nxt = self.cursor.peek()
+            if nxt.kind == _lexer.PUNCT and nxt.value == ".":
+                break
+        self.cursor.expect(_lexer.PUNCT, ".")
+
+    def _parse_verb(self) -> Term:
+        if self.cursor.accept(_lexer.KEYWORD, "a"):
+            return RDF.type
+        return self._parse_term(position="predicate")
+
+    def _parse_term(self, position: str) -> Term:
+        token = self.cursor.next()
+        if token.kind == _lexer.IRI:
+            value = token.value
+            if self.base and "://" not in value:
+                value = self.base + value
+            return URI(value)
+        if token.kind == _lexer.PNAME:
+            prefix, _, local = token.value.partition(":")
+            if prefix not in self.prefixes:
+                raise TurtleSyntaxError(f"undeclared prefix {prefix!r}: {token}")
+            return URI(self.prefixes[prefix] + local)
+        if token.kind == _lexer.STRING:
+            return self._finish_literal(token.value)
+        if token.kind == _lexer.NUMBER:
+            datatype = XSD.decimal if "." in token.value else XSD.integer
+            return Literal(token.value, datatype=datatype)
+        if token.kind == _lexer.KEYWORD and token.value in ("true", "false"):
+            return Literal(token.value, datatype=XSD.boolean)
+        if token.kind == _lexer.VAR:
+            # Turtle proper has no variables, but query-by-example files
+            # use them; callers building QueryGraphs welcome this.
+            return Variable(token.value)
+        if token.kind == _lexer.PUNCT and token.value == "[":
+            if self.cursor.accept(_lexer.PUNCT, "]"):
+                self._blank_counter += 1
+                return BlankNode(f"anon{self._blank_counter}")
+            raise TurtleSyntaxError("nested blank node property lists are "
+                                    "outside the supported Turtle subset")
+        if token.kind == _lexer.PUNCT and token.value == "(":
+            raise TurtleSyntaxError("RDF collections are outside the "
+                                    "supported Turtle subset")
+        raise TurtleSyntaxError(f"expected {position}, found {token}")
+
+    def _finish_literal(self, value: str) -> Literal:
+        lang = self.cursor.accept(_lexer.LANGTAG)
+        if lang:
+            return Literal(value, language=lang.value)
+        if self.cursor.accept(_lexer.DTYPE_SEP):
+            token = self.cursor.next()
+            if token.kind == _lexer.IRI:
+                return Literal(value, datatype=URI(token.value))
+            if token.kind == _lexer.PNAME:
+                prefix, _, local = token.value.partition(":")
+                if prefix not in self.prefixes:
+                    raise TurtleSyntaxError(f"undeclared prefix {prefix!r}")
+                return Literal(value, datatype=URI(self.prefixes[prefix] + local))
+            raise TurtleSyntaxError(f"expected datatype IRI, found {token}")
+        return Literal(value)
+
+
+def parse(text: str) -> Iterator[Triple]:
+    """Parse a Turtle document, yielding triples."""
+    return _TurtleParser(text).parse()
+
+
+def serialize(triples, prefixes: "dict[str, str] | None" = None) -> str:
+    """Serialise triples to Turtle with prefix compaction.
+
+    ``prefixes`` maps prefix names to IRI namespaces; when omitted,
+    namespaces are derived from the data (the common IRI stems, named
+    ``ns1``, ``ns2``, ...).  Triples are grouped by subject with ``;``
+    abbreviation, round-trippable through :func:`parse`.
+    """
+    triples = list(triples)
+    if prefixes is None:
+        prefixes = _derive_prefixes(triples)
+    reverse = sorted(prefixes.items(), key=lambda kv: -len(kv[1]))
+
+    def render(term: Term) -> str:
+        if isinstance(term, URI):
+            for name, namespace in reverse:
+                if term.value.startswith(namespace):
+                    local = term.value[len(namespace):]
+                    if local and all(c.isalnum() or c in "_-"
+                                     for c in local):
+                        return f"{name}:{local}"
+            return term.n3()
+        return term.n3()
+
+    lines = [f"@prefix {name}: <{namespace}> ."
+             for name, namespace in sorted(prefixes.items())]
+    if lines:
+        lines.append("")
+    by_subject: dict[Term, list[Triple]] = {}
+    order: list[Term] = []
+    for triple in triples:
+        if triple.subject not in by_subject:
+            by_subject[triple.subject] = []
+            order.append(triple.subject)
+        by_subject[triple.subject].append(triple)
+    for subject in order:
+        group = by_subject[subject]
+        head = render(subject)
+        parts = [f"{render(t.predicate)} {render(t.object)}"
+                 for t in group]
+        if len(parts) == 1:
+            lines.append(f"{head} {parts[0]} .")
+        else:
+            joined = " ;\n    ".join(parts)
+            lines.append(f"{head} {joined} .")
+    return "\n".join(lines) + "\n"
+
+
+def write_file(triples, path,
+               prefixes: "dict[str, str] | None" = None) -> int:
+    """Write triples to a ``.ttl`` file; returns the number written."""
+    triples = list(triples)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(serialize(triples, prefixes=prefixes))
+    return len(triples)
+
+
+def _derive_prefixes(triples) -> dict[str, str]:
+    """Guess namespaces: the stem up to the last '#' or '/' of each IRI."""
+    stems: dict[str, int] = {}
+    for triple in triples:
+        for term in triple:
+            if not isinstance(term, URI):
+                continue
+            value = term.value
+            cut = max(value.rfind("#"), value.rfind("/"))
+            if cut > len("http://"):
+                stem = value[:cut + 1]
+                stems[stem] = stems.get(stem, 0) + 1
+    prefixes = {}
+    for index, (stem, _count) in enumerate(
+            sorted(stems.items(), key=lambda kv: (-kv[1], kv[0]))):
+        prefixes[f"ns{index + 1}"] = stem
+    return prefixes
+
+
+def parse_file(path) -> Iterator[Triple]:
+    """Parse a ``.ttl`` file from disk."""
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    return parse(text)

@@ -1,0 +1,21 @@
+"""The similarity measure: λ/Λ quality, ψ/Ψ conformity, and score (§4).
+
+``score(a, Q) = Λ(a, Q) + Ψ(a, Q)`` is a distance — lower is more
+relevant — coherent with the weighted edit-cost relevance of
+Definition 4 (Theorem 1).  The weights default to the configuration of
+the paper's experiments (a=1, b=0.5, c=2, d=1, e=1).
+"""
+
+from .conformity import (conformity, conformity_degree, pairwise_degrees, psi)
+from .quality import lambda_cost, quality
+from .relevance import (Operation, Transformation, gamma, is_more_relevant,
+                        operation_weight)
+from .score import ScoreBreakdown, score_paths, score_value
+from .weights import PAPER_WEIGHTS, ScoringWeights
+
+__all__ = [
+    "Operation", "PAPER_WEIGHTS", "ScoreBreakdown", "ScoringWeights",
+    "Transformation", "conformity", "conformity_degree", "gamma",
+    "is_more_relevant", "lambda_cost", "operation_weight",
+    "pairwise_degrees", "psi", "quality", "score_paths", "score_value",
+]

@@ -1,0 +1,91 @@
+"""The conformity component of the score: ψ and Ψ (§4.1).
+
+Conformity measures how faithfully the *combination* of the retrieved
+paths mirrors the combination of the query paths: for every pair of
+query paths ``(qᵢ, qⱼ)`` that share nodes, the corresponding data paths
+``(pᵢ, pⱼ)`` should share nodes too.
+
+The paper presents two views of the same quantity and we expose both:
+
+- :func:`psi` — the distance form entering ``score`` (§4.1 formula):
+  ``ψ = e·|χ(qᵢ,qⱼ)| / |χ(pᵢ,pⱼ)|`` when the data paths intersect, and
+  the full penalty ``e·|χ(qᵢ,qⱼ)|`` when they do not.  Perfect
+  conformity yields ``e``; a deficient intersection yields more.
+- :func:`conformity_degree` — the normalised ratio
+  ``|χ(pᵢ,pⱼ)| / |χ(qᵢ,qⱼ)|`` used as the forest edge labels of Fig. 4
+  (1.0 = perfectly conforming, the paper draws < 1 edges dashed).
+
+Fig. 4's labels are the *degree* (the pair ``(p7, p1)`` is labelled
+``0.5``), while the formula text defines the *distance*; see DESIGN.md
+for the reconciliation.  Both are monotone images of each other, so
+Theorem 1 holds either way.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..paths.intersection import IntersectionGraph, chi
+from ..paths.model import Path
+from .weights import PAPER_WEIGHTS, ScoringWeights
+
+
+def psi(query_a: Path, query_b: Path, data_a: Path, data_b: Path,
+        weights: ScoringWeights = PAPER_WEIGHTS) -> float:
+    """The ψ distance of §4.1 for one pair of query/data paths.
+
+    Returns 0 for query pairs that do not intersect (they impose no
+    conformity constraint, so they contribute nothing to Ψ).
+    """
+    query_common = len(chi(query_a, query_b))
+    if query_common == 0:
+        return 0.0
+    data_common = len(chi(data_a, data_b))
+    if data_common == 0:
+        return weights.conformity * query_common
+    return weights.conformity * query_common / data_common
+
+
+def conformity_degree(query_a: Path, query_b: Path,
+                      data_a: Path, data_b: Path) -> float:
+    """The Fig. 4 forest edge label: |χ(p)| / |χ(q)| (1.0 = perfect).
+
+    Query pairs with no intersection have degree 1.0 by convention
+    (nothing to conform to).
+    """
+    query_common = len(chi(query_a, query_b))
+    if query_common == 0:
+        return 1.0
+    data_common = len(chi(data_a, data_b))
+    return data_common / query_common
+
+
+def conformity(query_ig: IntersectionGraph, data_paths: Sequence[Path],
+               weights: ScoringWeights = PAPER_WEIGHTS) -> float:
+    """The Ψ of §4.1 over a full candidate combination.
+
+    ``data_paths[i]`` is the data path aligned to the i-th query path
+    of ``query_ig``; the sum ranges over the IG's edges — exactly the
+    query path pairs with nodes in common, the pairs ψ is defined on.
+    """
+    if len(data_paths) != len(query_ig):
+        raise ValueError(f"expected {len(query_ig)} data paths "
+                         f"(one per query path), got {len(data_paths)}")
+    total = 0.0
+    for i, j, shared in query_ig.edges():
+        data_common = len(chi(data_paths[i], data_paths[j]))
+        if data_common == 0:
+            total += weights.conformity * len(shared)
+        else:
+            total += weights.conformity * len(shared) / data_common
+    return total
+
+
+def pairwise_degrees(query_ig: IntersectionGraph,
+                     data_paths: Sequence[Path]) -> dict[tuple[int, int], float]:
+    """Conformity degrees for every IG edge — the Fig. 4 labels."""
+    degrees = {}
+    for i, j, shared in query_ig.edges():
+        data_common = len(chi(data_paths[i], data_paths[j]))
+        degrees[(i, j)] = data_common / len(shared)
+    return degrees

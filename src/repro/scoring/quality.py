@@ -1,0 +1,43 @@
+"""The quality component of the score: λ and Λ (§4.1, Equation 1).
+
+``λ(p, q)`` is the weighted count of the alignment's operations::
+
+    λ(p, q) = a·n⁻_N + b·n↑_N + c·n⁻_E + d·n↑_E
+
+and ``Λ(a, Q) = Σ_{q ∈ Q} λ(p_q, q)`` sums it over every query path
+``q`` with ``p_q`` the data path aligned to it.  Deletions enter at
+their configured (default zero) weights so ablations can turn them on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..paths.alignment import Alignment, AlignmentCounts
+from .weights import PAPER_WEIGHTS, ScoringWeights
+
+
+def lambda_cost(counts: "AlignmentCounts | Alignment",
+                weights: ScoringWeights = PAPER_WEIGHTS) -> float:
+    """The λ of Equation 1 for one aligned path pair."""
+    if isinstance(counts, Alignment):
+        counts = counts.counts
+    return (weights.node_mismatch * counts.node_mismatches
+            + weights.node_insertion * counts.node_insertions
+            + weights.edge_mismatch * counts.edge_mismatches
+            + weights.edge_insertion * counts.edge_insertions
+            + weights.node_deletion * counts.node_deletions
+            + weights.edge_deletion * counts.edge_deletions)
+
+
+def quality(alignments: Iterable[Alignment],
+            weights: ScoringWeights = PAPER_WEIGHTS) -> float:
+    """The Λ of §4.1: total alignment cost over all query paths.
+
+    ``alignments`` holds one alignment per query path of the answer
+    being scored (a query path left unmatched contributes through its
+    deletion counts, which the engine encodes as an alignment against
+    an empty stand-in — see ``repro.engine.search``).
+    """
+    return sum(lambda_cost(alignment.counts, weights)
+               for alignment in alignments)

@@ -1,0 +1,113 @@
+"""The reference notion of relevance (Definitions 3–4) and Theorem 1 support.
+
+An (approximate) answer to ``Q`` is ``τ(φ(Q))`` for a substitution φ
+and a transformation τ built from six basic update operations.  The
+cost ``γ(τ)`` of a transformation is its ω-weighted size; answer ``a1``
+is *more relevant* than ``a2`` when ``γ(τ1) < γ(τ2)``.
+
+The paper's §3.1 text writes ``γ(τ) = z · Σ ω(εᵢ)`` but its Theorem 1
+proof computes the plain weighted sum (``γ(τᵢ) = n⁻_N·a + n↑_N·b +
+n⁻_E·c + n↑_E·d``); the extra factor ``z`` would break the proof's own
+inequality chain, so we implement the plain sum and treat the ``z ·``
+as a typo (documented in DESIGN.md).
+
+This module exists mostly so tests and the evaluation oracle can check
+that ``score`` is coherent with relevance (Theorem 1): it converts
+alignments into explicit transformations and prices them with the same
+ω the scoring weights encode.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..paths.alignment import Alignment
+from .weights import PAPER_WEIGHTS, ScoringWeights
+
+
+class Operation(enum.Enum):
+    """The six basic update operations of §3.1."""
+
+    NODE_INSERTION = "node-insertion"
+    NODE_DELETION = "node-deletion"
+    NODE_RELABELING = "node-relabeling"
+    EDGE_INSERTION = "edge-insertion"
+    EDGE_DELETION = "edge-deletion"
+    EDGE_RELABELING = "edge-relabeling"
+
+
+def operation_weight(op: Operation,
+                     weights: ScoringWeights = PAPER_WEIGHTS) -> float:
+    """The ω of Definition 4 under the Theorem 1 proof's assignment.
+
+    Relabelings correspond to the mismatch counters of Equation 1
+    (a for nodes, c for edges); insertions to b and d; deletions to the
+    configured (default zero) deletion weights.
+    """
+    mapping = {
+        Operation.NODE_RELABELING: weights.node_mismatch,
+        Operation.NODE_INSERTION: weights.node_insertion,
+        Operation.EDGE_RELABELING: weights.edge_mismatch,
+        Operation.EDGE_INSERTION: weights.edge_insertion,
+        Operation.NODE_DELETION: weights.node_deletion,
+        Operation.EDGE_DELETION: weights.edge_deletion,
+    }
+    return mapping[op]
+
+
+@dataclass(frozen=True)
+class Transformation:
+    """A τ: an explicit sequence of basic update operations."""
+
+    operations: tuple[Operation, ...]
+
+    @classmethod
+    def from_operations(cls, operations: Iterable[Operation]) -> "Transformation":
+        return cls(tuple(operations))
+
+    @classmethod
+    def from_alignment(cls, alignment: Alignment) -> "Transformation":
+        """The τ a single path alignment implies."""
+        counts = alignment.counts
+        ops: list[Operation] = []
+        ops.extend([Operation.NODE_RELABELING] * counts.node_mismatches)
+        ops.extend([Operation.NODE_INSERTION] * counts.node_insertions)
+        ops.extend([Operation.EDGE_RELABELING] * counts.edge_mismatches)
+        ops.extend([Operation.EDGE_INSERTION] * counts.edge_insertions)
+        ops.extend([Operation.NODE_DELETION] * counts.node_deletions)
+        ops.extend([Operation.EDGE_DELETION] * counts.edge_deletions)
+        return cls(tuple(ops))
+
+    @classmethod
+    def from_alignments(cls, alignments: Sequence[Alignment]) -> "Transformation":
+        """The τ of a whole answer: concatenation over its paths."""
+        ops: list[Operation] = []
+        for alignment in alignments:
+            ops.extend(cls.from_alignment(alignment).operations)
+        return cls(tuple(ops))
+
+    @property
+    def is_empty(self) -> bool:
+        """Empty τ ⇔ the answer is exact (Definition 3)."""
+        return not self.operations
+
+    def cost(self, weights: ScoringWeights = PAPER_WEIGHTS) -> float:
+        """γ(τ): the ω-weighted size of the transformation."""
+        return sum(operation_weight(op, weights) for op in self.operations)
+
+    def __len__(self):
+        return len(self.operations)
+
+
+def gamma(transformation: Transformation,
+          weights: ScoringWeights = PAPER_WEIGHTS) -> float:
+    """Module-level alias for ``transformation.cost`` (paper notation)."""
+    return transformation.cost(weights)
+
+
+def is_more_relevant(tau_1: Transformation, tau_2: Transformation,
+                     weights: ScoringWeights = PAPER_WEIGHTS) -> bool:
+    """Definition 4: ``a1 = τ1(φ1(Q))`` is more relevant than ``a2``."""
+    return tau_1.cost(weights) < tau_2.cost(weights)

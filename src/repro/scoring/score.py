@@ -1,0 +1,74 @@
+"""The full similarity measure: score(a, Q) = Λ(a, Q) + Ψ(a, Q) (§4.1).
+
+Lower scores mean more relevant answers (the measure is a distance
+approximating weighted graph edit cost).  :func:`score_paths` scores a
+candidate combination of data paths against the query's paths;
+:class:`ScoreBreakdown` keeps the per-component values for inspection,
+explanation and the engine's incremental search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..paths.alignment import Alignment, LabelMatcher, align, exact_match
+from ..paths.intersection import IntersectionGraph
+from ..paths.model import Path
+from .conformity import conformity
+from .quality import lambda_cost, quality
+from .weights import PAPER_WEIGHTS, ScoringWeights
+
+
+@dataclass(frozen=True)
+class ScoreBreakdown:
+    """A score with its Λ / Ψ components and per-path alignments."""
+
+    quality: float              # Λ(a, Q)
+    conformity: float           # Ψ(a, Q)
+    alignments: tuple[Alignment, ...]
+
+    @property
+    def total(self) -> float:
+        """score(a, Q) = Λ + Ψ."""
+        return self.quality + self.conformity
+
+    def lambda_of(self, index: int) -> float:
+        """Reconstruct λ for the ``index``-th query path (paper weights)."""
+        return lambda_cost(self.alignments[index].counts)
+
+    def __str__(self):
+        return (f"score={self.total:.3f} "
+                f"(Λ={self.quality:.3f}, Ψ={self.conformity:.3f})")
+
+
+def score_paths(data_paths: Sequence[Path], query_paths: Sequence[Path],
+                weights: ScoringWeights = PAPER_WEIGHTS,
+                matcher: LabelMatcher = exact_match,
+                query_ig: "IntersectionGraph | None" = None) -> ScoreBreakdown:
+    """Score a candidate answer given as one data path per query path.
+
+    ``data_paths[i]`` is aligned against ``query_paths[i]``; Λ sums the
+    λ costs and Ψ sums ψ over the intersecting query path pairs.  The
+    caller can pass a precomputed ``query_ig`` (the engine reuses one
+    per query) or let this function build it.
+    """
+    if len(data_paths) != len(query_paths):
+        raise ValueError(f"need one data path per query path: "
+                         f"{len(data_paths)} vs {len(query_paths)}")
+    if query_ig is None:
+        query_ig = IntersectionGraph(query_paths)
+    alignments = tuple(align(p, q, matcher)
+                       for p, q in zip(data_paths, query_paths))
+    return ScoreBreakdown(
+        quality=quality(alignments, weights),
+        conformity=conformity(query_ig, list(data_paths), weights),
+        alignments=alignments,
+    )
+
+
+def score_value(data_paths: Sequence[Path], query_paths: Sequence[Path],
+                weights: ScoringWeights = PAPER_WEIGHTS,
+                matcher: LabelMatcher = exact_match) -> float:
+    """Just the scalar score(a, Q) — convenience over :func:`score_paths`."""
+    return score_paths(data_paths, query_paths, weights, matcher).total

@@ -1,0 +1,88 @@
+"""Scoring weights: the parameters a, b, c, d, e of §4.1.
+
+The weights realise the relevance function ω of Definition 4 on the
+basic update operations:
+
+====================  ======  ===========================================
+parameter             symbol  operation weighted
+====================  ======  ===========================================
+``node_mismatch``     a       a node of p whose label is not in q (n⁻_N)
+``node_insertion``    b       a node τ inserts into q (n↑_N)
+``edge_mismatch``     c       an edge of p whose label is not in q (n⁻_E)
+``edge_insertion``    d       an edge τ inserts into q (n↑_E)
+``conformity``        e       the weight of the conformity term ψ
+``node_deletion``     —       ω fixed to 0 in the paper's Theorem 1 proof
+``edge_deletion``     —       ω fixed to 0, same reason
+====================  ======  ===========================================
+
+The paper's experiments use ``a=1, b=0.5, c=2, d=1`` (§6.2) with
+``e=1``; :meth:`ScoringWeights.paper` returns exactly that
+configuration, and it is the library default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class ScoringWeights:
+    """Weight configuration for λ, ψ and the reference edit cost γ."""
+
+    node_mismatch: float = 1.0     # a
+    node_insertion: float = 0.5    # b
+    edge_mismatch: float = 2.0     # c
+    edge_insertion: float = 1.0    # d
+    conformity: float = 1.0        # e
+    node_deletion: float = 0.0     # ω(node deletion), 0 per Theorem 1 proof
+    edge_deletion: float = 0.0     # ω(edge deletion), 0 per Theorem 1 proof
+
+    def __post_init__(self):
+        for name in ("node_mismatch", "node_insertion", "edge_mismatch",
+                     "edge_insertion", "conformity", "node_deletion",
+                     "edge_deletion"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ValueError(f"{name} must be non-negative, got {value}")
+
+    @classmethod
+    def paper(cls) -> "ScoringWeights":
+        """The configuration of the paper's experiments (§6.2)."""
+        return cls(node_mismatch=1.0, node_insertion=0.5,
+                   edge_mismatch=2.0, edge_insertion=1.0, conformity=1.0)
+
+    @classmethod
+    def uniform(cls, weight: float = 1.0) -> "ScoringWeights":
+        """All mismatch/insertion operations at one weight (ablations)."""
+        return cls(node_mismatch=weight, node_insertion=weight,
+                   edge_mismatch=weight, edge_insertion=weight,
+                   conformity=weight)
+
+    @classmethod
+    def structure_only(cls) -> "ScoringWeights":
+        """Only insertions cost; label mismatches are free (ablation).
+
+        Useful to isolate how much of Sama's effectiveness comes from
+        topology versus label agreement.
+        """
+        return cls(node_mismatch=0.0, node_insertion=0.5,
+                   edge_mismatch=0.0, edge_insertion=1.0, conformity=1.0)
+
+    @classmethod
+    def labels_only(cls) -> "ScoringWeights":
+        """Only label mismatches cost; insertions are free (ablation)."""
+        return cls(node_mismatch=1.0, node_insertion=0.0,
+                   edge_mismatch=2.0, edge_insertion=0.0, conformity=0.0)
+
+    def with_conformity(self, weight: float) -> "ScoringWeights":
+        """A copy with the conformity weight e replaced."""
+        return replace(self, conformity=weight)
+
+    @property
+    def insertion_pair_cost(self) -> float:
+        """Cost of inserting one (edge, node) pair: b + d."""
+        return self.node_insertion + self.edge_insertion
+
+
+#: The default configuration, matching the paper's experiments.
+PAPER_WEIGHTS = ScoringWeights.paper()

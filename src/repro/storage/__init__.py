@@ -1,0 +1,21 @@
+"""Disk storage substrate: page store, buffer pool, record log, codec.
+
+This package simulates the disk-resident database the paper stores its
+index in (HyperGraphDB, §6.1): fixed-size pages with physical I/O
+accounting and optional simulated latency, an LRU buffer pool whose
+``clear()`` realises the cold-cache condition, and an append-only
+record log holding the serialised paths.
+"""
+
+from .bufferpool import BufferPool, CacheStats
+from .dictionary import TermDictionary, decode_path_ids, encode_path_ids
+from .pagestore import DEFAULT_PAGE_SIZE, IoStats, PageStore, StorageError
+from .recordfile import RecordFile
+from .serializer import CodecError, decode_path, encode_path, read_term, write_term
+
+__all__ = [
+    "BufferPool", "CacheStats", "CodecError", "DEFAULT_PAGE_SIZE", "IoStats",
+    "PageStore", "RecordFile", "StorageError", "TermDictionary",
+    "decode_path", "decode_path_ids", "encode_path", "encode_path_ids",
+    "read_term", "write_term",
+]

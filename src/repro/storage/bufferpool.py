@@ -1,0 +1,92 @@
+"""An LRU buffer pool over a :class:`~repro.storage.pagestore.PageStore`.
+
+Query-time reads go through the pool; a *cold-cache* run starts from an
+empty pool (``clear()``) while a *warm-cache* run reuses whatever the
+previous runs faulted in — exactly the §6.2 experimental conditions.
+Hit/miss counters feed the evaluation harness.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from .pagestore import PageStore
+
+
+@dataclass
+class CacheStats:
+    """Logical read counters at the buffer pool."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+class BufferPool:
+    """Least-recently-used page cache.
+
+    ``capacity`` is in pages.  A capacity of 0 disables caching (every
+    read is physical), which is occasionally useful for worst-case
+    measurements.
+    """
+
+    def __init__(self, store: PageStore, capacity: int = 1024):
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.store = store
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._pages: OrderedDict[int, bytes] = OrderedDict()
+
+    def read_page(self, page_id: int) -> bytes:
+        """Read a page through the cache."""
+        cached = self._pages.get(page_id)
+        if cached is not None:
+            self._pages.move_to_end(page_id)
+            self.stats.hits += 1
+            return cached
+        self.stats.misses += 1
+        data = self.store.read_page(page_id)
+        if self.capacity:
+            self._pages[page_id] = data
+            if len(self._pages) > self.capacity:
+                self._pages.popitem(last=False)
+        return data
+
+    def write_page(self, page_id: int, data: bytes) -> None:
+        """Write through to the store and refresh the cached copy."""
+        self.store.write_page(page_id, data)
+        if self.capacity:
+            self._pages[page_id] = data.ljust(self.store.page_size, b"\x00")
+            self._pages.move_to_end(page_id)
+            if len(self._pages) > self.capacity:
+                self._pages.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every cached page — the cold-cache starting condition."""
+        self._pages.clear()
+
+    def warm(self, page_ids) -> None:
+        """Pre-fault the given pages (builds a warm cache explicitly)."""
+        for page_id in page_ids:
+            self.read_page(page_id)
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self._pages)
+
+    def __repr__(self):
+        return (f"<BufferPool: {self.resident_pages}/{self.capacity} pages, "
+                f"hit ratio {self.stats.hit_ratio:.2%}>")

@@ -1,0 +1,125 @@
+"""Dictionary compression for path records (the paper's §7 future work).
+
+The paper lists "compression mechanisms for reducing the overhead
+required by [the index's] construction and maintenance" as future
+work.  This module implements the classic RDF-store answer: a *term
+dictionary* mapping every distinct term to a small integer id, so path
+records store varint id sequences instead of repeated UTF-8 labels.
+Long URIs shared by thousands of paths (type predicates, class nodes)
+shrink to one or two bytes each.
+
+The dictionary itself is an append-only stream of terms in first-use
+order (a term's id *is* its position), persisted next to the path log
+and re-read sequentially on open.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import BinaryIO
+
+from ..paths.model import Path
+from ..rdf.terms import Term
+from .serializer import (CodecError, read_term, read_varint, write_term,
+                         write_varint)
+
+
+class TermDictionary:
+    """A bidirectional term ↔ id mapping with append-only persistence."""
+
+    def __init__(self):
+        self._terms: list[Term] = []
+        self._ids: dict[Term, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def __contains__(self, term: Term) -> bool:
+        return term in self._ids
+
+    def encode(self, term: Term) -> int:
+        """The id of ``term``, assigning the next id on first use."""
+        existing = self._ids.get(term)
+        if existing is not None:
+            return existing
+        term_id = len(self._terms)
+        self._terms.append(term)
+        self._ids[term] = term_id
+        return term_id
+
+    def id_of(self, term: Term) -> int:
+        """The id of a term known to be present (KeyError otherwise)."""
+        return self._ids[term]
+
+    def lookup(self, term_id: int) -> Term:
+        """The term behind ``term_id``."""
+        if not 0 <= term_id < len(self._terms):
+            raise CodecError(f"term id {term_id} out of range "
+                             f"[0, {len(self._terms)})")
+        return self._terms[term_id]
+
+    # -- persistence -------------------------------------------------------
+
+    def save(self, path) -> int:
+        """Write the dictionary to ``path``; returns bytes written."""
+        buffer = io.BytesIO()
+        buffer.write(b"TDIC")
+        write_varint(buffer, len(self._terms))
+        for term in self._terms:
+            write_term(buffer, term)
+        data = buffer.getvalue()
+        with open(path, "wb") as handle:
+            handle.write(data)
+        return len(data)
+
+    @classmethod
+    def load(cls, path) -> "TermDictionary":
+        with open(path, "rb") as handle:
+            stream: BinaryIO = io.BytesIO(handle.read())
+        magic = stream.read(4)
+        if magic != b"TDIC":
+            raise CodecError(f"{os.fspath(path)} is not a term dictionary "
+                             f"(magic {magic!r})")
+        count = read_varint(stream)
+        dictionary = cls()
+        for _ in range(count):
+            dictionary.encode(read_term(stream))
+        if len(dictionary) != count:
+            raise CodecError("duplicate terms in dictionary stream")
+        return dictionary
+
+
+def encode_path_ids(path: Path, dictionary: TermDictionary) -> bytes:
+    """Serialise a path as dictionary ids (compact record format)."""
+    stream = io.BytesIO()
+    write_varint(stream, path.length)
+    for node in path.nodes:
+        write_varint(stream, dictionary.encode(node))
+    for edge in path.edges:
+        write_varint(stream, dictionary.encode(edge))
+    if path.node_ids is None:
+        stream.write(b"\x00")
+    else:
+        stream.write(b"\x01")
+        for node_id in path.node_ids:
+            write_varint(stream, node_id)
+    return stream.getvalue()
+
+
+def decode_path_ids(data: bytes, dictionary: TermDictionary) -> Path:
+    """Deserialise a dictionary-encoded path."""
+    stream = io.BytesIO(data)
+    count = read_varint(stream)
+    if count < 1:
+        raise CodecError("path must have at least one node")
+    nodes = [dictionary.lookup(read_varint(stream)) for _ in range(count)]
+    edges = [dictionary.lookup(read_varint(stream)) for _ in range(count - 1)]
+    flag = stream.read(1)
+    if flag == b"\x00":
+        node_ids = None
+    elif flag == b"\x01":
+        node_ids = [read_varint(stream) for _ in range(count)]
+    else:
+        raise CodecError(f"bad node-id presence flag {flag!r}")
+    return Path(nodes, edges, node_ids=node_ids)

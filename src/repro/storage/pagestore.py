@@ -1,0 +1,200 @@
+"""A page-oriented file store with simulated device latency.
+
+The paper's prototype keeps its index in a disk-resident graph database
+(HyperGraphDB) and evaluates cold-cache versus warm-cache behaviour
+(§6.2).  This module is our storage substrate: fixed-size pages in a
+single file, explicit read/write I/O accounting, and an optional
+per-read latency knob so benchmarks can reproduce the cold/warm gap on
+hardware whose page cache would otherwise hide it.
+
+The store is deliberately primitive — no WAL, no concurrency — because
+the indexed paths are write-once, read-many (the paper's index is built
+offline and only read at query time).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import zlib
+from dataclasses import dataclass
+
+DEFAULT_PAGE_SIZE = 4096
+
+
+class StorageError(RuntimeError):
+    """Raised on invalid page operations."""
+
+
+@dataclass
+class IoStats:
+    """Physical I/O counters (page granularity)."""
+
+    page_reads: int = 0
+    page_writes: int = 0
+    read_seconds: float = 0.0
+
+    def reset(self) -> None:
+        self.page_reads = 0
+        self.page_writes = 0
+        self.read_seconds = 0.0
+
+
+class PageStore:
+    """Fixed-size pages in one backing file.
+
+    Parameters
+    ----------
+    path:
+        The backing file.  Created on first write if missing.
+    page_size:
+        Bytes per page (default 4096).
+    read_latency:
+        Simulated seconds added to every *physical* page read.  Zero by
+        default (tests); the cold/warm benchmarks set a small value so
+        buffer pool misses are visible in the measured times the way
+        they were on the paper's RAID array.
+    """
+
+    def __init__(self, path, page_size: int = DEFAULT_PAGE_SIZE,
+                 read_latency: float = 0.0, verify_checksums: bool = True):
+        if page_size < 64:
+            raise StorageError(f"page_size too small: {page_size}")
+        self.path = os.fspath(path)
+        self.page_size = page_size
+        self.read_latency = read_latency
+        self.verify_checksums = verify_checksums
+        self.stats = IoStats()
+        mode = "r+b" if os.path.exists(self.path) else "w+b"
+        self._file = open(self.path, mode)
+        self._file.seek(0, os.SEEK_END)
+        size = self._file.tell()
+        if size % page_size:
+            raise StorageError(f"{self.path} is not page-aligned "
+                               f"({size} bytes, page size {page_size})")
+        self._page_count = size // page_size
+        self._closed = False
+        # Per-page CRC32, persisted in a sidecar on flush().  Reads
+        # verify against it when an entry exists, so silent on-disk
+        # corruption surfaces as StorageError instead of bad answers.
+        self._checksums: dict[int, int] = {}
+        if verify_checksums:
+            self._load_checksums()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        if not self._closed:
+            self._file.close()
+            self._closed = True
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    def __del__(self):  # pragma: no cover - best effort
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- page API --------------------------------------------------------------
+
+    @property
+    def page_count(self) -> int:
+        return self._page_count
+
+    def allocate(self) -> int:
+        """Append a zeroed page; returns its page id."""
+        self._check_open()
+        page_id = self._page_count
+        self._file.seek(page_id * self.page_size)
+        self._file.write(b"\x00" * self.page_size)
+        self._page_count += 1
+        self.stats.page_writes += 1
+        return page_id
+
+    def write_page(self, page_id: int, data: bytes) -> None:
+        """Overwrite one page; ``data`` must fit the page size."""
+        self._check_open()
+        self._check_page(page_id)
+        if len(data) > self.page_size:
+            raise StorageError(f"record of {len(data)} bytes exceeds page "
+                               f"size {self.page_size}")
+        padded = data.ljust(self.page_size, b"\x00")
+        self._file.seek(page_id * self.page_size)
+        self._file.write(padded)
+        if self.verify_checksums:
+            self._checksums[page_id] = zlib.crc32(padded)
+        self.stats.page_writes += 1
+
+    def read_page(self, page_id: int) -> bytes:
+        """Physically read one page (pays the simulated latency)."""
+        self._check_open()
+        self._check_page(page_id)
+        started = time.perf_counter()
+        if self.read_latency:
+            time.sleep(self.read_latency)
+        self._file.seek(page_id * self.page_size)
+        data = self._file.read(self.page_size)
+        if self.verify_checksums:
+            self._verify(page_id, data)
+        self.stats.page_reads += 1
+        self.stats.read_seconds += time.perf_counter() - started
+        return data
+
+    def flush(self) -> None:
+        self._check_open()
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        if self.verify_checksums:
+            self._save_checksums()
+
+    # -- checksums ---------------------------------------------------------
+
+    @property
+    def _checksum_path(self) -> str:
+        return self.path + ".crc"
+
+    def _load_checksums(self) -> None:
+        if not os.path.exists(self._checksum_path):
+            return
+        with open(self._checksum_path, "rb") as handle:
+            blob = handle.read()
+        if len(blob) % 8:
+            raise StorageError(f"{self._checksum_path} is corrupt")
+        for position in range(0, len(blob), 8):
+            page_id = int.from_bytes(blob[position:position + 4], "big")
+            crc = int.from_bytes(blob[position + 4:position + 8], "big")
+            self._checksums[page_id] = crc
+
+    def _save_checksums(self) -> None:
+        chunks = []
+        for page_id in sorted(self._checksums):
+            chunks.append(page_id.to_bytes(4, "big"))
+            chunks.append(self._checksums[page_id].to_bytes(4, "big"))
+        with open(self._checksum_path, "wb") as handle:
+            handle.write(b"".join(chunks))
+
+    def _verify(self, page_id: int, data: bytes) -> None:
+        expected = self._checksums.get(page_id)
+        if expected is not None and zlib.crc32(data) != expected:
+            raise StorageError(
+                f"checksum mismatch on page {page_id} of {self.path}: "
+                f"on-disk corruption detected")
+
+    def size_bytes(self) -> int:
+        """Current on-disk size."""
+        return self._page_count * self.page_size
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StorageError("page store is closed")
+
+    def _check_page(self, page_id: int) -> None:
+        if not 0 <= page_id < self._page_count:
+            raise StorageError(f"page {page_id} out of range "
+                               f"[0, {self._page_count})")

@@ -1,0 +1,75 @@
+"""Shared fixtures: the GovTrack running example and a small LUBM engine.
+
+Expensive artifacts (indexes, engines) are session-scoped; tests that
+mutate engine state (cache clearing) do so through APIs that leave the
+engine reusable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.govtrack import (govtrack_figure_graph, govtrack_graph,
+                                     query_q1, query_q2)
+from repro.datasets import dataset
+from repro.engine import SamaEngine
+from repro.index import build_index
+
+
+@pytest.fixture(scope="session")
+def govtrack():
+    """The canonical Fig. 1 data graph."""
+    return govtrack_graph()
+
+
+@pytest.fixture(scope="session")
+def govtrack_figure():
+    """Fig. 1 with the decorative nodes included."""
+    return govtrack_figure_graph()
+
+
+@pytest.fixture(scope="session")
+def q1():
+    return query_q1()
+
+
+@pytest.fixture(scope="session")
+def q2():
+    return query_q2()
+
+
+@pytest.fixture(scope="session")
+def govtrack_engine(govtrack, tmp_path_factory):
+    """A Sama engine over the GovTrack example (persistent index dir)."""
+    directory = tmp_path_factory.mktemp("govtrack-index")
+    engine = SamaEngine.from_graph(govtrack, directory=str(directory))
+    yield engine
+    engine.close()
+
+
+@pytest.fixture(scope="session")
+def lubm_small():
+    """A small LUBM graph shared by the integration tests."""
+    return dataset("lubm").build(2500, seed=7)
+
+
+@pytest.fixture(scope="session")
+def lubm_engine(lubm_small, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("lubm-index")
+    engine = SamaEngine.from_graph(lubm_small, directory=str(directory))
+    yield engine
+    engine.close()
+
+
+@pytest.fixture
+def index_dir(tmp_path):
+    """A fresh directory for building throwaway indexes."""
+    return str(tmp_path / "index")
+
+
+@pytest.fixture
+def tiny_index(tmp_path, govtrack):
+    """A freshly built GovTrack index (function-scoped, mutable)."""
+    index, stats = build_index(govtrack, str(tmp_path / "tiny"))
+    yield index
+    index.close()

@@ -1,0 +1,172 @@
+"""Unit tests for path alignment (§4.3) — including the paper's examples."""
+
+import pytest
+
+from repro.paths.alignment import (Alignment, AlignmentCounts, align,
+                                   align_optimal, exact_match)
+from repro.paths.model import path_of
+from repro.rdf.terms import Variable
+from repro.scoring.quality import lambda_cost
+from repro.scoring.weights import PAPER_WEIGHTS, ScoringWeights
+
+
+# The paper's §4.3 paths (short labels, as printed in the paper).
+P = path_of("CB", "sponsor", "A0056", "aTo", "B1432", "subject", "HC")
+P_PRIME = path_of("JR", "sponsor", "A1589", "aTo", "B0532", "subject", "HC")
+Q1 = path_of("CB", "sponsor", "?v1", "aTo", "?v2", "subject", "HC")
+Q2 = path_of("?v3", "sponsor", "?v2", "subject", "HC")
+
+
+class TestPaperWorkedExamples:
+    def test_lambda_p_q1_is_zero(self):
+        """q1 requires only a substitution: λ(p, q1) = 0."""
+        alignment = align(P, Q1)
+        assert alignment.is_exact
+        assert lambda_cost(alignment) == 0.0
+
+    def test_lambda_p_q2_is_one_point_five(self):
+        """q2 inserts one (edge, node) pair: λ = b + d = 0.5 + 1 = 1.5."""
+        alignment = align(P, Q2)
+        counts = alignment.counts
+        assert counts.node_insertions == 1
+        assert counts.edge_insertions == 1
+        assert counts.node_mismatches == 0
+        assert counts.edge_mismatches == 0
+        assert lambda_cost(alignment) == 1.5
+
+    def test_lambda_p_prime_q1_is_one(self):
+        """p' mismatches CB/JR: λ = a = 1."""
+        alignment = align(P_PRIME, Q1)
+        counts = alignment.counts
+        assert counts.node_mismatches == 1
+        assert counts.node_insertions == 0
+        assert lambda_cost(alignment) == 1.0
+
+    def test_substitution_of_exact_alignment(self):
+        subst = align(P, Q1).substitution
+        assert subst[Variable("v1")].value == "A0056"
+        assert subst[Variable("v2")].value == "B1432"
+
+
+class TestVariableHandling:
+    def test_variable_edge_binds(self):
+        q = path_of("CB", "?e1", "B1432", "subject", "HC")
+        p = path_of("CB", "sponsor", "B1432", "subject", "HC")
+        alignment = align(p, q)
+        assert alignment.is_exact
+        assert alignment.substitution[Variable("e1")].value == "sponsor"
+
+    def test_repeated_variable_conflicting_binding_counts_mismatch(self):
+        q = path_of("?x", "p", "?x")
+        p = path_of("A", "p", "B")
+        alignment = align(p, q)
+        assert alignment.counts.node_mismatches == 1
+
+    def test_repeated_variable_consistent_binding_free(self):
+        q = path_of("?x", "p", "mid", "q", "?x")
+        p = path_of("A", "p", "mid", "q", "A")
+        alignment = align(p, q)
+        assert alignment.is_exact
+
+
+class TestInsertionsAndDeletions:
+    def test_source_side_surplus_is_inserted(self):
+        q = path_of("?v", "subject", "HC")
+        p = path_of("CB", "sponsor", "B1432", "subject", "HC")
+        counts = align(p, q).counts
+        assert counts.node_insertions == 1
+        assert counts.edge_insertions == 1
+
+    def test_query_longer_than_data_deletes_free(self):
+        q = path_of("?a", "p1", "?b", "p2", "?c", "subject", "HC")
+        p = path_of("X", "subject", "HC")
+        counts = align(p, q).counts
+        assert counts.node_deletions == 2
+        assert counts.edge_deletions == 2
+        # Deletions cost 0 with paper weights.
+        assert lambda_cost(counts) == 0.0
+
+    def test_sink_mismatch_counts(self):
+        q = path_of("?v", "gender", "Male")
+        p = path_of("CB", "gender", "Female")
+        counts = align(p, q).counts
+        assert counts.node_mismatches == 1
+
+    def test_single_node_paths(self):
+        counts = align(path_of("A"), path_of("A")).counts
+        assert counts.is_exact
+        counts = align(path_of("A"), path_of("B")).counts
+        assert counts.node_mismatches == 1
+
+
+class TestCustomMatcher:
+    def test_matcher_widens_equality(self):
+        q = path_of("?v", "gender", "Man")
+        p = path_of("CB", "gender", "Male")
+
+        def lenient(data_label, query_label):
+            pair = {str(data_label), str(query_label)}
+            return data_label == query_label or pair == {"Male", "Man"}
+
+        assert align(p, q, lenient).is_exact
+        assert not align(p, q).is_exact
+
+
+class TestTranscript:
+    def test_ops_reversed_to_source_to_sink(self):
+        alignment = align(P, Q2)
+        kinds = [op.kind for op in alignment.ops]
+        # Insertions appear before the final subject/HC matches.
+        assert "insert-node" in kinds
+        assert kinds[-1] == "match-node"  # HC anchored last in scan order
+
+    def test_explain_renders(self):
+        text = align(P, Q2).explain()
+        assert "insert" in text
+        assert "φ" in text
+
+
+class TestOptimalAlignment:
+    def test_optimal_matches_greedy_on_paper_examples(self):
+        for p, q in [(P, Q1), (P, Q2), (P_PRIME, Q1)]:
+            greedy = lambda_cost(align(p, q))
+            optimal = lambda_cost(align_optimal(p, q, PAPER_WEIGHTS))
+            assert optimal == greedy
+
+    def test_optimal_never_worse_than_greedy(self):
+        cases = [
+            (path_of("A", "p", "B", "q", "C", "r", "D"),
+             path_of("?x", "q", "?y", "r", "D")),
+            (path_of("A", "p", "B", "p", "C", "p", "D", "p", "E"),
+             path_of("?x", "p", "E")),
+            (path_of("A", "zz", "B", "q", "C"),
+             path_of("A", "q", "C")),
+        ]
+        for p, q in cases:
+            greedy = lambda_cost(align(p, q))
+            optimal = lambda_cost(align_optimal(p, q, PAPER_WEIGHTS))
+            assert optimal <= greedy
+
+    def test_optimal_respects_custom_weights(self):
+        # With free insertions, inserting beats mismatching.
+        weights = ScoringWeights(node_mismatch=10.0, edge_mismatch=10.0,
+                                 node_insertion=0.0, edge_insertion=0.0)
+        p = path_of("A", "x", "B", "q", "C")
+        q = path_of("A", "q", "C")
+        optimal = align_optimal(p, q, weights)
+        assert lambda_cost(optimal.counts, weights) == 0.0
+
+
+class TestComplexity:
+    def test_linear_op_count(self):
+        """The scan touches each (edge, node) pair at most once."""
+        import itertools
+        for n in (4, 16, 64):
+            labels = list(itertools.chain.from_iterable(
+                (f"n{i}", f"e{i}") for i in range(n)))
+            labels.append("sink")
+            p = path_of(*labels)
+            q = path_of("?a", "e0", "sink")
+            alignment = align(p, q)
+            # ops: one per pair of the longer path + sink comparison + q ops
+            assert len(alignment.ops) <= 2 * (p.length + q.length)

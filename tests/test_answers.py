@@ -1,0 +1,91 @@
+"""Unit tests for Answer materialisation and the forest (Fig. 4)."""
+
+import pytest
+
+from repro.engine.forest import PathForest
+from repro.rdf.terms import Literal, Variable
+
+
+GOV = "http://example.org/govtrack/"
+
+
+@pytest.fixture
+def top_answer(govtrack_engine, q1):
+    return govtrack_engine.query(q1, k=1)[0]
+
+
+class TestAnswer:
+    def test_score_components(self, top_answer):
+        assert top_answer.score == top_answer.quality + top_answer.conformity
+        assert top_answer.quality == 0.0
+
+    def test_matched_and_complete(self, top_answer):
+        assert top_answer.matched_count == 3
+        assert top_answer.is_complete
+
+    def test_substitution_merged(self, top_answer):
+        bindings = top_answer.substitution()
+        assert bindings[Variable("v2")].value.endswith("B1432")
+        assert bindings[Variable("v3")].value.endswith("PierceDickes")
+
+    def test_coherence(self, top_answer):
+        assert top_answer.is_coherent
+        assert top_answer.substitution(strict=True) is not None
+
+    def test_signature_is_triple_set(self, top_answer):
+        signature = top_answer.signature()
+        assert len(signature) == 5  # 3 + 1 + 1 triples, HC/B1432 shared
+
+    def test_describe_renders(self, top_answer):
+        text = top_answer.describe()
+        assert "score=" in text
+        assert "bindings" in text
+
+
+class TestSubgraph:
+    def test_shared_nodes_merged(self, top_answer):
+        """B1432 is on two paths but must appear once in G' (§3.1)."""
+        sub = top_answer.subgraph()
+        b1432 = [n for n in sub.nodes()
+                 if sub.label_of(n).value.endswith("B1432")]
+        assert len(b1432) == 1
+
+    def test_subgraph_triples_match_signature(self, top_answer):
+        sub = top_answer.subgraph()
+        assert set(sub.triples()) == set(top_answer.signature())
+
+    def test_subgraph_is_subgraph_of_data(self, top_answer, govtrack):
+        data_triples = set(govtrack.triples())
+        for triple in top_answer.subgraph().triples():
+            assert triple in data_triples
+
+
+class TestForest:
+    def test_fig4_solid_and_dashed(self, govtrack_engine, q1):
+        forest = govtrack_engine.explain(q1, entries_per_cluster=6)
+        assert forest.solid_edges()
+        assert forest.dashed_edges()
+
+    def test_fig4_degree_values(self, govtrack_engine, q1):
+        forest = govtrack_engine.explain(q1, entries_per_cluster=10)
+        degrees = {edge.degree for edge in forest.edges}
+        # The paper's forest shows degrees 1 and 0.5 on (q2, q1) pairs.
+        assert 1.0 in degrees
+        assert 0.5 in degrees
+
+    def test_edge_labels_render(self, govtrack_engine, q1):
+        forest = govtrack_engine.explain(q1)
+        label = forest.edges[0].label()
+        assert label.startswith("(q")
+        assert ": [" in label
+
+    def test_trees_contain_full_solution(self, govtrack_engine, q1):
+        forest = govtrack_engine.explain(q1, entries_per_cluster=6)
+        cluster_count = len(forest.clusters)
+        best_tree = forest.trees()[0]
+        clusters_touched = {cluster for cluster, _rank in best_tree}
+        assert len(clusters_touched) == cluster_count
+
+    def test_render(self, govtrack_engine, q1):
+        text = govtrack_engine.explain(q1).render()
+        assert "----" in text

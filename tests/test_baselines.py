@@ -1,0 +1,206 @@
+"""Unit tests for the three competitor systems (SAPPER, BOUNDED, DOGMA)."""
+
+import pytest
+
+from repro.baselines import (BoundedMatcher, DogmaMatcher, GraphMatch,
+                             SapperMatcher, connected_query_order)
+from repro.rdf.graph import DataGraph, QueryGraph
+from repro.rdf.terms import Literal, URI, Variable
+
+
+GOV = "http://example.org/govtrack/"
+
+
+def label_map(graph, match):
+    return {qn: graph.label_of(dn).value.rsplit("/", 1)[-1]
+            for qn, dn in match.node_map}
+
+
+class TestGraphMatch:
+    def test_of_and_mapping(self):
+        match = GraphMatch.of({1: 10, 0: 20}, cost=2.0)
+        assert match.mapping() == {0: 20, 1: 10}
+        assert match.node_map == ((0, 20), (1, 10))
+        assert match.cost == 2.0
+
+    def test_data_nodes(self):
+        assert GraphMatch.of({0: 5, 1: 6}).data_nodes() == {5, 6}
+
+    def test_bindings(self, govtrack, q1):
+        matcher = DogmaMatcher(govtrack)
+        match = matcher.search(q1)[0]
+        bindings = match.bindings(q1, govtrack)
+        assert bindings[Variable("v2")].value.endswith("B1432")
+
+
+class TestConnectedOrder:
+    def test_constants_first(self, q1):
+        order = connected_query_order(q1)
+        first_label = q1.label_of(order[0])
+        assert not isinstance(first_label, Variable)
+
+    def test_connectivity_maintained(self, q1):
+        order = connected_query_order(q1)
+        placed = {order[0]}
+        for node in order[1:]:
+            neighbours = {d for _l, d in q1.out_edges(node)}
+            neighbours.update(s for _l, s in q1.in_edges(node))
+            assert neighbours & placed
+            placed.add(node)
+
+    def test_empty_query(self):
+        assert connected_query_order(QueryGraph()) == []
+
+
+class TestDogma:
+    def test_exactly_one_q1_match(self, govtrack, q1):
+        matches = DogmaMatcher(govtrack).search(q1)
+        assert len(matches) == 1
+        mapping = label_map(govtrack, matches[0])
+        assert "CarlaBunes" in mapping.values()
+        assert "PierceDickes" in mapping.values()
+
+    def test_no_match_for_q2(self, govtrack, q2):
+        """Q2 has a variable edge CB -> bill; no direct edge exists."""
+        assert DogmaMatcher(govtrack).search(q2) == []
+
+    def test_cost_always_zero(self, govtrack, q1):
+        assert all(m.cost == 0 for m in DogmaMatcher(govtrack).search(q1))
+
+    def test_limit(self, govtrack):
+        q = QueryGraph()
+        q.add_triple("?v", GOV + "gender", Literal("Male"))
+        matcher = DogmaMatcher(govtrack)
+        assert len(matcher.search(q)) == 4
+        assert len(matcher.search(q, limit=2)) == 2
+
+    def test_distance_bound_is_admissible(self, govtrack):
+        """Cluster-distance is a lower bound on real distance."""
+        from collections import deque
+        matcher = DogmaMatcher(govtrack, cluster_size=4)
+        # Undirected BFS ground truth.
+        nodes = list(govtrack.nodes())
+
+        def real_distance(start, goal):
+            seen = {start}
+            queue = deque([(start, 0)])
+            while queue:
+                node, depth = queue.popleft()
+                if node == goal:
+                    return depth
+                for neighbour in matcher._undirected_neighbours(node):
+                    if neighbour not in seen:
+                        seen.add(neighbour)
+                        queue.append((neighbour, depth + 1))
+            return float("inf")
+
+        for a in nodes[:6]:
+            for b in nodes[:6]:
+                assert matcher.distance_lower_bound(a, b) <= real_distance(a, b)
+
+    def test_cluster_size_validation(self, govtrack):
+        with pytest.raises(ValueError):
+            DogmaMatcher(govtrack, cluster_size=0)
+
+    def test_match_count_helper(self, govtrack, q1):
+        assert DogmaMatcher(govtrack).match_count(q1) == 1
+
+
+class TestSapper:
+    def test_includes_exact_match_at_cost_zero(self, govtrack, q1):
+        matches = SapperMatcher(govtrack).search(q1)
+        assert matches[0].cost == 0
+
+    def test_finds_more_than_dogma(self, govtrack, q1):
+        """Fig. 8: approximate systems find more matches."""
+        sapper = len(SapperMatcher(govtrack).search(q1))
+        dogma = len(DogmaMatcher(govtrack).search(q1))
+        assert sapper > dogma
+
+    def test_budget_zero_equals_exact(self, govtrack, q1):
+        strict = SapperMatcher(govtrack, edge_budget=0).search(q1)
+        dogma = DogmaMatcher(govtrack).search(q1)
+        assert {m.node_map for m in strict} == {m.node_map for m in dogma}
+
+    def test_budget_grows_results(self, govtrack, q1):
+        few = len(SapperMatcher(govtrack, edge_budget=0).search(q1))
+        more = len(SapperMatcher(govtrack, edge_budget=1).search(q1))
+        assert more >= few
+
+    def test_q2_approximate_match(self, govtrack, q2):
+        """SAPPER recovers Q2's intended answer with one missing edge."""
+        matches = SapperMatcher(govtrack).search(q2)
+        assert matches
+        assert all(m.cost <= 1 for m in matches)
+        mapped = [label_map(govtrack, m) for m in matches]
+        assert any("B1432" in m.values() and "PierceDickes" in m.values()
+                   for m in mapped)
+
+    def test_sorted_by_cost(self, govtrack, q1):
+        costs = [m.cost for m in SapperMatcher(govtrack).search(q1)]
+        assert costs == sorted(costs)
+
+    def test_negative_budget_rejected(self, govtrack):
+        with pytest.raises(ValueError):
+            SapperMatcher(govtrack, edge_budget=-1)
+
+
+class TestBounded:
+    def test_q1_exact_found(self, govtrack, q1):
+        matches = BoundedMatcher(govtrack).search(q1)
+        assert any("CarlaBunes" in label_map(govtrack, m).values()
+                   for m in matches)
+
+    def test_q2_multi_hop_edge(self, govtrack, q2):
+        """Q2's ?e1 edge is satisfied by the 2-hop sponsor/aTo chain."""
+        matches = BoundedMatcher(govtrack, hop_bound=2).search(q2)
+        assert matches
+
+    def test_hop_bound_one_is_direct_edges_only(self, govtrack, q2):
+        assert BoundedMatcher(govtrack, hop_bound=1).search(q2) == []
+
+    def test_simulation_relation_shrinks_to_fixpoint(self, govtrack, q1):
+        matcher = BoundedMatcher(govtrack)
+        relation = matcher.simulation(q1)
+        # Every query node has candidates; constants map to themselves.
+        for query_node, bucket in relation.items():
+            assert bucket
+        cb = next(n for n in q1.nodes()
+                  if q1.label_of(n).value.endswith("CarlaBunes"))
+        cb_data = govtrack.node_for(URI(GOV + "CarlaBunes"))
+        assert relation[cb] == {cb_data}
+
+    def test_unsatisfiable_collapses_to_empty(self, govtrack):
+        q = QueryGraph()
+        q.add_triple("?a", GOV + "gender", Literal("Unknown Gender"))
+        matcher = BoundedMatcher(govtrack)
+        assert all(not bucket for bucket in matcher.simulation(q).values())
+        assert matcher.search(q) == []
+
+    def test_match_relation_size(self, govtrack, q1):
+        assert BoundedMatcher(govtrack).match_relation_size(q1) > 0
+
+    def test_reachability_cache(self, govtrack):
+        matcher = BoundedMatcher(govtrack, hop_bound=2)
+        node = govtrack.node_for(URI(GOV + "CarlaBunes"))
+        first = matcher.reachable_within(node)
+        assert matcher.reachable_within(node) is first
+        # CB reaches A0056 (1 hop) and B1432 (2 hops) but not HC (3 hops).
+        labels = {govtrack.label_of(n).value.rsplit("/", 1)[-1]
+                  for n in first}
+        assert "A0056" in labels
+        assert "B1432" in labels
+        assert "Health Care" not in labels
+
+    def test_hop_bound_validation(self, govtrack):
+        with pytest.raises(ValueError):
+            BoundedMatcher(govtrack, hop_bound=0)
+
+
+class TestOrderingAcrossSystems:
+    def test_fig8_ordering_on_approximate_query(self, govtrack, q2):
+        """Sapper ≥ Bounded ≥ Dogma in matches on the relaxed query."""
+        sapper = len(SapperMatcher(govtrack).search(q2))
+        bounded = len(BoundedMatcher(govtrack).search(q2))
+        dogma = len(DogmaMatcher(govtrack).search(q2))
+        assert sapper >= bounded >= dogma

@@ -1,0 +1,103 @@
+"""Tests for the ``sama`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.rdf import ntriples
+
+
+@pytest.fixture
+def data_file(tmp_path, govtrack):
+    path = tmp_path / "gov.nt"
+    ntriples.write_file(govtrack.triples(), path)
+    return str(path)
+
+
+@pytest.fixture
+def built_index(tmp_path, data_file):
+    directory = str(tmp_path / "idx")
+    assert main(["index", data_file, directory]) == 0
+    return directory
+
+
+QUERY = ('PREFIX gov: <http://example.org/govtrack/> '
+         'SELECT ?v WHERE { ?v gov:gender "Male" . }')
+
+
+class TestGenerate:
+    def test_generate_writes_ntriples(self, tmp_path, capsys):
+        out = str(tmp_path / "lubm.nt")
+        assert main(["generate", "lubm", out, "--triples", "300"]) == 0
+        triples = list(ntriples.parse_file(out))
+        assert 200 <= len(triples) <= 300
+        assert "wrote" in capsys.readouterr().out
+
+    def test_generate_seeded_deterministic(self, tmp_path):
+        a = str(tmp_path / "a.nt")
+        b = str(tmp_path / "b.nt")
+        main(["generate", "kegg", a, "--triples", "200", "--seed", "5"])
+        main(["generate", "kegg", b, "--triples", "200", "--seed", "5"])
+        assert open(a).read() == open(b).read()
+
+    def test_unknown_dataset_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "nope", str(tmp_path / "x.nt")])
+
+
+class TestIndex:
+    def test_index_reports_stats(self, data_file, tmp_path, capsys):
+        assert main(["index", data_file, str(tmp_path / "i")]) == 0
+        out = capsys.readouterr().out
+        assert "indexed 14 paths" in out
+        assert "|HV| = 17" in out
+
+    def test_index_turtle_input(self, tmp_path, capsys):
+        ttl = tmp_path / "data.ttl"
+        ttl.write_text('@prefix ex: <http://x/> .\n'
+                       'ex:a ex:p ex:b .\nex:b ex:q "leaf" .\n')
+        assert main(["index", str(ttl), str(tmp_path / "i")]) == 0
+        assert "indexed" in capsys.readouterr().out
+
+
+class TestQuery:
+    def test_inline_query(self, built_index, capsys):
+        assert main(["query", built_index, "-e", QUERY]) == 0
+        out = capsys.readouterr().out
+        assert "#1 score=" in out
+        assert "?v =" in out
+
+    def test_query_file(self, built_index, tmp_path, capsys):
+        query_file = tmp_path / "q.sparql"
+        query_file.write_text(QUERY)
+        assert main(["query", built_index, str(query_file), "-k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("score=") == 2
+
+    def test_no_query_is_an_error(self, built_index, capsys):
+        assert main(["query", built_index]) == 2
+
+    def test_no_answers_exit_code(self, built_index, capsys):
+        rc = main(["query", built_index, "-e",
+                   'SELECT ?v WHERE { ?v <http://nowhere/p> "ghost" . }'])
+        assert rc == 1
+        assert "no answers" in capsys.readouterr().out
+
+    def test_explain_renders_forest(self, built_index, capsys):
+        assert main(["query", built_index, "--explain", "-e", QUERY]) == 0
+
+    def test_verbose_shows_alignments(self, built_index, capsys):
+        assert main(["query", built_index, "-v", "-e", QUERY]) == 0
+        assert "->" in capsys.readouterr().out
+
+
+class TestInspect:
+    def test_inspect_metadata(self, built_index, capsys):
+        assert main(["inspect", built_index]) == 0
+        out = capsys.readouterr().out
+        assert "paths: 14" in out
+        assert "dataset" in out
+
+    def test_inspect_sample(self, built_index, capsys):
+        assert main(["inspect", built_index, "--sample", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "sample paths:" in out

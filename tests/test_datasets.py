@@ -1,0 +1,165 @@
+"""Unit tests for the dataset generators and the registry."""
+
+import pytest
+
+from repro.datasets import DATASETS, all_datasets, dataset, lubm_queries
+from repro.datasets.base import EntityMinter, TripleBudget
+from repro.datasets.lubm_queries import query_by_id
+from repro.rdf.graph import DataGraph
+from repro.rdf.namespaces import Namespace
+
+
+class TestRegistry:
+    def test_eight_datasets_in_paper_order(self):
+        names = [spec.name for spec in all_datasets()]
+        assert names == ["pblog", "gov", "kegg", "berlin", "imdb",
+                         "lubm", "uobm", "dblp"]
+
+    def test_lookup_case_insensitive(self):
+        assert dataset("LUBM").name == "lubm"
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            dataset("freebase")
+
+    def test_default_sizes_preserve_paper_ordering(self):
+        sizes = [spec.default_triples for spec in all_datasets()]
+        assert sizes == sorted(sizes)
+
+
+@pytest.mark.parametrize("name", sorted(DATASETS))
+class TestEveryGenerator:
+    def test_deterministic(self, name):
+        spec = dataset(name)
+        first = spec.build(400, seed=3)
+        second = spec.build(400, seed=3)
+        assert set(first.triples()) == set(second.triples())
+
+    def test_seed_changes_content(self, name):
+        spec = dataset(name)
+        a = spec.build(400, seed=1)
+        b = spec.build(400, seed=2)
+        assert set(a.triples()) != set(b.triples())
+
+    def test_triple_budget_respected(self, name):
+        spec = dataset(name)
+        graph = spec.build(500)
+        assert graph.edge_count() <= 500
+        assert graph.edge_count() >= 350  # generators fill most of it
+
+    def test_indexable(self, name, tmp_path):
+        from repro.index import build_index
+        from repro.paths.extraction import ExtractionLimits
+        spec = dataset(name)
+        graph = spec.build(300)
+        limits = ExtractionLimits(max_length=16, max_paths=20_000,
+                                  on_limit="truncate")
+        index, stats = build_index(graph, str(tmp_path / name),
+                                   limits=limits)
+        assert stats.path_count > 0
+        # Densely cyclic datasets (blogosphere links, UOBM friendships)
+        # legitimately truncate; tree-shaped ones must not.
+        if name not in ("pblog", "uobm"):  # cyclic: friend/blog links
+            assert not stats.truncated
+        index.close()
+
+    def test_named(self, name):
+        assert dataset(name).build(300).name
+
+
+class TestDatasetShapes:
+    def test_pblog_is_cyclic_and_hubby(self):
+        graph = dataset("pblog").build(800)
+        # The blogosphere has reciprocal links: hub promotion territory.
+        reciprocal = 0
+        for edge in graph.edges():
+            back = any(dst == edge.src for _l, dst
+                       in graph.out_edges(edge.dst))
+            reciprocal += back
+        assert reciprocal > 0
+
+    def test_lubm_vocabulary(self):
+        graph = dataset("lubm").build(800)
+        locals_ = {label.local_name for label in graph.edge_labels()}
+        assert {"advisor", "takesCourse", "teacherOf",
+                "worksFor"} <= locals_
+
+    def test_uobm_extends_lubm(self):
+        graph = dataset("uobm").build(2000)
+        locals_ = {label.local_name for label in graph.edge_labels()}
+        assert "isFriendOf" in locals_ or "hasAlumnus" in locals_ \
+            or "like" in locals_
+        assert "advisor" in locals_  # still LUBM underneath
+
+    def test_dblp_citations_acyclic(self):
+        import networkx as nx
+        graph = dataset("dblp").build(1500)
+        digraph = nx.DiGraph()
+        for edge in graph.edges():
+            if edge.label.local_name == "cites":
+                digraph.add_edge(edge.src, edge.dst)
+        assert nx.is_directed_acyclic_graph(digraph)
+
+    def test_govtrack_synthetic_has_fig1_schema(self):
+        graph = dataset("gov").build(600)
+        locals_ = {label.local_name for label in graph.edge_labels()}
+        assert {"sponsor", "aTo", "subject", "gender"} <= locals_
+
+
+class TestBudgetAndMinter:
+    def test_budget_counts_only_new_triples(self):
+        budget = TripleBudget(2)
+        graph = DataGraph()
+        assert budget.add(graph, "http://x/a", "http://x/p", "http://x/b")
+        assert budget.add(graph, "http://x/a", "http://x/p", "http://x/b")
+        assert budget.spent == 1  # duplicate not charged
+
+    def test_budget_exhaustion(self):
+        budget = TripleBudget(1)
+        graph = DataGraph()
+        budget.add(graph, "http://x/a", "http://x/p", "http://x/b")
+        assert budget.exhausted
+        assert not budget.add(graph, "http://x/a", "http://x/p", "http://x/c")
+        assert graph.edge_count() == 1
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            TripleBudget(0)
+
+    def test_minter_sequences(self):
+        minter = EntityMinter(Namespace("http://x/"))
+        assert minter.mint("Thing").local_name == "Thing0"
+        assert minter.mint("Thing").local_name == "Thing1"
+        assert minter.mint("Other").local_name == "Other0"
+
+
+class TestLubmQueries:
+    def test_twelve_queries(self):
+        assert len(lubm_queries()) == 12
+
+    def test_all_parse_to_graphs(self):
+        for spec in lubm_queries():
+            assert spec.graph.node_count() >= 3
+            assert spec.variable_count >= 1
+
+    def test_complexity_spans_fig7_ranges(self):
+        specs = lubm_queries()
+        assert specs[0].node_count == 3
+        assert specs[0].variable_count == 1
+        assert specs[-1].variable_count == 7
+        assert max(s.node_count for s in specs) >= 14
+
+    def test_complexity_roughly_increasing(self):
+        sizes = [spec.node_count + spec.edge_count for spec in lubm_queries()]
+        # Monotone up to local jitter: each query is no smaller than the
+        # one two positions earlier.
+        for index in range(2, len(sizes)):
+            assert sizes[index] >= sizes[index - 2]
+
+    def test_query_by_id(self):
+        assert query_by_id("Q5").qid == "Q5"
+        with pytest.raises(KeyError):
+            query_by_id("Q99")
+
+    def test_str_renders(self):
+        assert "Q1" in str(lubm_queries()[0])

@@ -1,0 +1,136 @@
+"""Tests for dictionary compression (§7 extension)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index import build_index
+from repro.index.pathindex import PathIndex
+from repro.paths.model import Path
+from repro.rdf.terms import Literal, URI, Variable
+from repro.storage.dictionary import (TermDictionary, decode_path_ids,
+                                      encode_path_ids)
+from repro.storage.serializer import CodecError, encode_path
+
+
+class TestTermDictionary:
+    def test_first_use_assigns_sequential_ids(self):
+        d = TermDictionary()
+        assert d.encode(URI("http://x/a")) == 0
+        assert d.encode(URI("http://x/b")) == 1
+        assert d.encode(URI("http://x/a")) == 0  # stable
+        assert len(d) == 2
+
+    def test_lookup_inverse(self):
+        d = TermDictionary()
+        term = Literal("Health Care")
+        assert d.lookup(d.encode(term)) == term
+
+    def test_lookup_out_of_range(self):
+        with pytest.raises(CodecError):
+            TermDictionary().lookup(0)
+
+    def test_id_of_requires_presence(self):
+        d = TermDictionary()
+        with pytest.raises(KeyError):
+            d.id_of(URI("http://x/missing"))
+
+    def test_contains(self):
+        d = TermDictionary()
+        d.encode(URI("http://x/a"))
+        assert URI("http://x/a") in d
+        assert URI("http://x/b") not in d
+
+    def test_save_load_roundtrip(self, tmp_path):
+        d = TermDictionary()
+        terms = [URI("http://x/a"), Literal("v"),
+                 Literal("t", language="en"), Variable("q")]
+        for term in terms:
+            d.encode(term)
+        d.save(tmp_path / "terms.dict")
+        loaded = TermDictionary.load(tmp_path / "terms.dict")
+        assert len(loaded) == len(terms)
+        for index, term in enumerate(terms):
+            assert loaded.lookup(index) == term
+            assert loaded.id_of(term) == index
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "junk"
+        path.write_bytes(b"NOPE")
+        with pytest.raises(CodecError):
+            TermDictionary.load(path)
+
+
+class TestCompressedPathCodec:
+    def test_roundtrip(self):
+        d = TermDictionary()
+        path = Path([URI("http://x/a"), Literal("L"), URI("http://x/c")],
+                    [URI("http://x/p"), URI("http://x/q")],
+                    node_ids=[1, 2, 3])
+        blob = encode_path_ids(path, d)
+        assert decode_path_ids(blob, d) == path
+
+    def test_compression_beats_plain_on_repeated_labels(self):
+        d = TermDictionary()
+        long_uri = URI("http://very.long.example.org/ontology/with/a/deep"
+                       "/path/FullProfessor")
+        path = Path([long_uri] * 1, [])
+        plain_total = 0
+        compressed_total = 0
+        for _ in range(50):
+            plain_total += len(encode_path(path))
+            compressed_total += len(encode_path_ids(path, d))
+        assert compressed_total < plain_total / 5
+
+    @given(st.lists(st.integers(0, 30), min_size=1, max_size=8))
+    @settings(deadline=None)
+    def test_roundtrip_property(self, indices):
+        d = TermDictionary()
+        nodes = [URI(f"http://x/n{i}") for i in indices]
+        edges = [URI(f"http://x/e{i}") for i in indices[:-1]]
+        path = Path(nodes, edges)
+        assert decode_path_ids(encode_path_ids(path, d), d) == path
+
+
+class TestCompressedIndex:
+    def test_compressed_index_same_content(self, govtrack, tmp_path):
+        plain, stats_plain = build_index(govtrack, str(tmp_path / "plain"))
+        packed, stats_packed = build_index(govtrack, str(tmp_path / "packed"),
+                                           compress=True)
+        assert sorted(p.text() for p in plain.all_paths()) == \
+            sorted(p.text() for p in packed.all_paths())
+        assert packed.is_compressed and not plain.is_compressed
+        plain.close()
+        packed.close()
+
+    def test_compressed_index_smaller_at_scale(self, tmp_path):
+        from repro.datasets import dataset
+        graph = dataset("lubm").build(1500, seed=2)
+        _plain, stats_plain = build_index(graph, str(tmp_path / "p"))
+        _packed, stats_packed = build_index(graph, str(tmp_path / "c"),
+                                            compress=True)
+        assert stats_packed.size_bytes < stats_plain.size_bytes / 2
+
+    def test_compressed_index_reopens(self, govtrack, tmp_path):
+        directory = str(tmp_path / "reopen")
+        built, _stats = build_index(govtrack, directory, compress=True)
+        original = sorted(p.text() for p in built.all_paths())
+        built.close()
+        reopened = PathIndex.open(directory)
+        assert reopened.is_compressed
+        assert sorted(p.text() for p in reopened.all_paths()) == original
+        reopened.close()
+
+    def test_compressed_queries_identical(self, govtrack, q1, tmp_path):
+        from repro.engine import SamaEngine
+        plain = SamaEngine.from_graph(govtrack,
+                                      directory=str(tmp_path / "qp"))
+        import repro.index.builder as builder_module
+        packed_index, _ = builder_module.build_index(
+            govtrack, str(tmp_path / "qc"), compress=True)
+        from repro.engine import SamaEngine as Engine
+        packed = Engine(packed_index)
+        assert [a.score for a in plain.query(q1, k=5)] == \
+            [a.score for a in packed.query(q1, k=5)]
+        plain.close()
+        packed.close()

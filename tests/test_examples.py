@@ -1,0 +1,37 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are part of the public surface; they execute as subprocesses
+with a small workload so regressions in the APIs they use fail CI.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+_EXAMPLES = sorted((pathlib.Path(__file__).parent.parent / "examples")
+                   .glob("*.py"))
+
+# Smaller workloads for the slower examples (positional arg = triples).
+_ARGS = {
+    "lubm_university_search.py": ["1500"],
+    "compare_systems.py": ["1200"],
+}
+
+
+@pytest.mark.parametrize("script", _EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    args = _ARGS.get(script.name, [])
+    result = subprocess.run(
+        [sys.executable, str(script), *args],
+        capture_output=True, text=True, timeout=420)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples must print something"
+
+
+def test_examples_exist():
+    names = {script.name for script in _EXAMPLES}
+    assert {"quickstart.py", "lubm_university_search.py",
+            "build_your_own_dataset.py", "synonym_aware_search.py",
+            "compare_systems.py"} <= names

@@ -1,0 +1,83 @@
+"""Unit tests for exact graph edit distance."""
+
+import pytest
+
+from repro.baselines.ged import GedCosts, graph_edit_distance
+from repro.rdf.graph import DataGraph
+
+
+def graph(*triples):
+    return DataGraph.from_triples(
+        [(f"http://x/{s}", f"http://x/{p}", f"http://x/{o}")
+         for s, p, o in triples])
+
+
+class TestIdentities:
+    def test_identical_graphs_zero(self):
+        a = graph(("a", "p", "b"), ("b", "q", "c"))
+        b = graph(("a", "p", "b"), ("b", "q", "c"))
+        assert graph_edit_distance(a, b) == 0.0
+
+    def test_empty_graphs(self):
+        assert graph_edit_distance(DataGraph(), DataGraph()) == 0.0
+
+    def test_empty_vs_one_edge(self):
+        cost = graph_edit_distance(DataGraph(), graph(("a", "p", "b")))
+        # two node insertions + one edge insertion
+        assert cost == 3.0
+
+
+class TestKnownDistances:
+    def test_single_node_relabel(self):
+        a = graph(("a", "p", "b"))
+        b = graph(("a", "p", "c"))
+        assert graph_edit_distance(a, b) == 1.0
+
+    def test_single_edge_relabel(self):
+        a = graph(("a", "p", "b"))
+        b = graph(("a", "q", "b"))
+        assert graph_edit_distance(a, b) == 1.0
+
+    def test_extra_edge_and_node(self):
+        a = graph(("a", "p", "b"))
+        b = graph(("a", "p", "b"), ("b", "q", "c"))
+        assert graph_edit_distance(a, b) == 2.0
+
+    def test_symmetric_for_uniform_costs(self):
+        a = graph(("a", "p", "b"), ("b", "q", "c"))
+        b = graph(("a", "p", "b"))
+        assert graph_edit_distance(a, b) == graph_edit_distance(b, a)
+
+    def test_triangle_inequality_spot(self):
+        a = graph(("a", "p", "b"))
+        b = graph(("a", "p", "c"))
+        c = graph(("x", "p", "c"))
+        ab = graph_edit_distance(a, b)
+        bc = graph_edit_distance(b, c)
+        ac = graph_edit_distance(a, c)
+        assert ac <= ab + bc
+
+
+class TestCosts:
+    def test_custom_costs(self):
+        a = graph(("a", "p", "b"))
+        b = graph(("a", "p", "c"))
+        costs = GedCosts(node_substitution=5.0)
+        # relabel (5) vs delete b + its edge, insert c + its edge (4).
+        assert graph_edit_distance(a, b, costs=costs) == 4.0
+
+    def test_substitution_capped_by_del_plus_ins(self):
+        a = graph(("a", "p", "b"))
+        b = graph(("a", "p", "c"))
+        costs = GedCosts(node_substitution=100.0)
+        # delete b (1) + its edge (1) + insert c (1) + its edge (1).
+        assert graph_edit_distance(a, b, costs=costs) == 4.0
+
+
+class TestGuards:
+    def test_max_nodes_guard(self):
+        big = DataGraph.from_triples(
+            [(f"http://x/n{i}", "http://x/p", f"http://x/n{i + 1}")
+             for i in range(20)])
+        with pytest.raises(ValueError):
+            graph_edit_distance(big, big, max_nodes=10)

@@ -1,0 +1,245 @@
+"""Tests for incremental index maintenance (§7 extension).
+
+The correctness criterion throughout: after any sequence of triple
+insertions, the incremental index's live paths equal those of an index
+rebuilt from scratch over the final graph.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import SamaEngine
+from repro.index.incremental import IncrementalIndex
+from repro.paths.extraction import ExtractionLimits, extract_paths
+from repro.rdf.graph import DataGraph
+from repro.rdf.terms import Literal
+
+
+def uri(name):
+    return f"http://x/{name}"
+
+
+def live_texts(index) -> list[str]:
+    return sorted(p.text() for p in index.all_paths())
+
+
+def rebuilt_texts(graph) -> list[str]:
+    limits = ExtractionLimits(max_length=32, max_paths=200_000,
+                              on_limit="truncate")
+    return sorted(p.text() for p in extract_paths(graph, limits=limits))
+
+
+class TestSingleUpdates:
+    @pytest.fixture
+    def chain(self, tmp_path):
+        graph = DataGraph.from_triples([
+            (uri("a"), uri("p"), uri("b")),
+            (uri("b"), uri("p"), uri("c")),
+        ])
+        return IncrementalIndex(graph, str(tmp_path / "inc"))
+
+    def test_initial_state_matches_extraction(self, chain):
+        assert live_texts(chain) == rebuilt_texts(chain.graph)
+
+    def test_extend_at_sink(self, chain):
+        chain.add_triple(uri("c"), uri("q"), uri("d"))
+        assert live_texts(chain) == rebuilt_texts(chain.graph)
+        assert any(text.endswith("d") for text in live_texts(chain))
+
+    def test_new_source_prepended(self, chain):
+        chain.add_triple(uri("z"), uri("q"), uri("a"))
+        # a is no longer a source; z is.
+        assert live_texts(chain) == rebuilt_texts(chain.graph)
+        assert all(text.startswith("z") for text in live_texts(chain))
+
+    def test_branch_mid_chain(self, chain):
+        chain.add_triple(uri("b"), uri("r"), uri("x")),
+        assert live_texts(chain) == rebuilt_texts(chain.graph)
+        assert len(chain.all_paths()) == 2
+
+    def test_duplicate_triple_is_noop(self, chain):
+        before = live_texts(chain)
+        stats_before = chain.stats.paths_invalidated
+        chain.add_triple(uri("a"), uri("p"), uri("b"))
+        assert live_texts(chain) == before
+        assert chain.stats.paths_invalidated == stats_before
+
+    def test_disconnected_component(self, chain):
+        chain.add_triple(uri("m"), uri("p"), uri("n"))
+        assert live_texts(chain) == rebuilt_texts(chain.graph)
+
+    def test_literal_objects(self, chain):
+        chain.add_triple(uri("c"), uri("gender"), Literal("Male"))
+        assert live_texts(chain) == rebuilt_texts(chain.graph)
+
+    def test_stats_accumulate(self, chain):
+        chain.add_triple(uri("c"), uri("q"), uri("d"))
+        chain.add_triple(uri("d"), uri("q"), uri("e"))
+        assert chain.stats.triples_added == 2
+        assert chain.stats.paths_invalidated >= 2
+        assert chain.stats.dead_bytes > 0
+        assert chain.stats.live_efficiency == 1.0
+
+
+class TestCycleFallback:
+    def test_cycle_creation_triggers_rebuild(self, tmp_path):
+        graph = DataGraph.from_triples([
+            (uri("a"), uri("p"), uri("b")),
+        ])
+        index = IncrementalIndex(graph, str(tmp_path / "inc"))
+        index.add_triple(uri("b"), uri("p"), uri("a"))  # graph now sourceless
+        assert index.stats.full_rebuilds == 1
+        assert live_texts(index) == rebuilt_texts(index.graph)
+
+    def test_recovery_from_hub_mode(self, tmp_path):
+        graph = DataGraph.from_triples([
+            (uri("a"), uri("p"), uri("b")),
+            (uri("b"), uri("p"), uri("a")),
+        ])
+        index = IncrementalIndex(graph, str(tmp_path / "inc"))
+        assert index._hub_mode
+        # A new source-ful component; updates keep correctness either way.
+        index.add_triple(uri("x"), uri("p"), uri("y"))
+        assert live_texts(index) == rebuilt_texts(index.graph)
+
+
+class TestLookupSurface:
+    def test_sink_lookup_respects_tombstones(self, tmp_path):
+        graph = DataGraph.from_triples([
+            (uri("a"), uri("p"), uri("b")),
+        ])
+        index = IncrementalIndex(graph, str(tmp_path / "inc"))
+        from repro.rdf.terms import URI
+        assert len(index.offsets_with_sink(URI(uri("b")))) == 1
+        index.add_triple(uri("b"), uri("p"), uri("c"))
+        # The a-...-b path is gone; b is not a sink anymore.
+        assert index.offsets_with_sink(URI(uri("b"))) == []
+        assert len(index.offsets_with_sink(URI(uri("c")))) == 1
+
+    def test_engine_runs_on_incremental_index(self, tmp_path, govtrack,
+                                              q1):
+        index = IncrementalIndex(govtrack.copy(), str(tmp_path / "inc"))
+        engine = SamaEngine(index)
+        first = engine.query(q1, k=1)[0]
+        assert first.score == 2.0  # the GovTrack regression value
+        # Live update: a new male sponsor of B1432 adds answers.
+        index.add_triples([
+            (uri("NewPerson"), "http://example.org/govtrack/sponsor",
+             "http://example.org/govtrack/B1432"),
+            (uri("NewPerson"), "http://example.org/govtrack/gender",
+             Literal("Male")),
+        ])
+        answers = engine.query(q1, k=10)
+        bound = {a.substitution().get(v).value
+                 for a in answers
+                 for v in a.substitution() if v.value == "v3"}
+        assert any("NewPerson" in value for value in bound)
+
+    def test_compact_preserves_content(self, tmp_path):
+        graph = DataGraph.from_triples([
+            (uri("a"), uri("p"), uri("b")),
+            (uri("b"), uri("p"), uri("c")),
+        ])
+        index = IncrementalIndex(graph, str(tmp_path / "inc"))
+        index.add_triple(uri("c"), uri("p"), uri("d"))
+        index.add_triple(uri("x"), uri("p"), uri("a"))
+        compacted = index.compact(str(tmp_path / "vacuumed"))
+        assert live_texts(compacted) == live_texts(index)
+        assert compacted.stats.dead_bytes == 0
+
+
+class TestRandomisedEquivalence:
+    """The strongest check: random insertion orders equal rebuilds."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_random_dag_insertions(self, seed, tmp_path):
+        rng = random.Random(seed)
+        nodes = [uri(f"n{i}") for i in range(10)]
+        # Random DAG edges (src index < dst index keeps it acyclic, so
+        # the incremental fast path stays active).
+        candidates = [(nodes[i], uri(f"e{rng.randint(0, 2)}"), nodes[j])
+                      for i in range(len(nodes))
+                      for j in range(i + 1, len(nodes))]
+        rng.shuffle(candidates)
+        chosen = candidates[:18]
+        start, rest = chosen[:4], chosen[4:]
+        index = IncrementalIndex(DataGraph.from_triples(start),
+                                 str(tmp_path / f"inc{seed}"))
+        for triple in rest:
+            index.add_triple(*triple)
+            assert live_texts(index) == rebuilt_texts(index.graph)
+
+    @pytest.mark.parametrize("seed", [11, 12])
+    def test_random_insertions_with_cycles(self, seed, tmp_path):
+        rng = random.Random(seed)
+        nodes = [uri(f"n{i}") for i in range(6)]
+        index = IncrementalIndex(
+            DataGraph.from_triples([(nodes[0], uri("e"), nodes[1])]),
+            str(tmp_path / f"cyc{seed}"))
+        for _ in range(12):
+            src = rng.choice(nodes)
+            dst = rng.choice(nodes)
+            if src == dst:
+                continue
+            index.add_triple(src, uri("e"), dst)
+            assert live_texts(index) == rebuilt_texts(index.graph)
+
+
+class TestRemoveTriple:
+    @pytest.fixture
+    def indexed(self, tmp_path):
+        graph = DataGraph.from_triples([
+            (uri("a"), uri("p"), uri("b")),
+            (uri("b"), uri("p"), uri("c")),
+            (uri("b"), uri("q"), uri("d")),
+        ])
+        return IncrementalIndex(graph, str(tmp_path / "del"))
+
+    def test_remove_mid_edge(self, indexed):
+        assert indexed.remove_triple(uri("b"), uri("q"), uri("d"))
+        assert live_texts(indexed) == rebuilt_texts(indexed.graph)
+        # No surviving path traverses the removed edge (the isolated
+        # node d itself legitimately remains as a single-node path).
+        assert all("b-q-d" not in text for text in live_texts(indexed))
+
+    def test_remove_missing_triple_noop(self, indexed):
+        before = live_texts(indexed)
+        assert not indexed.remove_triple(uri("x"), uri("p"), uri("y"))
+        assert live_texts(indexed) == before
+
+    def test_remove_then_rebuild_equivalence(self, indexed):
+        indexed.remove_triple(uri("a"), uri("p"), uri("b"))
+        assert live_texts(indexed) == rebuilt_texts(indexed.graph)
+
+    def test_add_then_remove_roundtrip(self, indexed):
+        before = live_texts(indexed)
+        indexed.add_triple(uri("c"), uri("r"), uri("e"))
+        assert live_texts(indexed) != before
+        assert indexed.remove_triple(uri("c"), uri("r"), uri("e"))
+        assert live_texts(indexed) == rebuilt_texts(indexed.graph)
+
+    @pytest.mark.parametrize("seed", [31, 32])
+    def test_random_mixed_updates(self, seed, tmp_path):
+        rng = random.Random(seed)
+        nodes = [uri(f"n{i}") for i in range(8)]
+        start = [(nodes[0], uri("e"), nodes[1]),
+                 (nodes[1], uri("e"), nodes[2])]
+        index = IncrementalIndex(DataGraph.from_triples(start),
+                                 str(tmp_path / f"mix{seed}"))
+        present = set(start)
+        for _ in range(14):
+            if present and rng.random() < 0.35:
+                victim = rng.choice(sorted(present))
+                index.remove_triple(*victim)
+                present.discard(victim)
+            else:
+                i, j = rng.randrange(8), rng.randrange(8)
+                if i == j:
+                    continue
+                triple = (nodes[i], uri("e"), nodes[j])
+                index.add_triple(*triple)
+                present.add(triple)
+            assert live_texts(index) == rebuilt_texts(index.graph)

@@ -1,0 +1,95 @@
+"""Unit tests for χ and the intersection query graph (Fig. 2)."""
+
+from repro.paths.extraction import query_paths
+from repro.paths.intersection import IntersectionGraph, chi
+from repro.paths.model import path_of
+from repro.rdf.terms import Literal, Variable
+
+
+class TestChi:
+    def test_shared_constants(self):
+        a = path_of("X", "p", "HC")
+        b = path_of("Y", "q", "HC")
+        assert chi(a, b) == {Literal("HC")}
+
+    def test_shared_variables_count(self):
+        a = path_of("?v3", "sponsor", "?v2", "subject", "HC")
+        b = path_of("?v3", "gender", "Male")
+        assert chi(a, b) == {Variable("v3")}
+
+    def test_disjoint(self):
+        assert chi(path_of("A", "p", "B"), path_of("C", "p", "D")) == frozenset()
+
+    def test_edge_labels_not_counted(self):
+        # χ is over *nodes*; a shared edge label is not an intersection.
+        a = path_of("A", "shared", "B")
+        b = path_of("C", "shared", "D")
+        assert chi(a, b) == frozenset()
+
+    def test_symmetric(self):
+        a = path_of("A", "p", "B")
+        b = path_of("B", "q", "C")
+        assert chi(a, b) == chi(b, a)
+
+
+class TestFig2:
+    """The paper's IG: q1-q2 share {?v2, HC}; q2-q3 share {?v3}."""
+
+    def _paths(self, q1):
+        paths = query_paths(q1)
+        by_text = {p.text(): p for p in paths}
+        return [
+            by_text["CarlaBunes-sponsor-?v1-aTo-?v2-subject-Health Care"],
+            by_text["?v3-sponsor-?v2-subject-Health Care"],
+            by_text["?v3-gender-Male"],
+        ]
+
+    def test_intersections(self, q1):
+        paths = self._paths(q1)
+        ig = IntersectionGraph(paths)
+        assert ig.common(0, 1) == {Variable("v2"), Literal("Health Care")}
+        assert ig.common(1, 2) == {Variable("v3")}
+        assert ig.common(0, 2) == frozenset()
+
+    def test_edges(self, q1):
+        ig = IntersectionGraph(self._paths(q1))
+        assert ig.edge_count() == 2
+        assert ig.has_edge(0, 1)
+        assert ig.has_edge(1, 2)
+        assert not ig.has_edge(0, 2)
+
+    def test_neighbors(self, q1):
+        ig = IntersectionGraph(self._paths(q1))
+        assert ig.neighbors(1) == {0, 2}
+
+    def test_connected(self, q1):
+        assert IntersectionGraph(self._paths(q1)).is_connected()
+
+
+class TestIntersectionGraph:
+    def test_symmetric_lookup(self):
+        ig = IntersectionGraph([path_of("A", "p", "B"),
+                                path_of("B", "q", "C")])
+        assert ig.common(1, 0) == ig.common(0, 1)
+
+    def test_disconnected(self):
+        ig = IntersectionGraph([path_of("A", "p", "B"),
+                                path_of("C", "q", "D")])
+        assert not ig.is_connected()
+        assert ig.edge_count() == 0
+
+    def test_single_path_connected(self):
+        assert IntersectionGraph([path_of("A", "p", "B")]).is_connected()
+
+    def test_empty_connected(self):
+        assert IntersectionGraph([]).is_connected()
+
+    def test_len(self):
+        assert len(IntersectionGraph([path_of("A", "p", "B")])) == 1
+
+    def test_edges_sorted(self):
+        paths = [path_of("A", "p", "Z"), path_of("B", "q", "Z"),
+                 path_of("C", "r", "Z")]
+        ig = IntersectionGraph(paths)
+        pairs = [(i, j) for i, j, _shared in ig.edges()]
+        assert pairs == sorted(pairs)

@@ -1,0 +1,112 @@
+"""Unit tests for the label index and the semantic matcher."""
+
+import pytest
+
+from repro.index.labels import LabelIndex, SemanticMatcher
+from repro.index.thesaurus import Thesaurus, default_thesaurus
+from repro.rdf.terms import Literal, URI, Variable
+
+
+class TestLabelIndex:
+    @pytest.fixture
+    def index(self):
+        idx = LabelIndex(default_thesaurus())
+        idx.add(URI("http://x#FullProfessor"), 1)
+        idx.add(URI("http://x#AssistantProfessor"), 2)
+        idx.add(Literal("Health Care"), 3)
+        idx.add(Literal("Databases"), 4)
+        return idx
+
+    def test_exact_lookup(self, index):
+        assert index.lookup_exact(URI("http://x#FullProfessor")) == {1}
+        assert index.lookup_exact(Literal("nope")) == set()
+
+    def test_token_lookup(self, index):
+        assert index.lookup_token("professor") == {1, 2}
+        assert index.lookup_token("PROFESSOR") == {1, 2}
+
+    def test_lookup_prefers_exact(self, index):
+        assert index.lookup(URI("http://x#FullProfessor")) == {1}
+
+    def test_lookup_token_conjunction(self, index):
+        # "full professor" matches only the FullProfessor label.
+        assert index.lookup(Literal("full professor")) == {1}
+
+    def test_lookup_semantic_fallback(self, index):
+        # "teacher" is a thesaurus synonym of "professor".
+        assert index.lookup(Literal("Teacher")) == {1, 2}
+
+    def test_lookup_semantic_disabled(self, index):
+        assert index.lookup(Literal("Teacher"), semantic=False) == set()
+
+    def test_lookup_no_thesaurus(self):
+        idx = LabelIndex()
+        idx.add(Literal("Movie"), 1)
+        assert idx.lookup(Literal("Film")) == set()
+
+    def test_multiple_entries_per_label(self):
+        idx = LabelIndex()
+        idx.add(Literal("x"), 1)
+        idx.add(Literal("x"), 2)
+        assert idx.lookup_exact(Literal("x")) == {1, 2}
+
+    def test_counts(self, index):
+        assert index.label_count == 4
+        assert index.token_count > 0
+
+    def test_add_all(self):
+        idx = LabelIndex()
+        idx.add_all([Literal("a"), Literal("b")], 9)
+        assert idx.lookup_exact(Literal("a")) == {9}
+        assert idx.lookup_exact(Literal("b")) == {9}
+
+
+class TestSemanticMatcher:
+    @pytest.fixture
+    def thesaurus(self):
+        return default_thesaurus()
+
+    def test_exact_level(self):
+        matcher = SemanticMatcher(level="exact")
+        assert matcher(Literal("x"), Literal("x"))
+        assert not matcher(Literal("Movie"), Literal("Film"))
+
+    def test_lexical_level_token_equality(self, thesaurus):
+        matcher = SemanticMatcher(thesaurus, level="lexical")
+        assert matcher(URI("http://x#FullProfessor"),
+                       Literal("full professor"))
+        assert not matcher(Literal("Movie"), Literal("Film"))
+
+    def test_semantic_level_synonyms(self, thesaurus):
+        matcher = SemanticMatcher(thesaurus, level="semantic")
+        assert matcher(Literal("Movie"), Literal("Film"))
+        assert matcher(Literal("Male"), Literal("Man"))
+        assert not matcher(Literal("Male"), Literal("Female"))
+
+    def test_semantic_multi_token(self, thesaurus):
+        matcher = SemanticMatcher(thesaurus, level="semantic")
+        # every query token must find a related data token
+        assert matcher(Literal("Health Care"), Literal("healthcare care"))
+        assert not matcher(Literal("Health Care"), Literal("Health Taxes"))
+
+    def test_variables_never_match(self, thesaurus):
+        matcher = SemanticMatcher(thesaurus, level="semantic")
+        assert not matcher(Variable("v"), Literal("x"))
+
+    def test_semantic_requires_thesaurus(self):
+        with pytest.raises(ValueError):
+            SemanticMatcher(None, level="semantic")
+
+    def test_bad_level_rejected(self, thesaurus):
+        with pytest.raises(ValueError):
+            SemanticMatcher(thesaurus, level="psychic")
+
+    def test_cache_stability(self, thesaurus):
+        matcher = SemanticMatcher(thesaurus, level="semantic")
+        first = matcher(Literal("Movie"), Literal("Film"))
+        second = matcher(Literal("Movie"), Literal("Film"))
+        assert first == second == True  # noqa: E712 — cached path
+
+    def test_empty_labels_do_not_match(self, thesaurus):
+        matcher = SemanticMatcher(thesaurus, level="semantic")
+        assert not matcher(Literal(""), Literal("x"))

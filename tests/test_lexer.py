@@ -1,0 +1,95 @@
+"""Direct tests for the shared SPARQL/Turtle tokenizer."""
+
+import pytest
+
+from repro.rdf import _lexer
+from repro.rdf._lexer import LexError, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text) if t.kind != _lexer.EOF]
+
+
+def values(text):
+    return [t.value for t in tokenize(text) if t.kind != _lexer.EOF]
+
+
+class TestTokens:
+    def test_iri(self):
+        tokens = list(tokenize("<http://x/a>"))
+        assert tokens[0].kind == _lexer.IRI
+        assert tokens[0].value == "http://x/a"
+
+    def test_variable_dollar_and_question(self):
+        assert values("?v $w") == ["v", "w"]
+        assert kinds("?v $w") == [_lexer.VAR, _lexer.VAR]
+
+    def test_pname(self):
+        tokens = list(tokenize("ub:advisor"))
+        assert tokens[0].kind == _lexer.PNAME
+        assert tokens[0].value == "ub:advisor"
+
+    def test_default_prefix_pname(self):
+        tokens = list(tokenize(":local"))
+        assert tokens[0].value == ":local"
+
+    def test_string_with_escapes(self):
+        tokens = list(tokenize(r'"a\"b\nc"'))
+        assert tokens[0].value == 'a"b\nc'
+
+    def test_single_quoted_string(self):
+        tokens = list(tokenize("'hi'"))
+        assert tokens[0].value == "hi"
+
+    def test_langtag_vs_prefix_directive(self):
+        assert kinds('"x"@en') == [_lexer.STRING, _lexer.LANGTAG]
+        tokens = list(tokenize("@prefix"))
+        assert tokens[0].kind == _lexer.KEYWORD
+        assert tokens[0].value == "@prefix"
+
+    def test_numbers(self):
+        assert values("42 3.14 -7") == ["42", "3.14", "-7"]
+
+    def test_number_then_dot_terminator(self):
+        # "42 ." vs "42." — the trailing dot is punctuation either way.
+        tokens = [t for t in tokenize("?s ?p 42 .") if t.kind != _lexer.EOF]
+        assert tokens[-1].kind == _lexer.PUNCT
+
+    def test_datatype_separator(self):
+        assert _lexer.DTYPE_SEP in kinds('"5"^^<http://x/int>')
+
+    def test_comments_skipped(self):
+        assert kinds("?a # the rest is noise ?b\n?c") == [_lexer.VAR,
+                                                          _lexer.VAR]
+
+    def test_positions_tracked(self):
+        tokens = list(tokenize("?a\n  ?b"))
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+        assert tokens[1].column == 3
+
+    def test_keyword_trailing_dot_split(self):
+        tokens = [t for t in tokenize("true.") if t.kind != _lexer.EOF]
+        assert [t.kind for t in tokens] == [_lexer.KEYWORD, _lexer.PUNCT]
+
+
+class TestLexErrors:
+    def test_unterminated_iri(self):
+        with pytest.raises(LexError):
+            list(tokenize("<http://x/a"))
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            list(tokenize('"open'))
+
+    def test_empty_variable(self):
+        with pytest.raises(LexError):
+            list(tokenize("? name"))
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            list(tokenize("~"))
+
+    def test_truncated_unicode_escape(self):
+        with pytest.raises(LexError):
+            list(tokenize(r'"\u12"'))

@@ -1,0 +1,49 @@
+"""Unit tests for match counting (the Fig. 8 metric)."""
+
+import pytest
+
+from repro.baselines import DogmaMatcher, SapperMatcher
+from repro.evaluation.matches import baseline_match_count, sama_match_count
+
+
+class TestSamaMatchCount:
+    def test_counts_meaningful_answers(self, govtrack_engine, q1):
+        count = sama_match_count(govtrack_engine, q1, "Q1")
+        assert count.system == "sama"
+        assert count.query_id == "Q1"
+        assert count.count > 0
+
+    def test_score_ceiling_filters(self, govtrack_engine, q1):
+        generous = sama_match_count(govtrack_engine, q1, "Q1",
+                                    score_ceiling=1000.0)
+        strict = sama_match_count(govtrack_engine, q1, "Q1",
+                                  score_ceiling=2.0)
+        assert strict.count <= generous.count
+        assert strict.count >= 1  # the exact answer scores 2.0
+
+    def test_uncapped_k_bounds_output(self, govtrack_engine, q1):
+        capped = sama_match_count(govtrack_engine, q1, "Q1", uncapped_k=3)
+        assert capped.count <= 3
+
+    def test_default_ceiling_is_total_miss_cost(self, govtrack_engine, q2):
+        """Answers worse than 'matched nothing at all' don't count."""
+        count = sama_match_count(govtrack_engine, q2, "Q2")
+        assert count.count > 0
+
+
+class TestBaselineMatchCount:
+    def test_dogma_exact_count(self, govtrack, q1):
+        count = baseline_match_count(DogmaMatcher(govtrack), q1, "Q1")
+        assert count.system == "dogma"
+        assert count.count == 1
+
+    def test_limit_caps(self, govtrack, q1):
+        count = baseline_match_count(SapperMatcher(govtrack), q1, "Q1",
+                                     limit=2)
+        assert count.count <= 2
+
+    def test_fig8_shape_on_govtrack(self, govtrack, govtrack_engine, q2):
+        """Approximate systems find matches where exact ones find none."""
+        sama = sama_match_count(govtrack_engine, q2, "Q2")
+        dogma = baseline_match_count(DogmaMatcher(govtrack), q2, "Q2")
+        assert sama.count > dogma.count == 0

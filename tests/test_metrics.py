@@ -1,0 +1,94 @@
+"""Unit tests for the effectiveness metrics (§6.3)."""
+
+import pytest
+
+from repro.evaluation.metrics import (PrecisionRecallPoint,
+                                      average_interpolated,
+                                      average_precision,
+                                      interpolated_precision,
+                                      precision_recall_curve,
+                                      reciprocal_rank, relevance_flags)
+
+
+class TestReciprocalRank:
+    def test_first_hit_rank_one(self):
+        assert reciprocal_rank([True, False]) == 1.0
+
+    def test_first_hit_rank_three(self):
+        assert reciprocal_rank([False, False, True]) == pytest.approx(1 / 3)
+
+    def test_no_hit_zero(self):
+        assert reciprocal_rank([False, False]) == 0.0
+        assert reciprocal_rank([]) == 0.0
+
+
+class TestPrecisionRecall:
+    def test_perfect_ranking(self):
+        points = precision_recall_curve([True, True], total_relevant=2)
+        assert points == [PrecisionRecallPoint(0.5, 1.0),
+                          PrecisionRecallPoint(1.0, 1.0)]
+
+    def test_interleaved_ranking(self):
+        points = precision_recall_curve([True, False, True],
+                                        total_relevant=2)
+        assert points[-1] == PrecisionRecallPoint(1.0, pytest.approx(2 / 3))
+
+    def test_missing_relevant_lowers_recall(self):
+        points = precision_recall_curve([True], total_relevant=4)
+        assert points[0].recall == 0.25
+
+    def test_empty_truth(self):
+        assert precision_recall_curve([True], total_relevant=0) == \
+            [PrecisionRecallPoint(0.0, 1.0)]
+
+    def test_negative_truth_rejected(self):
+        with pytest.raises(ValueError):
+            precision_recall_curve([], total_relevant=-1)
+
+
+class TestInterpolation:
+    def test_eleven_levels(self):
+        curve = interpolated_precision(
+            precision_recall_curve([True, True], 2))
+        assert len(curve) == 11
+        assert [p.recall for p in curve] == [round(0.1 * i, 1)
+                                             for i in range(11)]
+
+    def test_interpolated_is_max_to_the_right(self):
+        raw = [PrecisionRecallPoint(0.5, 0.4), PrecisionRecallPoint(1.0, 0.8)]
+        curve = interpolated_precision(raw)
+        # At recall 0.3 the max precision at recall >= 0.3 is 0.8.
+        assert curve[3].precision == 0.8
+
+    def test_zero_beyond_achieved_recall(self):
+        raw = [PrecisionRecallPoint(0.5, 1.0)]
+        curve = interpolated_precision(raw)
+        assert curve[10].precision == 0.0  # recall 1.0 never reached
+
+    def test_monotone_non_increasing(self):
+        raw = precision_recall_curve(
+            [True, False, True, False, True], total_relevant=3)
+        curve = interpolated_precision(raw)
+        precisions = [p.precision for p in curve]
+        assert precisions == sorted(precisions, reverse=True)
+
+
+class TestAverages:
+    def test_average_interpolated(self):
+        a = interpolated_precision([PrecisionRecallPoint(1.0, 1.0)])
+        b = interpolated_precision([PrecisionRecallPoint(1.0, 0.0)])
+        merged = average_interpolated([a, b])
+        assert merged[0].precision == 0.5
+
+    def test_average_interpolated_empty(self):
+        merged = average_interpolated([])
+        assert all(p.precision == 0.0 for p in merged)
+
+    def test_average_precision(self):
+        assert average_precision([True, True], 2) == 1.0
+        assert average_precision([False, True], 1) == 0.5
+        assert average_precision([False], 0) == 0.0
+
+    def test_relevance_flags(self):
+        flags = relevance_flags([1, 2, 3], lambda x: x % 2 == 1)
+        assert flags == [True, False, True]

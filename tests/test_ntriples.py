@@ -1,0 +1,128 @@
+"""Unit tests for the N-Triples parser/serializer."""
+
+import pytest
+
+from repro.rdf import ntriples
+from repro.rdf.ntriples import NTriplesError, parse, parse_line, parse_term
+from repro.rdf.terms import BlankNode, Literal, URI
+from repro.rdf.triples import Triple
+
+
+class TestParseLine:
+    def test_simple_triple(self):
+        t = parse_line("<http://x/a> <http://x/p> <http://x/b> .")
+        assert t == Triple(URI("http://x/a"), URI("http://x/p"),
+                           URI("http://x/b"))
+
+    def test_literal_object(self):
+        t = parse_line('<http://x/a> <http://x/p> "Health Care" .')
+        assert t.object == Literal("Health Care")
+
+    def test_language_tagged(self):
+        t = parse_line('<http://x/a> <http://x/p> "chat"@fr .')
+        assert t.object == Literal("chat", language="fr")
+
+    def test_datatyped(self):
+        t = parse_line('<http://x/a> <http://x/p> '
+                       '"5"^^<http://www.w3.org/2001/XMLSchema#integer> .')
+        assert t.object.datatype.value.endswith("integer")
+
+    def test_blank_nodes(self):
+        t = parse_line("_:s <http://x/p> _:o .")
+        assert t.subject == BlankNode("s")
+        assert t.object == BlankNode("o")
+
+    def test_string_escapes(self):
+        t = parse_line(r'<http://x/a> <http://x/p> "tab\there\nline" .')
+        assert t.object.value == "tab\there\nline"
+
+    def test_unicode_escape(self):
+        t = parse_line(r'<http://x/a> <http://x/p> "é" .')
+        assert t.object.value == "é"
+
+    def test_long_unicode_escape(self):
+        t = parse_line(r'<http://x/a> <http://x/p> "\U0001F600" .')
+        assert t.object.value == "\U0001F600"
+
+    def test_comment_and_blank_lines_skipped(self):
+        assert parse_line("# a comment") is None
+        assert parse_line("   ") is None
+
+    def test_trailing_comment_allowed(self):
+        t = parse_line("<http://x/a> <http://x/p> <http://x/b> . # note")
+        assert t is not None
+
+    @pytest.mark.parametrize("bad", [
+        "<http://x/a> <http://x/p> <http://x/b>",         # missing dot
+        '"literal" <http://x/p> <http://x/b> .',          # literal subject
+        "<http://x/a> _:b <http://x/o> .",                # blank predicate
+        '<http://x/a> <http://x/p> "open .',              # unterminated string
+        "<http://x/a> <http://x/p .",                     # unterminated IRI
+        "<http://x/a> <http://x/p> <http://x/b> . junk",  # trailing content
+        r'<http://x/a> <http://x/p> "\q" .',              # unknown escape
+    ])
+    def test_malformed_lines_raise(self, bad):
+        with pytest.raises(NTriplesError):
+            parse_line(bad)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(NTriplesError) as info:
+            parse_line("garbage", lineno=42)
+        assert info.value.lineno == 42
+
+    def test_iri_illegal_character(self):
+        with pytest.raises(NTriplesError):
+            parse_line("<http://x/a b> <http://x/p> <http://x/c> .")
+
+
+class TestDocuments:
+    DOC = """\
+# two triples
+<http://x/a> <http://x/p> <http://x/b> .
+
+<http://x/b> <http://x/p> "done" .
+"""
+
+    def test_parse_document(self):
+        triples = list(parse(self.DOC))
+        assert len(triples) == 2
+
+    def test_roundtrip(self):
+        triples = list(parse(self.DOC))
+        again = list(parse(ntriples.serialize(triples)))
+        assert triples == again
+
+    def test_file_roundtrip(self, tmp_path):
+        triples = list(parse(self.DOC))
+        path = tmp_path / "data.nt"
+        written = ntriples.write_file(triples, path)
+        assert written == 2
+        assert list(ntriples.parse_file(path)) == triples
+
+
+class TestParseTerm:
+    @pytest.mark.parametrize("text, expected", [
+        ("<http://x/a>", URI("http://x/a")),
+        ('"plain"', Literal("plain")),
+        ('"v"@en', Literal("v", language="en")),
+        ("_:b7", BlankNode("b7")),
+    ])
+    def test_forms(self, text, expected):
+        assert parse_term(text) == expected
+
+    def test_variable_form(self):
+        from repro.rdf.terms import Variable
+        assert parse_term("?v2") == Variable("v2")
+
+    def test_n3_inverse(self):
+        for term in (URI("http://x/a"), Literal("x y"),
+                     Literal("v", language="en"), BlankNode("b")):
+            assert parse_term(term.n3()) == term
+
+    def test_garbage_raises(self):
+        with pytest.raises(NTriplesError):
+            parse_term("not a term")
+
+    def test_trailing_content_raises(self):
+        with pytest.raises(NTriplesError):
+            parse_term("<http://x/a> extra")

@@ -1,0 +1,136 @@
+"""Unit tests for the path model (Definition 5)."""
+
+import pytest
+
+from repro.paths.model import Path, path_of
+from repro.rdf.terms import Literal, URI, Variable
+
+
+class TestConstruction:
+    def test_path_of_interleaved(self):
+        p = path_of("http://x/a", "http://x/p", "http://x/b")
+        assert p.length == 2
+        assert p.source == URI("http://x/a")
+        assert p.sink == URI("http://x/b")
+
+    def test_single_node_path(self):
+        p = Path([URI("http://x/a")], [])
+        assert p.length == 1
+        assert p.source == p.sink
+
+    def test_edge_count_validation(self):
+        with pytest.raises(ValueError):
+            Path([URI("http://x/a"), URI("http://x/b")], [])
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError):
+            Path([], [])
+
+    def test_even_interleave_rejected(self):
+        with pytest.raises(ValueError):
+            path_of("http://x/a", "http://x/p")
+
+    def test_immutable(self):
+        p = path_of("http://x/a", "http://x/p", "http://x/b")
+        with pytest.raises(AttributeError):
+            p.nodes = ()
+
+    def test_node_ids_preserved(self):
+        p = path_of("http://x/a", "http://x/p", "http://x/b",
+                    node_ids=[3, 9])
+        assert p.node_ids == (3, 9)
+
+
+class TestPaperVocabulary:
+    @pytest.fixture
+    def pz(self):
+        # The paper's example: JR-sponsor-A1589-aTo-B0532-subject-HC.
+        return path_of("http://x/JR", "http://x/sponsor", "http://x/A1589",
+                       "http://x/aTo", "http://x/B0532",
+                       "http://x/subject", "Health Care")
+
+    def test_length_counts_nodes(self, pz):
+        assert pz.length == 4  # "pz has length 4" (§3.2)
+
+    def test_position_zero_based(self, pz):
+        # A1589 is at (1-based) position 2 in the paper; 0-based 1... the
+        # paper counts from 0: "the node A1589 has position 2"?  The
+        # paper's positions are ambiguous; ours are explicit 0-based.
+        assert pz.position_of("http://x/A1589") == 1
+
+    def test_position_missing_label(self, pz):
+        with pytest.raises(ValueError):
+            pz.position_of("http://x/nothere")
+
+    def test_text_notation(self, pz):
+        assert pz.text() == "JR-sponsor-A1589-aTo-B0532-subject-Health Care"
+
+
+class TestStructure:
+    @pytest.fixture
+    def abc(self):
+        return path_of("http://x/a", "http://x/p", "http://x/b",
+                       "http://x/q", "http://x/c")
+
+    def test_elements_interleave(self, abc):
+        kinds = [kind for kind, _ in abc.elements()]
+        assert kinds == ["node", "edge", "node", "edge", "node"]
+
+    def test_pairs_forward(self, abc):
+        pairs = list(abc.pairs())
+        assert pairs == [(URI("http://x/p"), URI("http://x/b")),
+                         (URI("http://x/q"), URI("http://x/c"))]
+
+    def test_reversed_pairs(self, abc):
+        pairs = list(abc.reversed_pairs())
+        assert pairs[0] == (URI("http://x/q"), URI("http://x/b"))
+        assert pairs[1] == (URI("http://x/p"), URI("http://x/a"))
+
+    def test_triples(self, abc):
+        assert list(abc.triples()) == [
+            (URI("http://x/a"), URI("http://x/p"), URI("http://x/b")),
+            (URI("http://x/b"), URI("http://x/q"), URI("http://x/c")),
+        ]
+
+    def test_node_label_set_memoised(self, abc):
+        assert abc.node_label_set() is abc.node_label_set()
+
+    def test_prefix(self, abc):
+        pre = abc.prefix(2)
+        assert pre.length == 2
+        assert pre.sink == URI("http://x/b")
+
+    def test_prefix_bounds(self, abc):
+        with pytest.raises(ValueError):
+            abc.prefix(0)
+        with pytest.raises(ValueError):
+            abc.prefix(4)
+
+    def test_prefix_keeps_node_ids(self):
+        p = path_of("http://x/a", "http://x/p", "http://x/b",
+                    node_ids=[5, 6])
+        assert p.prefix(1).node_ids == (5,)
+
+
+class TestVariablesAndEquality:
+    def test_variables_collected(self):
+        p = path_of("?s", "http://x/p", "?o")
+        assert p.variables() == {Variable("s"), Variable("o")}
+
+    def test_variable_edge_collected(self):
+        p = path_of("http://x/a", "?rel", "http://x/b")
+        assert Variable("rel") in p.variables()
+
+    def test_is_ground(self):
+        assert path_of("http://x/a", "http://x/p", "Male").is_ground
+        assert not path_of("?v", "http://x/p", "Male").is_ground
+
+    def test_equality_ignores_node_ids(self):
+        a = path_of("http://x/a", "http://x/p", "http://x/b", node_ids=[0, 1])
+        b = path_of("http://x/a", "http://x/p", "http://x/b", node_ids=[7, 8])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_literal_nodes_allowed(self):
+        p = path_of("http://x/a", "http://x/gender", "Male")
+        assert p.sink == Literal("Male")

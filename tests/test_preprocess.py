@@ -1,0 +1,63 @@
+"""Unit tests for query preprocessing (§5 step 1)."""
+
+import pytest
+
+from repro.engine.preprocess import (EmptyQueryError, first_constant_from_sink,
+                                     prepare_query)
+from repro.paths.model import path_of
+from repro.rdf.graph import QueryGraph
+from repro.rdf.terms import Literal, URI, Variable
+
+
+class TestPreparedQuery:
+    def test_q1_structure(self, q1):
+        prepared = prepare_query(q1)
+        assert prepared.path_count == 3
+        assert prepared.node_count == 6
+        assert prepared.variable_count == 3
+        assert prepared.ig.edge_count() == 2
+
+    def test_depth_is_longest_path(self, q1):
+        assert prepare_query(q1).depth == 4
+
+    def test_anchor_constant_sinks(self, q1):
+        prepared = prepare_query(q1)
+        assert set(prepared.anchors) == {Literal("Health Care"),
+                                         Literal("Male")}
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(EmptyQueryError):
+            prepare_query(QueryGraph())
+
+    def test_variable_sink_falls_back(self):
+        q = QueryGraph()
+        q.add_triple(URI("http://x/CB"), URI("http://x/knows"), "?v")
+        prepared = prepare_query(q)
+        # Sink is ?v; the anchor is the edge label (first constant
+        # scanning backwards).
+        assert prepared.anchors == [URI("http://x/knows")]
+
+
+class TestFirstConstantFromSink:
+    def test_constant_sink(self):
+        p = path_of("?v", "http://x/p", "Male")
+        assert first_constant_from_sink(p) == Literal("Male")
+
+    def test_variable_sink_constant_node_earlier(self):
+        p = path_of("http://x/CB", "http://x/p", "?v")
+        # Scanning back: ?v (var), edge p (constant) -> the edge wins
+        # before reaching CB.
+        assert first_constant_from_sink(p) == URI("http://x/p")
+
+    def test_variable_sink_variable_edge(self):
+        p = path_of("http://x/CB", "?e", "?v")
+        assert first_constant_from_sink(p) == URI("http://x/CB")
+
+    def test_fully_variable(self):
+        p = path_of("?a", "?e", "?b")
+        assert first_constant_from_sink(p) is None
+
+    def test_backward_order_prefers_nearest_to_sink(self):
+        p = path_of("http://x/far", "http://x/e1", "?m",
+                    "http://x/e2", "?v")
+        assert first_constant_from_sink(p) == URI("http://x/e2")

@@ -1,0 +1,147 @@
+"""Property-based tests (hypothesis) over the core invariants.
+
+These cover the claims the paper leans on: λ is non-negative and zero
+exactly on pure substitutions; the DP alignment never costs more than
+the greedy scan; score is coherent with relevance on alignment-derived
+transformations; extraction output always consists of genuine
+source-to-sink label sequences of the input graph.
+"""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.paths.alignment import align, align_optimal
+from repro.paths.extraction import extract_paths
+from repro.paths.intersection import chi
+from repro.paths.model import Path
+from repro.rdf.graph import DataGraph
+from repro.rdf.terms import URI, Variable
+from repro.scoring.quality import lambda_cost
+from repro.scoring.relevance import Transformation, gamma
+from repro.scoring.weights import PAPER_WEIGHTS
+
+_names = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=4)
+
+
+@st.composite
+def ground_paths(draw, max_len=6):
+    """A ground (variable-free) path with a small label alphabet."""
+    length = draw(st.integers(min_value=1, max_value=max_len))
+    nodes = [URI("http://x/" + draw(_names)) for _ in range(length)]
+    edges = [URI("http://x/e" + draw(_names)) for _ in range(length - 1)]
+    return Path(nodes, edges)
+
+
+@st.composite
+def query_paths_st(draw, max_len=6):
+    """A query path mixing constants and variables."""
+    length = draw(st.integers(min_value=1, max_value=max_len))
+    nodes = []
+    for index in range(length):
+        if draw(st.booleans()):
+            nodes.append(Variable(f"v{index}"))
+        else:
+            nodes.append(URI("http://x/" + draw(_names)))
+    edges = [URI("http://x/e" + draw(_names)) for _ in range(length - 1)]
+    return Path(nodes, edges)
+
+
+@given(ground_paths(), query_paths_st())
+@settings(max_examples=200, deadline=None)
+def test_lambda_non_negative(data_path, query_path):
+    assert lambda_cost(align(data_path, query_path)) >= 0.0
+
+
+@given(ground_paths())
+@settings(max_examples=100, deadline=None)
+def test_self_alignment_is_exact(path):
+    alignment = align(path, path)
+    assert alignment.is_exact
+    assert lambda_cost(alignment) == 0.0
+
+
+@given(query_paths_st())
+@settings(max_examples=100, deadline=None)
+def test_substituted_query_aligns_exactly(query_path):
+    """Grounding the variables of q yields a path with λ = 0 against q."""
+    grounded_nodes = [URI("http://x/bound") if isinstance(n, Variable) else n
+                      for n in query_path.nodes]
+    data_path = Path(grounded_nodes, query_path.edges)
+    alignment = align(data_path, query_path)
+    # Repeated variables may force conflicting bindings; exclude those.
+    variables = [n for n in query_path.nodes if isinstance(n, Variable)]
+    if len(variables) == len(set(variables)):
+        assert lambda_cost(alignment) == 0.0
+
+
+@given(ground_paths(), query_paths_st())
+@settings(max_examples=150, deadline=None)
+def test_optimal_alignment_never_worse(data_path, query_path):
+    greedy = lambda_cost(align(data_path, query_path))
+    optimal = lambda_cost(align_optimal(data_path, query_path, PAPER_WEIGHTS))
+    assert optimal <= greedy + 1e-9
+
+
+@given(ground_paths(), query_paths_st())
+@settings(max_examples=150, deadline=None)
+def test_gamma_equals_lambda(data_path, query_path):
+    """Theorem 1's bridge: γ(τ(alignment)) == λ(alignment)."""
+    alignment = align(data_path, query_path)
+    assert gamma(Transformation.from_alignment(alignment)) == \
+        lambda_cost(alignment)
+
+
+@given(ground_paths(), ground_paths())
+@settings(max_examples=100, deadline=None)
+def test_chi_symmetric_and_bounded(path_a, path_b):
+    common = chi(path_a, path_b)
+    assert common == chi(path_b, path_a)
+    assert len(common) <= min(path_a.length, path_b.length)
+    assert common <= path_a.node_label_set()
+
+
+@st.composite
+def small_graphs(draw):
+    node_count = draw(st.integers(min_value=1, max_value=8))
+    nodes = [f"http://x/n{i}" for i in range(node_count)]
+    edge_count = draw(st.integers(min_value=0, max_value=12))
+    triples = []
+    for _ in range(edge_count):
+        src = draw(st.integers(0, node_count - 1))
+        dst = draw(st.integers(0, node_count - 1))
+        if src == dst:
+            continue
+        label = "http://x/e" + draw(_names)
+        triples.append((nodes[src], label, nodes[dst]))
+    graph = DataGraph()
+    for name in nodes:
+        graph.node_for(URI(name))
+    graph.add_triples(triples)
+    return graph
+
+
+@given(small_graphs())
+@settings(max_examples=100, deadline=None)
+def test_extracted_paths_are_real_walks(graph):
+    """Every extracted path is a genuine label walk of the graph and
+    never repeats a node."""
+    for path in extract_paths(graph):
+        assert path.node_ids is not None
+        assert len(set(path.node_ids)) == path.length
+        for position in range(path.length - 1):
+            src = path.node_ids[position]
+            dst = path.node_ids[position + 1]
+            assert (path.edges[position], dst) in graph.out_edges(src)
+        # Roots: no incoming edges, or hub-promoted (graph cyclic).
+        if graph.sources():
+            assert graph.in_degree(path.node_ids[0]) == 0
+
+
+@given(small_graphs())
+@settings(max_examples=50, deadline=None)
+def test_extraction_deterministic(graph):
+    first = [p.text() for p in extract_paths(graph)]
+    second = [p.text() for p in extract_paths(graph)]
+    assert first == second

@@ -1,0 +1,81 @@
+"""Unit tests for the relevance reference model and Theorem 1 coherence."""
+
+import pytest
+
+from repro.paths.alignment import align
+from repro.paths.model import path_of
+from repro.scoring.quality import lambda_cost
+from repro.scoring.relevance import (Operation, Transformation, gamma,
+                                     is_more_relevant, operation_weight)
+from repro.scoring.weights import PAPER_WEIGHTS, ScoringWeights
+
+
+class TestOperationWeights:
+    def test_theorem1_assignment(self):
+        """ω maps the four priced operations onto a, b, c, d."""
+        assert operation_weight(Operation.NODE_RELABELING) == 1.0
+        assert operation_weight(Operation.NODE_INSERTION) == 0.5
+        assert operation_weight(Operation.EDGE_RELABELING) == 2.0
+        assert operation_weight(Operation.EDGE_INSERTION) == 1.0
+
+    def test_deletions_weight_zero(self):
+        assert operation_weight(Operation.NODE_DELETION) == 0.0
+        assert operation_weight(Operation.EDGE_DELETION) == 0.0
+
+
+class TestTransformation:
+    def test_cost_is_weighted_sum(self):
+        tau = Transformation.from_operations(
+            [Operation.NODE_INSERTION, Operation.EDGE_INSERTION])
+        assert gamma(tau) == 1.5
+
+    def test_empty_transformation_is_exact(self):
+        tau = Transformation.from_operations([])
+        assert tau.is_empty
+        assert gamma(tau) == 0.0
+
+    def test_from_alignment_matches_lambda(self):
+        """γ(τ from alignment) == λ(alignment) — the Theorem 1 bridge."""
+        p = path_of("CB", "sponsor", "A0056", "aTo", "B1432", "subject", "HC")
+        for q in (path_of("CB", "sponsor", "?v1", "aTo", "?v2", "subject", "HC"),
+                  path_of("?v3", "sponsor", "?v2", "subject", "HC"),
+                  path_of("?x", "other", "HC")):
+            alignment = align(p, q)
+            tau = Transformation.from_alignment(alignment)
+            assert gamma(tau) == lambda_cost(alignment)
+
+    def test_from_alignments_concatenates(self):
+        p = path_of("A", "p", "B")
+        q_cheap = path_of("?x", "p", "B")
+        q_costly = path_of("?x", "z", "B")
+        tau = Transformation.from_alignments(
+            [align(p, q_cheap), align(p, q_costly)])
+        assert gamma(tau) == 2.0  # one edge relabeling
+
+    def test_len(self):
+        tau = Transformation.from_operations([Operation.NODE_INSERTION] * 3)
+        assert len(tau) == 3
+
+
+class TestRelevanceOrdering:
+    def test_is_more_relevant(self):
+        cheap = Transformation.from_operations([Operation.NODE_INSERTION])
+        costly = Transformation.from_operations([Operation.EDGE_RELABELING])
+        assert is_more_relevant(cheap, costly)
+        assert not is_more_relevant(costly, cheap)
+
+    def test_theorem1_coherence_on_paths(self):
+        """More relevant (cheaper τ) ⇒ lower λ, for alignment-derived τ."""
+        p = path_of("CB", "sponsor", "A0056", "aTo", "B1432", "subject", "HC")
+        exactish = align(p, path_of("CB", "sponsor", "?v1", "aTo", "?v2",
+                                    "subject", "HC"))
+        approx = align(p, path_of("?v3", "sponsor", "?v2", "subject", "HC"))
+        tau_1 = Transformation.from_alignment(exactish)
+        tau_2 = Transformation.from_alignment(approx)
+        assert is_more_relevant(tau_1, tau_2)
+        assert lambda_cost(exactish) < lambda_cost(approx)
+
+    def test_custom_weights_flow_through(self):
+        weights = ScoringWeights(node_insertion=5.0)
+        tau = Transformation.from_operations([Operation.NODE_INSERTION])
+        assert gamma(tau, weights) == 5.0

@@ -1,0 +1,153 @@
+"""Unit tests for the scoring package: weights, λ/Λ, ψ/Ψ, score."""
+
+import pytest
+
+from repro.paths.alignment import AlignmentCounts, align
+from repro.paths.intersection import IntersectionGraph
+from repro.paths.model import path_of
+from repro.scoring import (PAPER_WEIGHTS, ScoringWeights, conformity,
+                           conformity_degree, lambda_cost, pairwise_degrees,
+                           psi, quality, score_paths, score_value)
+
+
+class TestWeights:
+    def test_paper_configuration(self):
+        w = ScoringWeights.paper()
+        assert (w.node_mismatch, w.node_insertion,
+                w.edge_mismatch, w.edge_insertion) == (1.0, 0.5, 2.0, 1.0)
+
+    def test_deletions_default_zero(self):
+        assert PAPER_WEIGHTS.node_deletion == 0.0
+        assert PAPER_WEIGHTS.edge_deletion == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ScoringWeights(node_mismatch=-1)
+
+    def test_presets(self):
+        assert ScoringWeights.uniform(2.0).edge_mismatch == 2.0
+        assert ScoringWeights.structure_only().node_mismatch == 0.0
+        assert ScoringWeights.labels_only().node_insertion == 0.0
+
+    def test_with_conformity(self):
+        assert PAPER_WEIGHTS.with_conformity(3.0).conformity == 3.0
+
+    def test_insertion_pair_cost(self):
+        assert PAPER_WEIGHTS.insertion_pair_cost == 1.5
+
+
+class TestLambda:
+    def test_equation_one(self):
+        counts = AlignmentCounts(node_mismatches=2, node_insertions=1,
+                                 edge_mismatches=1, edge_insertions=3)
+        # a*2 + b*1 + c*1 + d*3 = 2 + 0.5 + 2 + 3
+        assert lambda_cost(counts) == 7.5
+
+    def test_accepts_alignment_object(self):
+        p = path_of("A", "p", "B")
+        q = path_of("?x", "p", "B")
+        assert lambda_cost(align(p, q)) == 0.0
+
+    def test_deletions_priced_when_configured(self):
+        counts = AlignmentCounts(node_deletions=2, edge_deletions=2)
+        weights = ScoringWeights(node_deletion=1.0, edge_deletion=0.5)
+        assert lambda_cost(counts, weights) == 3.0
+
+    def test_quality_sums(self):
+        p = path_of("CB", "sponsor", "A0056", "aTo", "B1432", "subject", "HC")
+        q1 = path_of("CB", "sponsor", "?v1", "aTo", "?v2", "subject", "HC")
+        q2 = path_of("?v3", "sponsor", "?v2", "subject", "HC")
+        alignments = [align(p, q1), align(p, q2)]
+        assert quality(alignments) == 0.0 + 1.5
+
+
+class TestPsi:
+    Q1 = path_of("CB", "sponsor", "?v1", "aTo", "?v2", "subject", "HC")
+    Q2 = path_of("?v3", "sponsor", "?v2", "subject", "HC")
+    P1 = path_of("CB", "sponsor", "A0056", "aTo", "B1432", "subject", "HC")
+    P10 = path_of("PD", "sponsor", "B1432", "subject", "HC")
+    P7 = path_of("JR", "sponsor", "B0045", "subject", "HC")
+
+    def test_perfect_conformity_distance(self):
+        # χ(q1,q2) = {?v2, HC} (2); χ(p1,p10) = {B1432, HC} (2) -> e*2/2.
+        assert psi(self.Q1, self.Q2, self.P1, self.P10) == 1.0
+
+    def test_deficient_conformity_higher_distance(self):
+        # χ(p1,p7) = {HC} (1) -> e*2/1 = 2.
+        assert psi(self.Q1, self.Q2, self.P1, self.P7) == 2.0
+
+    def test_broken_pair_full_penalty(self):
+        far = path_of("X", "p", "Y")
+        assert psi(self.Q1, self.Q2, self.P1, far) == 2.0
+
+    def test_non_intersecting_query_pair_contributes_zero(self):
+        qa = path_of("?a", "p", "X")
+        qb = path_of("?b", "q", "Y")
+        assert psi(qa, qb, self.P1, self.P10) == 0.0
+
+    def test_conformity_weight_scales(self):
+        weights = PAPER_WEIGHTS.with_conformity(2.0)
+        assert psi(self.Q1, self.Q2, self.P1, self.P10, weights) == 2.0
+
+    def test_degree_fig4_labels(self):
+        # (p10, p1): degree 1; (p7, p1): degree 0.5 (the dashed edge).
+        assert conformity_degree(self.Q2, self.Q1, self.P10, self.P1) == 1.0
+        assert conformity_degree(self.Q2, self.Q1, self.P7, self.P1) == 0.5
+
+    def test_degree_nonintersecting_queries_is_one(self):
+        qa = path_of("?a", "p", "X")
+        qb = path_of("?b", "q", "Y")
+        assert conformity_degree(qa, qb, self.P1, self.P7) == 1.0
+
+
+class TestConformityAggregate:
+    def test_conformity_over_ig(self, q1):
+        from repro.paths.extraction import query_paths
+        paths = query_paths(q1)
+        ig = IntersectionGraph(paths)
+        # Perfectly matching data paths: reuse query paths as data.
+        assert conformity(ig, paths) == pytest.approx(
+            sum(1.0 for _ in ig.edges()))
+
+    def test_length_mismatch_rejected(self, q1):
+        from repro.paths.extraction import query_paths
+        paths = query_paths(q1)
+        ig = IntersectionGraph(paths)
+        with pytest.raises(ValueError):
+            conformity(ig, paths[:-1])
+
+    def test_pairwise_degrees(self):
+        a = path_of("A", "p", "Z")
+        b = path_of("B", "q", "Z")
+        ig = IntersectionGraph([a, b])
+        degrees = pairwise_degrees(ig, [a, b])
+        assert degrees == {(0, 1): 1.0}
+
+
+class TestScore:
+    def test_exact_answer_score_is_conformity_floor(self, q1):
+        from repro.paths.extraction import query_paths
+        paths = query_paths(q1)
+        breakdown = score_paths(paths, paths)
+        assert breakdown.quality == 0.0
+        assert breakdown.total == breakdown.conformity
+
+    def test_score_value_shortcut(self):
+        p = [path_of("A", "p", "B")]
+        q = [path_of("?x", "p", "B")]
+        assert score_value(p, q) == score_paths(p, q).total
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            score_paths([path_of("A", "p", "B")], [])
+
+    def test_breakdown_lambda_of(self):
+        p = [path_of("A", "p", "B")]
+        q = [path_of("C", "p", "B")]
+        breakdown = score_paths(p, q)
+        assert breakdown.lambda_of(0) == 1.0
+
+    def test_str(self):
+        p = [path_of("A", "p", "B")]
+        breakdown = score_paths(p, p)
+        assert "score=" in str(breakdown)

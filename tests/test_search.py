@@ -1,0 +1,139 @@
+"""Unit tests for the top-k search (§5 step 3)."""
+
+import pytest
+
+from repro.engine.search import SearchConfig, top_k
+from repro.rdf.graph import QueryGraph
+from repro.rdf.terms import Literal
+
+
+GOV = "http://example.org/govtrack/"
+
+
+class TestFirstSolution:
+    def test_paper_first_solution(self, govtrack_engine, q1):
+        """The first solution combines p1, p10 and p20 (§5)."""
+        answer = govtrack_engine.query(q1, k=1)[0]
+        texts = sorted(e.path.text() for e in answer.entries)
+        assert texts == [
+            "CarlaBunes-sponsor-A0056-aTo-B1432-subject-Health Care",
+            "PierceDickes-gender-Male",
+            "PierceDickes-sponsor-B1432-subject-Health Care",
+        ]
+
+    def test_first_solution_is_conforming(self, govtrack_engine, q1):
+        answer = govtrack_engine.query(q1, k=1)[0]
+        assert answer.broken_pairs == 0
+        assert answer.is_coherent
+
+    def test_q2_answered_approximately(self, govtrack_engine, q2):
+        answers = govtrack_engine.query(q2, k=3)
+        assert answers
+        assert not answers[0].is_exact  # no exact answer exists
+
+
+class TestMonotonicity:
+    """§6.3: answers emerge in non-decreasing score order (RR = 1)."""
+
+    def test_scores_non_decreasing(self, govtrack_engine, q1, q2):
+        for query in (q1, q2):
+            answers = govtrack_engine.query(query, k=10)
+            scores = [answer.score for answer in answers]
+            assert scores == sorted(scores)
+
+    def test_lubm_scores_non_decreasing(self, lubm_engine):
+        from repro.datasets import lubm_queries
+        for spec in lubm_queries()[:4]:
+            answers = lubm_engine.query(spec.graph, k=10)
+            scores = [answer.score for answer in answers]
+            assert scores == sorted(scores)
+
+
+class TestSearchConfig:
+    def test_k_respected(self, govtrack_engine, q1):
+        assert len(govtrack_engine.query(q1, k=3)) == 3
+        assert len(govtrack_engine.query(q1, k=7)) == 7
+
+    def test_dedupe_removes_triple_duplicates(self, govtrack_engine, q1):
+        prepared = govtrack_engine.prepare(q1)
+        clusters = govtrack_engine.clusters(prepared)
+        deduped = top_k(prepared, clusters,
+                        config=SearchConfig(k=50, dedupe=True))
+        raw = top_k(prepared, clusters,
+                    config=SearchConfig(k=50, dedupe=False))
+        signatures = [a.signature() for a in deduped.answers]
+        assert len(set(signatures)) == len(signatures)
+        assert len(raw.answers) >= len(deduped.answers)
+
+    def test_strict_bindings_drops_incoherent(self, govtrack_engine, q1):
+        prepared = govtrack_engine.prepare(q1)
+        clusters = govtrack_engine.clusters(prepared)
+        strict = top_k(prepared, clusters,
+                       config=SearchConfig(k=20, strict_bindings=True))
+        assert strict.answers
+        assert all(answer.is_coherent for answer in strict.answers)
+
+    def test_max_expansions_reports_exhaustion(self, govtrack_engine, q1):
+        prepared = govtrack_engine.prepare(q1)
+        clusters = govtrack_engine.clusters(prepared)
+        result = top_k(prepared, clusters,
+                       config=SearchConfig(k=100, max_expansions=5))
+        assert not result.exhausted
+        assert result.expansions == 5
+
+    def test_exact_mode_unlimited_siblings(self, govtrack_engine, q1):
+        prepared = govtrack_engine.prepare(q1)
+        clusters = govtrack_engine.clusters(prepared)
+        exact = top_k(prepared, clusters,
+                      config=SearchConfig(k=5, sibling_limit=None,
+                                          patience=None))
+        default = top_k(prepared, clusters, config=SearchConfig(k=5))
+        assert [a.score for a in exact.answers] == \
+            [a.score for a in default.answers]
+
+    def test_result_is_sequence(self, govtrack_engine, q1):
+        prepared = govtrack_engine.prepare(q1)
+        clusters = govtrack_engine.clusters(prepared)
+        result = top_k(prepared, clusters, config=SearchConfig(k=4))
+        assert len(result) == 4
+        assert result[0].score <= result[-1].score
+        assert list(iter(result)) == result.answers
+
+
+class TestDegenerateInputs:
+    def test_single_path_query(self, govtrack_engine):
+        q = QueryGraph()
+        q.add_triple("?v", GOV + "gender", Literal("Male"))
+        answers = govtrack_engine.query(q, k=10)
+        assert len(answers) == 4
+        assert all(a.score == 0 for a in answers)
+
+    def test_unmatchable_query_gets_missing_answers(self, govtrack_engine):
+        q = QueryGraph()
+        q.add_triples([
+            ("?a", "http://nowhere/p", Literal("Unfindable Sink Label")),
+            ("?a", GOV + "gender", Literal("Male")),
+        ])
+        answers = govtrack_engine.query(q, k=3)
+        assert answers
+        top = answers[0]
+        assert top.matched_count == 1  # only the gender path covered
+        assert not top.is_complete
+
+    def test_fully_unmatchable_query_no_answers(self, govtrack_engine):
+        q = QueryGraph()
+        q.add_triple("?a", "http://nowhere/p", Literal("Unfindable Thing"))
+        assert govtrack_engine.query(q, k=3) == []
+
+    def test_cluster_count_mismatch_rejected(self, govtrack_engine, q1):
+        prepared = govtrack_engine.prepare(q1)
+        clusters = govtrack_engine.clusters(prepared)
+        with pytest.raises(ValueError):
+            top_k(prepared, clusters[:-1])
+
+    def test_ground_query(self, govtrack_engine):
+        """A fully ground query (no variables) still answers."""
+        q = QueryGraph()
+        q.add_triple(GOV + "PierceDickes", GOV + "gender", Literal("Male"))
+        answers = govtrack_engine.query(q, k=1)
+        assert answers[0].is_exact

@@ -1,0 +1,179 @@
+"""Unit tests for the SPARQL BGP front-end."""
+
+import pytest
+
+from repro.rdf.sparql import (SparqlSyntaxError, parse_select, query_graph)
+from repro.rdf.terms import Literal, URI, Variable
+from repro.rdf.namespaces import RDF
+
+
+BASIC = """
+PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>
+SELECT ?x ?y WHERE {
+    ?x ub:advisor ?y .
+    ?y ub:worksFor ub:Department0 .
+}
+"""
+
+
+class TestProjection:
+    def test_variables_parsed(self):
+        q = parse_select(BASIC)
+        assert q.variables == [Variable("x"), Variable("y")]
+        assert not q.select_all
+
+    def test_select_star(self):
+        q = parse_select("SELECT * WHERE { ?s ?p ?o . }")
+        assert q.select_all
+
+    def test_distinct(self):
+        q = parse_select("SELECT DISTINCT ?s WHERE { ?s ?p ?o . }")
+        assert q.distinct
+
+    def test_missing_projection_raises(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_select("SELECT WHERE { ?s ?p ?o . }")
+
+
+class TestPatterns:
+    def test_prefix_expansion(self):
+        q = parse_select(BASIC)
+        predicates = {p.predicate for p in q.patterns}
+        assert URI("http://swat.cse.lehigh.edu/onto/univ-bench.owl#advisor") \
+            in predicates
+
+    def test_undeclared_prefix_raises(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_select("SELECT ?s WHERE { ?s nope:p ?o . }")
+
+    def test_a_keyword_is_rdf_type(self):
+        q = parse_select("SELECT ?s WHERE { ?s a <http://x/C> . }")
+        assert q.patterns[0].predicate == RDF.type
+
+    def test_semicolon_same_subject(self):
+        q = parse_select("""
+            SELECT ?s WHERE {
+                ?s <http://x/p> ?a ;
+                   <http://x/q> ?b .
+            }""")
+        assert len(q.patterns) == 2
+        assert q.patterns[0].subject == q.patterns[1].subject
+
+    def test_comma_same_predicate(self):
+        q = parse_select("""
+            SELECT ?s WHERE { ?s <http://x/p> ?a, ?b . }""")
+        assert len(q.patterns) == 2
+        assert q.patterns[0].predicate == q.patterns[1].predicate
+
+    def test_dangling_semicolon_tolerated(self):
+        q = parse_select("SELECT ?s WHERE { ?s <http://x/p> ?a ; . }")
+        assert len(q.patterns) == 1
+
+    def test_string_literal(self):
+        q = parse_select('SELECT ?s WHERE { ?s <http://x/p> "Health Care" . }')
+        assert q.patterns[0].object == Literal("Health Care")
+
+    def test_language_tag(self):
+        q = parse_select('SELECT ?s WHERE { ?s <http://x/p> "chat"@fr . }')
+        assert q.patterns[0].object.language == "fr"
+
+    def test_number_literal_typed(self):
+        q = parse_select("SELECT ?s WHERE { ?s <http://x/p> 42 . }")
+        assert q.patterns[0].object.datatype.value.endswith("integer")
+        q = parse_select("SELECT ?s WHERE { ?s <http://x/p> 3.14 . }")
+        assert q.patterns[0].object.datatype.value.endswith("decimal")
+
+    def test_boolean_literal(self):
+        q = parse_select("SELECT ?s WHERE { ?s <http://x/p> true . }")
+        assert q.patterns[0].object.datatype.value.endswith("boolean")
+
+    def test_anonymous_blank_node(self):
+        q = parse_select("SELECT ?s WHERE { ?s <http://x/p> [] . }")
+        from repro.rdf.terms import BlankNode
+        assert isinstance(q.patterns[0].object, BlankNode)
+
+    def test_variable_predicate(self):
+        q = parse_select("SELECT ?s WHERE { ?s ?rel <http://x/o> . }")
+        assert q.patterns[0].predicate == Variable("rel")
+
+    def test_empty_where_raises(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_select("SELECT ?s WHERE { }")
+
+    def test_limit_offset_ignored(self):
+        q = parse_select(
+            "SELECT ?s WHERE { ?s ?p ?o . } LIMIT 5 OFFSET 10")
+        assert len(q.patterns) == 1
+
+
+class TestUnsupported:
+    @pytest.mark.parametrize("keyword", ["OPTIONAL", "FILTER", "UNION"])
+    def test_fragment_violations_rejected(self, keyword):
+        with pytest.raises(SparqlSyntaxError, match=keyword):
+            parse_select(f"""
+                SELECT ?s WHERE {{
+                    ?s <http://x/p> ?o .
+                    {keyword} {{ ?s <http://x/q> ?o2 . }}
+                }}""")
+
+    def test_construct_rejected(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_select("CONSTRUCT { ?s ?p ?o } WHERE { ?s ?p ?o }")
+
+
+class TestGraphMaterialisation:
+    def test_query_graph(self):
+        graph = query_graph(BASIC, name="test")
+        assert graph.name == "test"
+        assert graph.node_count() == 3
+        assert graph.edge_count() == 2
+
+    def test_all_variables(self):
+        q = parse_select(BASIC)
+        assert q.all_variables() == {Variable("x"), Variable("y")}
+
+    def test_shared_variable_merges_nodes(self):
+        graph = query_graph("""
+            SELECT ?s WHERE {
+                ?s <http://x/p> ?m .
+                ?m <http://x/q> ?o .
+            }""")
+        assert graph.node_count() == 3
+
+
+class TestParserProperty:
+    """Round-trip property: rendered BGPs parse back to themselves."""
+
+    def test_random_bgps_roundtrip(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+        from repro.rdf.terms import Literal, URI, Variable
+        from repro.rdf.triples import Triple
+
+        subjects = st.one_of(
+            st.sampled_from([Variable("s"), Variable("x"), Variable("y")]),
+            st.sampled_from([URI("http://x/a"), URI("http://x/b")]))
+        predicates = st.one_of(
+            st.sampled_from([Variable("p"), Variable("rel")]),
+            st.sampled_from([URI("http://x/knows"), URI("http://x/likes")]))
+        objects = st.one_of(
+            subjects,
+            st.sampled_from([Literal("plain value"),
+                             Literal("tag", language="en"),
+                             Literal("5", datatype=URI(
+                                 "http://www.w3.org/2001/XMLSchema#integer"))]))
+        triples = st.lists(
+            st.builds(Triple, subjects, predicates, objects),
+            min_size=1, max_size=6, unique=True)
+
+        @given(triples)
+        @settings(max_examples=120, deadline=None)
+        def check(patterns):
+            body = " ".join(
+                f"{t.subject.n3()} {t.predicate.n3()} {t.object.n3()} ."
+                for t in patterns)
+            text = f"SELECT * WHERE {{ {body} }}"
+            parsed = parse_select(text)
+            assert set(parsed.patterns) == set(patterns)
+
+        check()

@@ -1,0 +1,276 @@
+"""Unit tests for the storage substrate: pages, buffer pool, record log."""
+
+import os
+
+import pytest
+
+from repro.storage.bufferpool import BufferPool
+from repro.storage.pagestore import PageStore, StorageError
+from repro.storage.recordfile import RecordFile
+
+
+@pytest.fixture
+def store(tmp_path):
+    with PageStore(tmp_path / "pages.db", page_size=256) as s:
+        yield s
+
+
+class TestPageStore:
+    def test_allocate_and_roundtrip(self, store):
+        page = store.allocate()
+        store.write_page(page, b"hello")
+        data = store.read_page(page)
+        assert data.startswith(b"hello")
+        assert len(data) == 256
+
+    def test_pages_zero_padded(self, store):
+        page = store.allocate()
+        assert store.read_page(page) == b"\x00" * 256
+
+    def test_page_out_of_range(self, store):
+        with pytest.raises(StorageError):
+            store.read_page(0)
+        page = store.allocate()
+        with pytest.raises(StorageError):
+            store.read_page(page + 1)
+
+    def test_oversized_record_rejected(self, store):
+        page = store.allocate()
+        with pytest.raises(StorageError):
+            store.write_page(page, b"x" * 257)
+
+    def test_io_stats(self, store):
+        page = store.allocate()
+        store.read_page(page)
+        store.read_page(page)
+        assert store.stats.page_reads == 2
+        assert store.stats.page_writes == 1
+        store.stats.reset()
+        assert store.stats.page_reads == 0
+
+    def test_size_bytes(self, store):
+        store.allocate()
+        store.allocate()
+        assert store.size_bytes() == 512
+
+    def test_reopen_preserves_pages(self, tmp_path):
+        path = tmp_path / "p.db"
+        with PageStore(path, page_size=128) as first:
+            page = first.allocate()
+            first.write_page(page, b"persist")
+            first.flush()
+        with PageStore(path, page_size=128) as second:
+            assert second.page_count == 1
+            assert second.read_page(0).startswith(b"persist")
+
+    def test_misaligned_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.db"
+        path.write_bytes(b"x" * 100)
+        with pytest.raises(StorageError):
+            PageStore(path, page_size=256)
+
+    def test_tiny_page_size_rejected(self, tmp_path):
+        with pytest.raises(StorageError):
+            PageStore(tmp_path / "t.db", page_size=16)
+
+    def test_closed_store_raises(self, tmp_path):
+        s = PageStore(tmp_path / "c.db")
+        s.close()
+        with pytest.raises(StorageError):
+            s.allocate()
+
+    def test_simulated_latency_accounted(self, tmp_path):
+        with PageStore(tmp_path / "slow.db", page_size=128,
+                       read_latency=0.002) as slow:
+            page = slow.allocate()
+            slow.read_page(page)
+            assert slow.stats.read_seconds >= 0.002
+
+
+class TestBufferPool:
+    def test_hit_after_miss(self, store):
+        pool = BufferPool(store, capacity=4)
+        page = store.allocate()
+        pool.read_page(page)
+        pool.read_page(page)
+        assert pool.stats.misses == 1
+        assert pool.stats.hits == 1
+        assert store.stats.page_reads == 1
+
+    def test_lru_eviction(self, store):
+        pool = BufferPool(store, capacity=2)
+        pages = [store.allocate() for _ in range(3)]
+        for page in pages:
+            pool.read_page(page)
+        # page 0 was evicted; reading it is a physical read again.
+        before = store.stats.page_reads
+        pool.read_page(pages[0])
+        assert store.stats.page_reads == before + 1
+
+    def test_recency_refresh(self, store):
+        pool = BufferPool(store, capacity=2)
+        a, b, c = [store.allocate() for _ in range(3)]
+        pool.read_page(a)
+        pool.read_page(b)
+        pool.read_page(a)      # refresh a; b is now LRU
+        pool.read_page(c)      # evicts b
+        before = store.stats.page_reads
+        pool.read_page(a)
+        assert store.stats.page_reads == before  # a still resident
+
+    def test_clear_is_cold_cache(self, store):
+        pool = BufferPool(store, capacity=4)
+        page = store.allocate()
+        pool.read_page(page)
+        pool.clear()
+        before = store.stats.page_reads
+        pool.read_page(page)
+        assert store.stats.page_reads == before + 1
+
+    def test_write_through_caches(self, store):
+        pool = BufferPool(store, capacity=4)
+        page = store.allocate()
+        pool.write_page(page, b"data")
+        before = store.stats.page_reads
+        assert pool.read_page(page).startswith(b"data")
+        assert store.stats.page_reads == before  # cached by the write
+
+    def test_zero_capacity_disables_cache(self, store):
+        pool = BufferPool(store, capacity=0)
+        page = store.allocate()
+        pool.read_page(page)
+        pool.read_page(page)
+        assert store.stats.page_reads == 2
+
+    def test_negative_capacity_rejected(self, store):
+        with pytest.raises(ValueError):
+            BufferPool(store, capacity=-1)
+
+    def test_hit_ratio(self, store):
+        pool = BufferPool(store, capacity=4)
+        page = store.allocate()
+        pool.read_page(page)
+        pool.read_page(page)
+        assert pool.stats.hit_ratio == 0.5
+
+    def test_warm(self, store):
+        pool = BufferPool(store, capacity=4)
+        pages = [store.allocate() for _ in range(3)]
+        pool.warm(pages)
+        assert pool.resident_pages == 3
+
+
+class TestRecordFile:
+    def test_append_read_roundtrip(self, store):
+        log = RecordFile(store)
+        offsets = [log.append(f"record-{i}".encode()) for i in range(20)]
+        for index, offset in enumerate(offsets):
+            assert log.read(offset) == f"record-{index}".encode()
+
+    def test_records_span_pages(self, store):
+        log = RecordFile(store)
+        big = b"x" * 1000  # page size is 256
+        offset = log.append(big)
+        assert log.read(offset) == big
+
+    def test_empty_record(self, store):
+        log = RecordFile(store)
+        offset = log.append(b"")
+        assert log.read(offset) == b""
+
+    def test_scan_in_order(self, store):
+        log = RecordFile(store)
+        payloads = [bytes([i]) * (i + 1) for i in range(10)]
+        for payload in payloads:
+            log.append(payload)
+        assert [payload for _off, payload in log.scan()] == payloads
+
+    def test_reopen_after_sync(self, tmp_path):
+        path = tmp_path / "log.db"
+        with PageStore(path, page_size=256) as first:
+            log = RecordFile(first)
+            offset = log.append(b"durable")
+            log.append(b"x" * 600)
+            log.sync()
+        with PageStore(path, page_size=256) as second:
+            reopened = RecordFile(second)
+            assert reopened.read(offset) == b"durable"
+            assert len(list(reopened.scan())) == 2
+
+    def test_bad_offset_rejected(self, store):
+        log = RecordFile(store)
+        log.append(b"one")
+        with pytest.raises(StorageError):
+            log.read(0)        # header page is not a record
+        with pytest.raises(StorageError):
+            log.read(10 ** 9)
+
+    def test_not_a_log_rejected(self, tmp_path):
+        path = tmp_path / "junk.db"
+        with PageStore(path, page_size=256) as raw:
+            page = raw.allocate()
+            raw.write_page(page, b"JUNKJUNK")
+            raw.flush()
+        with PageStore(path, page_size=256) as reopened:
+            with pytest.raises(StorageError):
+                RecordFile(reopened)
+
+    def test_append_while_readable(self, store):
+        """Reads see staged (not yet flushed) appends."""
+        log = RecordFile(store)
+        offset = log.append(b"staged")
+        assert log.read(offset) == b"staged"
+
+
+class TestChecksums:
+    def test_corruption_detected_after_reopen(self, tmp_path):
+        path = tmp_path / "guarded.db"
+        with PageStore(path, page_size=256) as store:
+            page = store.allocate()
+            store.write_page(page, b"precious data")
+            store.flush()
+        # Flip a byte on disk behind the store's back.
+        raw = bytearray(path.read_bytes())
+        raw[10] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with PageStore(path, page_size=256) as reopened:
+            with pytest.raises(StorageError, match="checksum"):
+                reopened.read_page(0)
+
+    def test_clean_reopen_verifies(self, tmp_path):
+        path = tmp_path / "clean.db"
+        with PageStore(path, page_size=256) as store:
+            page = store.allocate()
+            store.write_page(page, b"intact")
+            store.flush()
+        with PageStore(path, page_size=256) as reopened:
+            assert reopened.read_page(0).startswith(b"intact")
+
+    def test_checksums_can_be_disabled(self, tmp_path):
+        path = tmp_path / "yolo.db"
+        with PageStore(path, page_size=256, verify_checksums=False) as store:
+            page = store.allocate()
+            store.write_page(page, b"data")
+            store.flush()
+        raw = bytearray(path.read_bytes())
+        raw[1] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with PageStore(path, page_size=256,
+                       verify_checksums=False) as reopened:
+            reopened.read_page(0)  # corruption goes unnoticed, by choice
+
+    def test_unflushed_pages_not_yet_guarded(self, tmp_path):
+        # Before the first flush no sidecar exists; reads still work.
+        with PageStore(tmp_path / "fresh.db", page_size=256) as store:
+            page = store.allocate()
+            store.write_page(page, b"x")
+            assert store.read_page(page).startswith(b"x")
+
+    def test_corrupt_sidecar_rejected(self, tmp_path):
+        path = tmp_path / "side.db"
+        with PageStore(path, page_size=256) as store:
+            store.allocate()
+            store.flush()
+        (tmp_path / "side.db.crc").write_bytes(b"odd")
+        with pytest.raises(StorageError):
+            PageStore(path, page_size=256)

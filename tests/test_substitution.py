@@ -1,0 +1,85 @@
+"""Unit tests for variable substitutions (φ)."""
+
+import pytest
+
+from repro.paths.substitution import (BindingConflict, EMPTY_SUBSTITUTION,
+                                      Substitution)
+from repro.rdf.terms import URI, Variable
+
+
+A = URI("http://x/a")
+B = URI("http://x/b")
+V = Variable("v")
+W = Variable("w")
+
+
+class TestBind:
+    def test_bind_returns_new(self):
+        s = Substitution()
+        bound = s.bind(V, A)
+        assert V not in s
+        assert bound[V] == A
+
+    def test_rebind_same_value_noop(self):
+        s = Substitution().bind(V, A)
+        assert s.bind(V, A) is s
+
+    def test_rebind_conflict_raises(self):
+        s = Substitution().bind(V, A)
+        with pytest.raises(BindingConflict) as info:
+            s.bind(V, B)
+        assert info.value.variable == V
+        assert info.value.existing == A
+        assert info.value.incoming == B
+
+
+class TestMerge:
+    def test_disjoint_merge(self):
+        s = Substitution().bind(V, A).merge(Substitution().bind(W, B))
+        assert s[V] == A and s[W] == B
+
+    def test_overlapping_agreeing_merge(self):
+        s1 = Substitution().bind(V, A)
+        s2 = Substitution({V: A, W: B})
+        assert s1.merge(s2)[W] == B
+
+    def test_conflicting_merge_raises(self):
+        with pytest.raises(BindingConflict):
+            Substitution({V: A}).merge({V: B})
+
+    def test_compatible_with(self):
+        s = Substitution({V: A})
+        assert s.compatible_with({V: A, W: B})
+        assert not s.compatible_with({V: B})
+
+    def test_merge_commutes_when_compatible(self):
+        s1 = Substitution({V: A})
+        s2 = Substitution({W: B})
+        assert s1.merge(s2) == s2.merge(s1)
+
+
+class TestMappingProtocol:
+    def test_len_iter_get(self):
+        s = Substitution({V: A, W: B})
+        assert len(s) == 2
+        assert set(s) == {V, W}
+        assert s[V] == A
+
+    def test_equality_with_dict(self):
+        assert Substitution({V: A}) == {V: A}
+
+    def test_hashable(self):
+        assert hash(Substitution({V: A})) == hash(Substitution({V: A}))
+
+    def test_apply(self):
+        s = Substitution({V: A})
+        assert s.apply(V) == A
+        assert s.apply(W) == W       # unbound stays
+        assert s.apply(B) == B       # constants pass through
+
+    def test_empty_constant(self):
+        assert len(EMPTY_SUBSTITUTION) == 0
+
+    def test_repr_sorted(self):
+        s = Substitution({W: B, V: A})
+        assert repr(s).index("v=") < repr(s).index("w=")

@@ -1,0 +1,157 @@
+"""Unit tests for the RDF term model."""
+
+import pytest
+
+from repro.rdf.namespaces import GOV, Namespace, RDF
+from repro.rdf.terms import (BlankNode, Literal, Term, URI, Variable,
+                             coerce_term)
+
+
+class TestURI:
+    def test_equality_by_value(self):
+        assert URI("http://x/a") == URI("http://x/a")
+        assert URI("http://x/a") != URI("http://x/b")
+
+    def test_hashable_and_usable_as_dict_key(self):
+        d = {URI("http://x/a"): 1}
+        assert d[URI("http://x/a")] == 1
+
+    def test_not_equal_to_literal_with_same_text(self):
+        assert URI("abc") != Literal("abc")
+
+    def test_n3(self):
+        assert URI("http://x/a").n3() == "<http://x/a>"
+
+    def test_local_name_fragment(self):
+        assert URI("http://x/onto#Professor").local_name == "Professor"
+
+    def test_local_name_path(self):
+        assert URI("http://x/people/CarlaBunes").local_name == "CarlaBunes"
+
+    def test_local_name_no_separator(self):
+        assert URI("standalone").local_name == "standalone"
+
+    def test_immutable(self):
+        uri = URI("http://x/a")
+        with pytest.raises(AttributeError):
+            uri.value = "other"
+
+    def test_is_constant(self):
+        assert URI("http://x/a").is_constant
+        assert not URI("http://x/a").is_variable
+
+
+class TestLiteral:
+    def test_plain_equality(self):
+        assert Literal("Health Care") == Literal("Health Care")
+
+    def test_language_distinguishes(self):
+        assert Literal("chat", language="fr") != Literal("chat")
+        assert Literal("chat", language="fr") != Literal("chat", language="en")
+
+    def test_datatype_distinguishes(self):
+        integer = URI("http://www.w3.org/2001/XMLSchema#integer")
+        assert Literal("5", datatype=integer) != Literal("5")
+
+    def test_language_and_datatype_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            Literal("x", language="en",
+                    datatype=URI("http://x/dt"))
+
+    def test_n3_plain(self):
+        assert Literal("hi").n3() == '"hi"'
+
+    def test_n3_language(self):
+        assert Literal("hi", language="en").n3() == '"hi"@en'
+
+    def test_n3_datatype(self):
+        dt = URI("http://x/dt")
+        assert Literal("5", datatype=dt).n3() == '"5"^^<http://x/dt>'
+
+    def test_n3_escapes_quotes_and_newlines(self):
+        assert Literal('say "hi"\n').n3() == '"say \\"hi\\"\\n"'
+
+
+class TestVariable:
+    def test_strips_question_mark(self):
+        assert Variable("?v1").value == "v1"
+        assert Variable("v1") == Variable("?v1")
+
+    def test_str_includes_question_mark(self):
+        assert str(Variable("v1")) == "?v1"
+        assert Variable("v1").n3() == "?v1"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("?")
+
+    def test_is_variable(self):
+        assert Variable("x").is_variable
+        assert not Variable("x").is_constant
+
+
+class TestBlankNode:
+    def test_n3(self):
+        assert BlankNode("b1").n3() == "_:b1"
+
+    def test_distinct_from_uri(self):
+        assert BlankNode("a") != URI("a")
+
+
+class TestCoerceTerm:
+    def test_passthrough(self):
+        uri = URI("http://x/a")
+        assert coerce_term(uri) is uri
+
+    def test_variable_prefix(self):
+        assert coerce_term("?v") == Variable("v")
+
+    def test_blank_prefix(self):
+        assert coerce_term("_:b") == BlankNode("b")
+
+    def test_iri_detection(self):
+        assert coerce_term("http://x/a") == URI("http://x/a")
+        assert coerce_term("urn:isbn:123") == URI("urn:isbn:123")
+
+    def test_plain_string_becomes_literal(self):
+        assert coerce_term("Health Care") == Literal("Health Care")
+
+    def test_rejects_non_string(self):
+        with pytest.raises(TypeError):
+            coerce_term(42)
+
+    def test_term_value_must_be_str(self):
+        with pytest.raises(TypeError):
+            URI(42)
+
+
+class TestOrdering:
+    def test_sortable_mixed_terms(self):
+        terms = [Variable("z"), URI("http://b"), Literal("a"), URI("http://a")]
+        ordered = sorted(terms)
+        assert ordered.index(URI("http://a")) < ordered.index(URI("http://b"))
+
+
+class TestNamespace:
+    def test_attribute_access(self):
+        ns = Namespace("http://x/")
+        assert ns.sponsor == URI("http://x/sponsor")
+
+    def test_item_access_percent_encodes(self):
+        ns = Namespace("http://x/")
+        assert ns["Carla Bunes"] == URI("http://x/Carla%20Bunes")
+
+    def test_contains(self):
+        assert GOV.sponsor in GOV
+        assert URI("http://other/x") not in GOV
+
+    def test_rdf_type_wellknown(self):
+        assert RDF.type.value.endswith("#type")
+
+    def test_equality(self):
+        assert Namespace("http://x/") == Namespace("http://x/")
+        assert hash(Namespace("http://x/")) == hash(Namespace("http://x/"))
+
+    def test_dunder_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            Namespace("http://x/").__wrapped__

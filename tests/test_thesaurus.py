@@ -1,0 +1,144 @@
+"""Unit tests for the thesaurus (WordNet stand-in) and tokenizer."""
+
+from repro.index.thesaurus import (Thesaurus, default_thesaurus, normalize,
+                                   tokenize_label)
+from repro.rdf.terms import Literal, URI, Variable
+
+
+class TestTokenizer:
+    def test_camel_case_split(self):
+        assert tokenize_label(URI("http://x#FullProfessor")) == \
+            ["full", "professor"]
+
+    def test_literal_words(self):
+        assert tokenize_label(Literal("Health Care")) == ["health", "care"]
+
+    def test_punctuation_split(self):
+        assert tokenize_label(Literal("graph-based_matching")) == \
+            ["graph", "based", "matching"]
+
+    def test_digits_kept(self):
+        assert tokenize_label(URI("http://x/Course12")) == ["course12"]
+
+    def test_plain_string(self):
+        assert tokenize_label("QueryProcessing") == ["query", "processing"]
+
+    def test_variable_tokenized_by_name(self):
+        assert tokenize_label(Variable("v1")) == ["v1"]
+
+    def test_acronym_boundary(self):
+        assert tokenize_label("RDFGraph") == ["rdf", "graph"]
+
+
+class TestThesaurus:
+    def test_synonyms_symmetric(self):
+        t = Thesaurus()
+        t.add_synonyms(["movie", "film"])
+        assert "film" in t.synonyms("movie")
+        assert "movie" in t.synonyms("film")
+
+    def test_group_merging(self):
+        t = Thesaurus()
+        t.add_synonyms(["a", "b"])
+        t.add_synonyms(["b", "c"])
+        assert t.synonyms("a") == {"b", "c"}
+
+    def test_three_way_merge(self):
+        t = Thesaurus()
+        t.add_synonyms(["a", "b"])
+        t.add_synonyms(["c", "d"])
+        t.add_synonyms(["b", "c"])
+        assert t.synonyms("a") == {"b", "c", "d"}
+
+    def test_unknown_word_empty(self):
+        assert Thesaurus().synonyms("ghost") == set()
+
+    def test_hypernyms_directional(self):
+        t = Thesaurus()
+        t.add_hypernym("professor", "faculty")
+        assert t.hypernyms("professor") == {"faculty"}
+        assert t.hyponyms("faculty") == {"professor"}
+        assert t.hypernyms("faculty") == set()
+
+    def test_self_hypernym_ignored(self):
+        t = Thesaurus()
+        t.add_hypernym("x", "x")
+        assert t.hypernyms("x") == set()
+
+    def test_expand_includes_self_synonyms_hierarchy(self):
+        t = Thesaurus()
+        t.add_synonyms(["movie", "film"])
+        t.add_hypernym("movie", "work")
+        expanded = t.expand("film")
+        assert {"film", "movie", "work"} <= expanded
+
+    def test_expand_without_hierarchy(self):
+        t = Thesaurus()
+        t.add_synonyms(["movie", "film"])
+        t.add_hypernym("movie", "work")
+        assert "work" not in t.expand("film", hierarchy=False)
+
+    def test_expand_applies_synonym_closure_to_neighbours(self):
+        t = Thesaurus()
+        t.add_hypernym("professor", "faculty")
+        t.add_synonyms(["faculty", "staff"])
+        assert "staff" in t.expand("professor")
+
+    def test_related(self):
+        t = Thesaurus()
+        t.add_synonyms(["movie", "film"])
+        assert t.related("movie", "film")
+        assert t.related("movie", "movie")
+        assert not t.related("movie", "book")
+
+    def test_normalize(self):
+        assert normalize("  Movie ") == "movie"
+
+    def test_empty_group_noop(self):
+        t = Thesaurus()
+        t.add_synonyms(["solo"])
+        assert len(t) == 0
+
+
+class TestDefaultLexicon:
+    def test_core_pairs(self):
+        t = default_thesaurus()
+        assert t.related("movie", "film")
+        assert t.related("professor", "teacher")
+        assert t.related("male", "man")
+        assert t.related("bill", "act")
+
+    def test_hierarchy_present(self):
+        t = default_thesaurus()
+        assert "faculty" in t.expand("professor")
+        assert "person" in t.expand("student")
+
+    def test_unrelated_words_stay_unrelated(self):
+        t = default_thesaurus()
+        assert not t.related("movie", "professor")
+        assert not t.related("male", "female")
+
+
+class TestStemming:
+    def test_plural_forms(self):
+        from repro.index.thesaurus import stem
+        assert stem("databases") == "database"
+        assert stem("queries") == "query"
+        assert stem("classes") == "class"
+        assert stem("boxes") == "box"
+        assert stem("churches") == "church"
+
+    def test_non_plurals_untouched(self):
+        from repro.index.thesaurus import stem
+        assert stem("class") == "class"   # -ss is not a plural
+        assert stem("bus") == "bus"       # too short to strip
+        assert stem("data") == "data"
+
+    def test_expand_includes_stem(self):
+        t = Thesaurus()
+        assert "database" in t.expand("databases")
+
+    def test_expand_applies_synonyms_of_stem(self):
+        t = Thesaurus()
+        t.add_synonyms(["movie", "film"])
+        assert "film" in t.expand("movies")

@@ -1,0 +1,106 @@
+"""Unit tests for the timing helpers and the report renderers."""
+
+import pytest
+
+from repro.evaluation.reporting import (format_bytes, format_seconds,
+                                        format_table, log_bar_chart,
+                                        xy_series)
+from repro.evaluation.scalability import SweepPoint, quadratic_fit
+from repro.evaluation.timing import (TimingSample, time_callable, time_cold,
+                                     time_warm)
+
+
+class TestTimeCallable:
+    def test_runs_counted(self):
+        calls = []
+        sample = time_callable(lambda: calls.append(1), runs=5)
+        assert len(calls) == 5
+        assert len(sample.runs) == 5
+
+    def test_before_each_outside_timing(self):
+        hooks = []
+        time_callable(lambda: None, runs=3, before_each=lambda: hooks.append(1))
+        assert len(hooks) == 3
+
+    def test_invalid_runs(self):
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, runs=0)
+
+    def test_sample_statistics(self):
+        sample = TimingSample((1.0, 2.0, 3.0))
+        assert sample.mean_ms == 2.0
+        assert sample.median_ms == 2.0
+        assert sample.min_ms == 1.0
+        assert sample.stdev_ms > 0
+        assert "ms" in str(sample)
+
+    def test_single_run_stdev_zero(self):
+        assert TimingSample((1.0,)).stdev_ms == 0.0
+
+
+class TestColdWarm:
+    def test_cold_slower_or_equal_reads(self, govtrack_engine, q1):
+        cold = time_cold(govtrack_engine, q1, k=3, runs=2)
+        warm = time_warm(govtrack_engine, q1, k=3, runs=2)
+        assert cold.mean_ms > 0
+        assert warm.mean_ms > 0
+
+
+class TestQuadraticFit:
+    def test_recovers_exact_coefficients(self):
+        fit = quadratic_fit([SweepPoint(x, 2 * x * x - 3 * x + 5)
+                             for x in (1.0, 2.0, 3.0, 4.0, 5.0)])
+        assert fit.a == pytest.approx(2.0)
+        assert fit.b == pytest.approx(-3.0)
+        assert fit.c == pytest.approx(5.0)
+
+    def test_equation_renders(self):
+        fit = quadratic_fit([SweepPoint(x, x * x) for x in (1, 2, 3)])
+        assert fit.equation().startswith("y = ")
+
+    def test_callable(self):
+        fit = quadratic_fit([SweepPoint(x, x * x) for x in (1, 2, 3)])
+        assert fit(4.0) == pytest.approx(16.0)
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            quadratic_fit([SweepPoint(1, 1), SweepPoint(2, 4)])
+
+    def test_degenerate_x_rejected(self):
+        with pytest.raises(ValueError):
+            quadratic_fit([SweepPoint(1, 1)] * 5)
+
+
+class TestRenderers:
+    def test_format_table_aligns(self):
+        table = format_table(["name", "value"],
+                             [["alpha", 1], ["b", 22222]], title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "alpha" in table
+        assert "22,222" in table or "22222" in table
+
+    def test_format_bytes(self):
+        assert format_bytes(512) == "512 B"
+        assert format_bytes(56 * 1024 * 1024) == "56.0 MB"
+        assert "GB" in format_bytes(23 * 1024 ** 3)
+
+    def test_format_seconds(self):
+        assert format_seconds(1.0) == "1.00 sec"
+        assert format_seconds(47 * 60) == "47 min"
+
+    def test_log_bar_chart(self):
+        chart = log_bar_chart(["Q1", "Q2"],
+                              {"sama": [1.0, 10.0], "dogma": [100.0, 1000.0]},
+                              title="Fig")
+        assert "Q1" in chart
+        assert "sama" in chart
+        assert "#" in chart
+
+    def test_log_bar_chart_empty(self):
+        assert "(no data)" in log_bar_chart(["Q1"], {"sama": [0.0]})
+
+    def test_xy_series(self):
+        text = xy_series([SweepPoint(1.0, 2.0)], "x", "y", title="S",
+                         fit_equation="y = x")
+        assert "trendline" in text

@@ -1,0 +1,136 @@
+"""Unit tests for the Turtle-subset reader."""
+
+import pytest
+
+from repro.rdf import turtle
+from repro.rdf.namespaces import RDF
+from repro.rdf.terms import Literal, URI
+from repro.rdf.turtle import TurtleSyntaxError
+
+
+DOC = """
+@prefix ex: <http://x/> .
+@prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+
+ex:alice a ex:Person ;
+    ex:knows ex:bob, ex:carol ;
+    ex:name "Alice" .
+
+ex:bob ex:age 42 .
+"""
+
+
+class TestParse:
+    def test_counts(self):
+        triples = list(turtle.parse(DOC))
+        assert len(triples) == 5
+
+    def test_a_keyword(self):
+        triples = list(turtle.parse(DOC))
+        assert triples[0].predicate == RDF.type
+
+    def test_comma_fanout(self):
+        triples = list(turtle.parse(DOC))
+        knows = [t for t in triples if t.predicate == URI("http://x/knows")]
+        assert {t.object for t in knows} == {URI("http://x/bob"),
+                                             URI("http://x/carol")}
+
+    def test_number_literal(self):
+        triples = list(turtle.parse(DOC))
+        age = next(t for t in triples if t.predicate == URI("http://x/age"))
+        assert age.object.value == "42"
+
+    def test_prefix_keyword_case(self):
+        triples = list(turtle.parse(
+            'PREFIX ex: <http://x/>\nex:a ex:p "v" .'))
+        assert triples[0].object == Literal("v")
+
+    def test_base_resolution(self):
+        triples = list(turtle.parse(
+            '@base <http://x/> .\n<a> <p> <b> .'))
+        assert triples[0].subject == URI("http://x/a")
+
+    def test_language_and_datatype(self):
+        triples = list(turtle.parse(
+            '@prefix ex: <http://x/> .\n'
+            'ex:a ex:p "chat"@fr .\n'
+            'ex:a ex:q "5"^^<http://x/int> .'))
+        assert triples[0].object.language == "fr"
+        assert triples[1].object.datatype == URI("http://x/int")
+
+    def test_anonymous_blank(self):
+        triples = list(turtle.parse(
+            '@prefix ex: <http://x/> .\nex:a ex:p [] .'))
+        from repro.rdf.terms import BlankNode
+        assert isinstance(triples[0].object, BlankNode)
+
+    def test_file(self, tmp_path):
+        path = tmp_path / "doc.ttl"
+        path.write_text(DOC)
+        assert len(list(turtle.parse_file(path))) == 5
+
+
+class TestErrors:
+    def test_undeclared_prefix(self):
+        with pytest.raises(TurtleSyntaxError):
+            list(turtle.parse("ex:a ex:p ex:b ."))
+
+    def test_collections_unsupported(self):
+        with pytest.raises(TurtleSyntaxError):
+            list(turtle.parse(
+                '@prefix ex: <http://x/> .\nex:a ex:p (1 2) .'))
+
+    def test_nested_bnode_unsupported(self):
+        with pytest.raises(TurtleSyntaxError):
+            list(turtle.parse(
+                '@prefix ex: <http://x/> .\n'
+                'ex:a ex:p [ ex:q "v" ] .'))
+
+    def test_missing_dot(self):
+        with pytest.raises(TurtleSyntaxError):
+            list(turtle.parse('@prefix ex: <http://x/> .\nex:a ex:p ex:b'))
+
+
+class TestSerialize:
+    def test_roundtrip(self, tmp_path):
+        triples = list(turtle.parse(DOC))
+        text = turtle.serialize(triples)
+        again = list(turtle.parse(text))
+        assert set(again) == set(triples)
+
+    def test_prefix_compaction(self):
+        triples = list(turtle.parse(DOC))
+        text = turtle.serialize(triples, prefixes={"ex": "http://x/"})
+        assert "ex:alice" in text
+        assert "@prefix ex:" in text
+
+    def test_derived_prefixes(self):
+        triples = list(turtle.parse(DOC))
+        text = turtle.serialize(triples)
+        assert "@prefix ns1:" in text
+
+    def test_subject_grouping(self):
+        triples = list(turtle.parse(DOC))
+        text = turtle.serialize(triples, prefixes={"ex": "http://x/"})
+        # alice's four triples share one subject block ( ';' separated ).
+        assert text.count("ex:alice") == 1
+
+    def test_literals_escaped(self):
+        from repro.rdf.triples import Triple
+        from repro.rdf.terms import Literal, URI
+        tricky = [Triple(URI("http://x/a"), URI("http://x/p"),
+                         Literal('quote " and newline\n'))]
+        again = list(turtle.parse(turtle.serialize(tricky)))
+        assert again == tricky
+
+    def test_write_file_roundtrip(self, tmp_path):
+        triples = list(turtle.parse(DOC))
+        path = tmp_path / "out.ttl"
+        count = turtle.write_file(triples, path)
+        assert count == 5
+        assert set(turtle.parse_file(path)) == set(triples)
+
+    def test_govtrack_roundtrip(self, govtrack):
+        text = turtle.serialize(govtrack.triples())
+        again = set(turtle.parse(text))
+        assert again == set(govtrack.triples())
