@@ -1,0 +1,65 @@
+"""Budget-check overhead on the Fig. 6 workload: must stay under 5 %.
+
+Every query in the online path polls its :class:`repro.resilience.Budget`
+at the cooperative cancellation points; the strided clock check
+(``check_stride``) is what keeps that affordable.  This module measures
+the end-to-end cost: the Fig. 6 query subset, warm cache, unbudgeted
+vs. carrying a deadline so large it never trips — so the entire
+difference is bookkeeping.  Rounds are paired and the per-mode minimum
+taken, which cancels machine noise.  The number lands in
+``results/resilience_overhead.txt``.  Run::
+
+    pytest benchmarks/bench_resilience_overhead.py --benchmark-only -s
+"""
+
+import os
+import time
+
+# Same subset as bench_fig6_response_time (spans the complexity range).
+_QUERY_IDS = ["Q1", "Q2", "Q3", "Q5", "Q7"]
+_ROUNDS = 7
+_HUGE_DEADLINE_MS = 3_600_000.0  # one hour: armed, never trips
+
+_RESULTS_FILE = os.path.join(os.path.dirname(__file__), "..", "results",
+                             "resilience_overhead.txt")
+
+
+def _workload_ms(engine, specs, deadline_ms):
+    elapsed = 0.0
+    for spec in specs:
+        started = time.perf_counter()
+        result = engine.query(spec.graph, k=10, deadline_ms=deadline_ms)
+        elapsed += time.perf_counter() - started
+        assert result.complete, f"budget tripped on {spec.qid}"
+    return elapsed * 1000
+
+
+def test_budget_overhead_under_5_percent(benchmark, engine, queries):
+    specs = [spec for spec in queries if spec.qid in _QUERY_IDS]
+    engine.warm_cache()
+    for spec in specs:  # prime every per-query cache before timing
+        engine.query(spec.graph, k=10)
+
+    def measure():
+        plain, budgeted = [], []
+        for _ in range(_ROUNDS):
+            plain.append(_workload_ms(engine, specs, None))
+            budgeted.append(_workload_ms(engine, specs, _HUGE_DEADLINE_MS))
+        return min(plain), min(budgeted)
+
+    base_ms, budgeted_ms = benchmark.pedantic(measure, rounds=1, iterations=1)
+    overhead = (budgeted_ms - base_ms) / base_ms * 100.0
+
+    report = "\n".join([
+        "Resilience budget-check overhead (Fig. 6 LUBM workload, warm cache)",
+        f"queries: {', '.join(_QUERY_IDS)}  "
+        f"rounds: {_ROUNDS} (paired, min per mode)",
+        f"unbudgeted workload: {base_ms:.2f} ms",
+        f"deadline_ms={_HUGE_DEADLINE_MS:g} workload: {budgeted_ms:.2f} ms",
+        f"overhead: {overhead:+.2f} %  (target: < 5 %)",
+        "",
+    ])
+    print("\n" + report)
+    with open(_RESULTS_FILE, "w", encoding="utf-8") as handle:
+        handle.write(report)
+    assert overhead < 5.0, f"budget checks cost {overhead:.2f} % (>= 5 %)"

@@ -1,0 +1,49 @@
+"""Repo-wide pytest glue: per-test timeout enforcement.
+
+The resilience contract says no query may hang, and the suite enforces
+it with a per-test wall-clock cap (the ``timeout`` ini setting in
+pyproject.toml).  When the real pytest-timeout plugin is installed it
+owns that setting; on environments without it this shim provides the
+same guarantee through SIGALRM, so a hang still fails the test instead
+of wedging the run.  Living at the repo root, it covers ``tests/`` and
+``benchmarks/`` alike.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+try:
+    import pytest_timeout  # noqa: F401  (plugin registers the ini itself)
+    _HAVE_PYTEST_TIMEOUT = True
+except ImportError:
+    _HAVE_PYTEST_TIMEOUT = False
+
+if not _HAVE_PYTEST_TIMEOUT:
+    import signal
+    import threading
+
+    def pytest_addoption(parser):
+        parser.addini("timeout", default="0",
+                      help="per-test timeout in seconds "
+                           "(fallback shim for pytest-timeout)")
+
+    @pytest.hookimpl(wrapper=True)
+    def pytest_runtest_call(item):
+        seconds = float(item.config.getini("timeout") or 0)
+        usable = (seconds > 0 and hasattr(signal, "SIGALRM")
+                  and threading.current_thread() is threading.main_thread())
+        if not usable:
+            return (yield)
+
+        def _timed_out(signum, frame):
+            raise TimeoutError(
+                f"{item.nodeid} exceeded the {seconds:g}s per-test cap")
+
+        previous = signal.signal(signal.SIGALRM, _timed_out)
+        signal.setitimer(signal.ITIMER_REAL, seconds)
+        try:
+            return (yield)
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, previous)

@@ -26,7 +26,8 @@ Package map: :mod:`repro.rdf` (terms/graphs/parsers), :mod:`repro.paths`
 (extraction/alignment/χ), :mod:`repro.scoring` (λ, ψ, score),
 :mod:`repro.storage` (pages/buffer pool), :mod:`repro.index`
 (path index + thesaurus), :mod:`repro.engine` (Sama),
-:mod:`repro.baselines` (SAPPER/BOUNDED/DOGMA/GED),
+:mod:`repro.resilience` (budgets, degradation, typed errors, fault
+injection), :mod:`repro.baselines` (SAPPER/BOUNDED/DOGMA/GED),
 :mod:`repro.datasets` (generators), :mod:`repro.evaluation` (harness).
 """
 
@@ -34,13 +35,18 @@ from .engine import Answer, EngineConfig, SamaEngine, SearchConfig
 from .paths import Path, align, path_of
 from .rdf import (DataGraph, Literal, Namespace, QueryGraph, Triple, URI,
                   Variable, query_graph)
+from .resilience import (Budget, DegradationCause, DegradationReason,
+                         FaultPlan, InvalidQueryError, ParseError,
+                         PartialResult, QueryTimeout, ReproError)
 from .scoring import PAPER_WEIGHTS, ScoringWeights, score_paths, score_value
 
 __version__ = "1.0.0"
 
 __all__ = [
-    "Answer", "DataGraph", "EngineConfig", "Literal", "Namespace",
-    "PAPER_WEIGHTS", "Path", "QueryGraph", "SamaEngine", "ScoringWeights",
+    "Answer", "Budget", "DataGraph", "DegradationCause", "DegradationReason",
+    "EngineConfig", "FaultPlan", "InvalidQueryError", "Literal", "Namespace",
+    "PAPER_WEIGHTS", "ParseError", "PartialResult", "Path", "QueryGraph",
+    "QueryTimeout", "ReproError", "SamaEngine", "ScoringWeights",
     "SearchConfig", "Triple", "URI", "Variable", "align", "path_of",
     "query_graph", "score_paths", "score_value", "__version__",
 ]

@@ -25,6 +25,7 @@ from .index.pathindex import PathIndex
 from .paths.extraction import ExtractionLimits
 from .rdf import ntriples, turtle
 from .rdf.graph import DataGraph
+from .resilience.errors import ParseError, QueryTimeout, ReproError
 
 
 def _cmd_generate(args) -> int:
@@ -82,7 +83,16 @@ def _cmd_query(args) -> int:
         if args.explain:
             print(engine.explain(text).render())
             print()
-        answers = engine.query(text, k=args.k)
+        # Without --partial-ok a tripped deadline is an error (exit 4,
+        # handled in main); with it, whatever was found gets printed
+        # along with the machine-readable degradation reasons.
+        on_budget = "partial" if args.partial_ok else "raise"
+        answers = engine.query(text, k=args.k,
+                               deadline_ms=args.deadline_ms,
+                               on_budget=on_budget)
+        if answers.degraded:
+            for reason in answers.reasons:
+                print(f"partial: {reason}", file=sys.stderr)
         if not answers:
             print("no answers")
             return 1
@@ -123,6 +133,13 @@ def _cmd_inspect(args) -> int:
         index.close()
 
 
+def _non_negative_ms(text: str) -> float:
+    value = float(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value:g}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="sama",
@@ -159,6 +176,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the forest of paths first")
     query.add_argument("-v", "--verbose", action="store_true",
                        help="show per-path alignments")
+    query.add_argument("--deadline-ms", type=_non_negative_ms, default=None,
+                       help="wall-clock budget for the query in ms")
+    query.add_argument("--partial-ok", action="store_true",
+                       help="when the deadline trips, print the answers "
+                            "found so far instead of failing")
     query.set_defaults(func=_cmd_query)
 
     inspect = sub.add_parser("inspect", help="show index metadata")
@@ -171,7 +193,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    # Structured errors become one-line diagnostics, never tracebacks:
+    # exit 2 for bad input, 4 for a tripped budget, 3 for the rest.
+    try:
+        return args.func(args)
+    except ParseError as exc:
+        print(f"error: {exc.one_line()}", file=sys.stderr)
+        return 2
+    except QueryTimeout as exc:
+        print(f"error: {exc} (rerun with --partial-ok to accept "
+              f"partial answers)", file=sys.stderr)
+        return 4
+    except ReproError as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 3
 
 
 if __name__ == "__main__":

@@ -4,20 +4,25 @@
 experiments can instrument them individually.
 """
 
+from ..resilience.budget import (Budget, DegradationCause, DegradationReason,
+                                 PartialResult)
 from .answers import Answer
 from .clustering import Cluster, ClusterEntry, build_clusters, missing_path_penalty
 from .forest import ForestEdge, PathForest
 from .naive import naive_top_k
 from .results import ResultRow, ResultSet, result_set
 from .preprocess import (EmptyQueryError, PreparedQuery,
-                         first_constant_from_sink, prepare_query)
+                         first_constant_from_sink, prepare_query,
+                         validate_query_graph)
 from .sama import EngineConfig, SamaEngine
 from .search import SearchConfig, SearchResult, top_k
 
 __all__ = [
-    "Answer", "Cluster", "ClusterEntry", "EmptyQueryError", "EngineConfig",
-    "ForestEdge", "PathForest", "PreparedQuery", "ResultRow", "ResultSet", "SamaEngine",
+    "Answer", "Budget", "Cluster", "ClusterEntry", "DegradationCause",
+    "DegradationReason", "EmptyQueryError", "EngineConfig",
+    "ForestEdge", "PartialResult", "PathForest", "PreparedQuery", "ResultRow",
+    "ResultSet", "SamaEngine",
     "SearchConfig", "SearchResult", "build_clusters",
-    "first_constant_from_sink", "missing_path_penalty", "naive_top_k", "prepare_query", "result_set",
-    "top_k",
+    "first_constant_from_sink", "missing_path_penalty", "naive_top_k",
+    "prepare_query", "result_set", "top_k", "validate_query_graph",
 ]

@@ -16,9 +16,14 @@ from dataclasses import dataclass
 from ..index.pathindex import PathIndex
 from ..paths.alignment import Alignment, LabelMatcher, align, exact_match
 from ..paths.model import Path
+from ..resilience.budget import Budget
 from ..scoring.quality import lambda_cost
 from ..scoring.weights import PAPER_WEIGHTS, ScoringWeights
 from .preprocess import PreparedQuery
+
+#: Candidates charged to the budget per call (granularity of the
+#: ``max_candidates`` cap inside one cluster).
+_CHARGE_BLOCK = 64
 
 
 @dataclass(frozen=True)
@@ -109,7 +114,8 @@ def build_clusters(prepared: PreparedQuery, index: PathIndex,
                    weights: ScoringWeights = PAPER_WEIGHTS,
                    matcher: LabelMatcher = exact_match,
                    semantic_lookup: bool = True,
-                   max_cluster_size: "int | None" = None) -> list[Cluster]:
+                   max_cluster_size: "int | None" = None,
+                   budget: "Budget | None" = None) -> list[Cluster]:
     """Build one cluster per query path of ``prepared``.
 
     ``semantic_lookup`` controls whether index retrieval may widen
@@ -118,13 +124,29 @@ def build_clusters(prepared: PreparedQuery, index: PathIndex,
     recall and alignment cost are different dials).  ``max_cluster_size``
     truncates each cluster after sorting, bounding search work at a
     possible loss of answers beyond the cut.
+
+    ``budget`` makes candidate evaluation cooperative: every aligned
+    candidate is charged (tripping ``max_candidates`` or the deadline
+    stops scoring mid-cluster), and the trip is recorded on the budget
+    as a degradation reason.  Clusters already built keep their
+    entries; clusters not yet reached come back empty — the search
+    prices them with the missing-path penalty, so a degraded query
+    still yields ranked, scored answers.
     """
     clusters = []
     next_uid = 0
+    tripped = False
     # Prefix-trimmed candidates of the same stored path must share a
     # uid only when the prefix matches; key the uid pool accordingly.
     uid_pool: dict[tuple[int, int], int] = {}
     for position, query_path in enumerate(prepared.paths):
+        if tripped or (budget is not None and budget.poll("cluster")):
+            # Budget gone: emit the remaining clusters empty.
+            clusters.append(Cluster(
+                query_path=query_path, entries=[],
+                missing_penalty=missing_path_penalty(query_path, weights)))
+            tripped = True
+            continue
         candidates = prepared.anchor_lists[position]
         trim_to_anchor = False
         anchor = None
@@ -158,7 +180,16 @@ def build_clusters(prepared: PreparedQuery, index: PathIndex,
                     if offsets:
                         break
         entries = []
-        for offset in offsets:
+        for rank, offset in enumerate(offsets):
+            # Charging per candidate would make the budget call the
+            # hottest instruction of the loop; charge whole blocks
+            # instead (the caps trip at block granularity, which the
+            # <5 % overhead target buys).
+            if (budget is not None and rank % _CHARGE_BLOCK == 0
+                    and budget.charge_candidates(
+                        min(_CHARGE_BLOCK, len(offsets) - rank))):
+                tripped = True
+                break
             path = index.path_at(offset)
             if trim_to_anchor:
                 path = _prefix_at_anchor(path, anchor, matcher)

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..paths.intersection import IntersectionGraph
+from ..resilience.budget import Budget
 from ..scoring.conformity import conformity_degree
 from .clustering import Cluster, ClusterEntry
 
@@ -43,16 +44,27 @@ class ForestEdge:
 
 @dataclass
 class PathForest:
-    """The materialised forest over the best cluster entries."""
+    """The materialised forest over the best cluster entries.
+
+    Forest expansion is quadratic per IG edge, so it honours an
+    optional ``budget``: when the deadline trips mid-expansion the
+    edges built so far are kept, ``truncated`` turns True, and the
+    reason is recorded on the budget.
+    """
 
     clusters: list[Cluster]
     ig: IntersectionGraph
     entries_per_cluster: int = 4
+    budget: "Budget | None" = None
     edges: list[ForestEdge] = field(default_factory=list, init=False)
+    truncated: bool = field(default=False, init=False)
 
     def __post_init__(self):
         for i, j, _shared in self.ig.edges():
             for entry_i in self.clusters[i].entries[:self.entries_per_cluster]:
+                if self.budget is not None and self.budget.poll("forest"):
+                    self.truncated = True
+                    return
                 for entry_j in self.clusters[j].entries[:self.entries_per_cluster]:
                     degree = conformity_degree(
                         self.clusters[i].query_path, self.clusters[j].query_path,

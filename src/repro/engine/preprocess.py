@@ -17,9 +17,11 @@ from ..paths.intersection import IntersectionGraph
 from ..paths.model import Path
 from ..rdf.graph import QueryGraph
 from ..rdf.terms import Term, Variable
+from ..resilience.budget import Budget
+from ..resilience.errors import InvalidQueryError
 
 
-class EmptyQueryError(ValueError):
+class EmptyQueryError(InvalidQueryError):
     """Raised when the query graph has no nodes (nothing to answer)."""
 
 
@@ -90,12 +92,77 @@ def first_constant_from_sink(path: Path) -> "Term | None":
     return candidates[0] if candidates else None
 
 
-def prepare_query(query: QueryGraph,
-                  limits: ExtractionLimits = DEFAULT_LIMITS) -> PreparedQuery:
-    """Decompose ``query`` into ``PQ`` and build its intersection graph."""
+def validate_query_graph(query: QueryGraph) -> None:
+    """Up-front sanity checks a query must pass before evaluation.
+
+    Raises a typed :class:`InvalidQueryError` (or its
+    :class:`EmptyQueryError` subclass) with an actionable message for
+    the three pathologies that otherwise fail confusingly deep inside
+    clustering and search: an empty pattern, a pattern binding no
+    constant at all (every node *and* edge a variable — nothing to
+    anchor index retrieval on), and a disconnected query graph (the
+    paper's queries are connected by construction; a disconnected one
+    is almost always a typo'd variable name).
+    """
     if query.node_count() == 0:
         raise EmptyQueryError("the query graph has no nodes")
+    has_constant = (any(not label.is_variable for label in query.node_labels())
+                    or any(not label.is_variable
+                           for label in query.edge_labels()))
+    if not has_constant:
+        raise InvalidQueryError(
+            "the query pattern binds no constants: every subject, "
+            "predicate and object is a variable, so there is nothing to "
+            "anchor retrieval on — add at least one IRI or literal")
+    components = _connected_components(query)
+    if components > 1:
+        raise InvalidQueryError(
+            f"the query graph is disconnected ({components} components): "
+            f"answers cannot relate patterns that share no variable or "
+            f"constant — check for mistyped variable names, or submit the "
+            f"components as separate queries")
+
+
+def _connected_components(query: QueryGraph) -> int:
+    """Number of weakly connected components of the query graph."""
+    unseen = set(query.nodes())
+    components = 0
+    while unseen:
+        components += 1
+        stack = [unseen.pop()]
+        while stack:
+            node = stack.pop()
+            for _label, neighbor in query.out_edges(node):
+                if neighbor in unseen:
+                    unseen.discard(neighbor)
+                    stack.append(neighbor)
+            for _label, neighbor in query.in_edges(node):
+                if neighbor in unseen:
+                    unseen.discard(neighbor)
+                    stack.append(neighbor)
+    return components
+
+
+def prepare_query(query: QueryGraph,
+                  limits: ExtractionLimits = DEFAULT_LIMITS,
+                  budget: "Budget | None" = None) -> PreparedQuery:
+    """Decompose ``query`` into ``PQ`` and build its intersection graph.
+
+    ``budget``, when given, is polled after path extraction so a query
+    arriving with an already-expired deadline (or one that expires
+    during extraction) skips the IG build: the degradation is recorded
+    on the budget and an empty ``PreparedQuery`` shell is returned for
+    the caller to turn into a partial result.
+    """
+    if query.node_count() == 0:
+        raise EmptyQueryError("the query graph has no nodes")
+    if budget is not None and budget.out_of_time("prepare"):
+        return PreparedQuery(graph=query, paths=[],
+                             ig=IntersectionGraph([]))
     paths = extract_paths(query, limits=limits)
+    if budget is not None and budget.out_of_time("prepare"):
+        return PreparedQuery(graph=query, paths=[],
+                             ig=IntersectionGraph([]))
     ig = IntersectionGraph(paths)
     anchors: list["Term | None"] = []
     anchor_lists: list[list[Term]] = []

@@ -35,11 +35,13 @@ from ..paths.alignment import LabelMatcher, exact_match
 from ..paths.extraction import DEFAULT_LIMITS, ExtractionLimits
 from ..rdf.graph import DataGraph, QueryGraph
 from ..rdf.sparql import SelectQuery, parse_select
+from ..resilience.budget import Budget, PartialResult
+from ..resilience.errors import QueryTimeout
 from ..scoring.weights import PAPER_WEIGHTS, ScoringWeights
 from .answers import Answer
 from .clustering import Cluster, build_clusters
 from .forest import PathForest
-from .preprocess import PreparedQuery, prepare_query
+from .preprocess import PreparedQuery, prepare_query, validate_query_graph
 from .search import SearchConfig, SearchResult, top_k
 
 
@@ -117,39 +119,88 @@ class SamaEngine:
 
     # -- query API ----------------------------------------------------------------
 
-    def prepare(self, query) -> PreparedQuery:
-        """Coerce/parse ``query`` and decompose it (step 1)."""
-        graph = self._coerce_query(query)
-        return prepare_query(graph, limits=self.config.limits)
+    def prepare(self, query, budget: "Budget | None" = None) -> PreparedQuery:
+        """Coerce/parse ``query``, validate it, and decompose it (step 1).
 
-    def clusters(self, prepared: PreparedQuery) -> list[Cluster]:
+        Raises a typed
+        :class:`~repro.resilience.errors.InvalidQueryError` for queries
+        that cannot be meaningfully evaluated (empty pattern, pattern
+        binding no constants, disconnected query graph) — catching
+        these up front keeps them from surfacing as confusing failures
+        deep inside clustering.
+        """
+        graph = self._coerce_query(query)
+        validate_query_graph(graph)
+        return prepare_query(graph, limits=self.config.limits, budget=budget)
+
+    def clusters(self, prepared: PreparedQuery,
+                 budget: "Budget | None" = None) -> list[Cluster]:
         """Clustering (step 2) for an already prepared query."""
         return build_clusters(prepared, self.index,
                               weights=self.config.weights,
                               matcher=self.matcher,
                               semantic_lookup=self.config.semantic_lookup,
-                              max_cluster_size=self.config.max_cluster_size)
+                              max_cluster_size=self.config.max_cluster_size,
+                              budget=budget)
 
-    def query(self, query, k: "int | None" = None) -> list[Answer]:
-        """Answer ``query``: the top-k answers, best (lowest score) first."""
-        prepared = self.prepare(query)
-        clusters = self.clusters(prepared)
+    def query(self, query, k: "int | None" = None, *,
+              deadline_ms: "float | None" = None,
+              budget: "Budget | None" = None,
+              on_budget: str = "partial") -> PartialResult:
+        """Answer ``query``: the top-k answers, best (lowest score) first.
+
+        The result is a :class:`PartialResult` — a plain ``list`` of
+        answers with the degradation record attached.  With no budget
+        it is always complete; ``deadline_ms`` (shorthand for
+        ``Budget(deadline_ms=...)``) or an explicit ``budget`` arms
+        cooperative cancellation across preprocessing, clustering and
+        search.  When a limit trips, ``on_budget`` decides the
+        contract:
+
+        - ``"partial"`` (default): return the best answers found
+          before the trip, with machine-readable reasons on
+          ``result.reasons`` — a 0 ms deadline yields an *empty*
+          partial result, never an exception;
+        - ``"raise"``: raise
+          :class:`~repro.resilience.errors.QueryTimeout` carrying the
+          same reasons and partial answers.
+        """
+        if on_budget not in ("partial", "raise"):
+            raise ValueError(f"on_budget must be 'partial' or 'raise', "
+                             f"got {on_budget!r}")
+        if deadline_ms is not None:
+            if budget is not None:
+                raise ValueError("pass either deadline_ms or budget, not both")
+            budget = Budget(deadline_ms=deadline_ms)
+        prepared = self.prepare(query, budget=budget)
+        clusters = self.clusters(prepared, budget=budget)
         search_config = self.config.search
         if k is not None:
             search_config = replace(search_config, k=k)
         result = top_k(prepared, clusters, weights=self.config.weights,
-                       config=search_config)
+                       config=search_config, budget=budget)
         self.last_result = result
-        return result.answers
+        reasons = budget.reasons if budget is not None else result.degradation
+        partial = PartialResult(result.answers, reasons=reasons)
+        if partial.degraded and on_budget == "raise":
+            raise QueryTimeout(
+                "query budget exhausted: "
+                + "; ".join(str(reason) for reason in partial.reasons),
+                reasons=partial.reasons, partial=partial)
+        return partial
 
-    def select(self, query, k: "int | None" = None):
+    def select(self, query, k: "int | None" = None, *,
+               deadline_ms: "float | None" = None,
+               budget: "Budget | None" = None,
+               on_budget: str = "partial"):
         """Answer a SPARQL SELECT and project the bindings rows.
 
         Returns a :class:`~repro.engine.results.ResultSet`: one row per
         ranked answer, shaped by the query's projection (and
         deduplicated under ``SELECT DISTINCT``).  ``query`` must be
         SPARQL text or a parsed :class:`SelectQuery` — a bare
-        :class:`QueryGraph` has no projection to apply.
+        :class:`QueryGraph` has no projection to apply.  Budget
+        arguments behave exactly as in :meth:`query`.
         """
         from .results import result_set
 
@@ -158,15 +209,18 @@ class SamaEngine:
         if not isinstance(query, SelectQuery):
             raise TypeError("select() needs SPARQL text or a SelectQuery; "
                             "use query() for bare query graphs")
-        answers = self.query(query, k=k)
+        answers = self.query(query, k=k, deadline_ms=deadline_ms,
+                             budget=budget, on_budget=on_budget)
         return result_set(query, answers)
 
-    def explain(self, query, entries_per_cluster: int = 4) -> PathForest:
+    def explain(self, query, entries_per_cluster: int = 4,
+                budget: "Budget | None" = None) -> PathForest:
         """The Fig. 4 forest of paths for ``query`` (diagnostics)."""
-        prepared = self.prepare(query)
-        clusters = self.clusters(prepared)
+        prepared = self.prepare(query, budget=budget)
+        clusters = self.clusters(prepared, budget=budget)
         return PathForest(clusters, prepared.ig,
-                          entries_per_cluster=entries_per_cluster)
+                          entries_per_cluster=entries_per_cluster,
+                          budget=budget)
 
     def _coerce_query(self, query) -> QueryGraph:
         if isinstance(query, QueryGraph):

@@ -32,6 +32,7 @@ import itertools
 from dataclasses import dataclass
 
 from ..paths.intersection import chi
+from ..resilience.budget import Budget, DegradationCause, DegradationReason
 from ..scoring.weights import PAPER_WEIGHTS, ScoringWeights
 from .answers import Answer
 from .clustering import Cluster, ClusterEntry
@@ -81,6 +82,9 @@ class SearchResult:
 
     ``forced_emissions`` counts answers emitted by the patience rule
     before their optimality proof completed (0 = fully proven order).
+    ``degradation`` records why the search stopped early, when it did —
+    budget trips and the ``max_expansions`` safety valve both land
+    here, so ``exhausted=False`` always comes with a reason.
     """
 
     answers: list[Answer]
@@ -88,6 +92,7 @@ class SearchResult:
     generated: int = 0
     exhausted: bool = True
     forced_emissions: int = 0
+    degradation: tuple[DegradationReason, ...] = ()
 
     def __iter__(self):
         return iter(self.answers)
@@ -259,8 +264,16 @@ class _PartialState:
 
 def top_k(prepared: PreparedQuery, clusters: list[Cluster],
           weights: ScoringWeights = PAPER_WEIGHTS,
-          config: SearchConfig = SearchConfig()) -> SearchResult:
-    """Generate the top-k answers for a prepared query over its clusters."""
+          config: SearchConfig = SearchConfig(),
+          budget: "Budget | None" = None) -> SearchResult:
+    """Generate the top-k answers for a prepared query over its clusters.
+
+    ``budget`` adds cooperative cancellation to the A* loop: each
+    frontier pop is charged (deadline checks are strided inside the
+    budget), and when a limit trips the search stops where it is and
+    returns the answers proven (or buffered) so far, with the reason
+    recorded both on the budget and on ``SearchResult.degradation``.
+    """
     if len(clusters) != len(prepared.paths):
         raise ValueError(f"need one cluster per query path: "
                          f"{len(clusters)} vs {len(prepared.paths)}")
@@ -286,6 +299,7 @@ def top_k(prepared: PreparedQuery, clusters: list[Cluster],
     exhausted = True
     forced = 0
     since_emission = 0
+    degradation: list[DegradationReason] = []
 
     def emit_one() -> bool:
         """Pop the buffered best into the output; False if deduped away."""
@@ -315,7 +329,16 @@ def top_k(prepared: PreparedQuery, clusters: list[Cluster],
     while frontier and len(emitted) < config.k:
         if expansions >= config.max_expansions:
             exhausted = False
+            degradation.append(DegradationReason(
+                DegradationCause.EXPANSION_CAP, "search",
+                f"max_expansions={config.max_expansions}"))
             break
+        if budget is not None:
+            reason = budget.charge_expansion()
+            if reason is not None:
+                exhausted = False
+                degradation.append(reason)
+                break
         _bound, _depth, _t, parent, sibling_index = heapq.heappop(frontier)
         expansions += 1
         since_emission += 1
@@ -343,6 +366,12 @@ def top_k(prepared: PreparedQuery, clusters: list[Cluster],
             # total rather than per answer.  The final sort below
             # orders whatever was found best-first.
             while len(emitted) < config.k and (buffered or frontier):
+                if budget is not None:
+                    reason = budget.poll("search")
+                    if reason is not None:
+                        exhausted = False
+                        degradation.append(reason)
+                        break
                 if frontier:
                     _b, _d, _t2, dive_parent, dive_sibling = \
                         heapq.heappop(frontier)
@@ -367,7 +396,8 @@ def top_k(prepared: PreparedQuery, clusters: list[Cluster],
     emitted.sort(key=lambda answer: (answer.score, answer.broken_pairs))
     return SearchResult(answers=emitted, expansions=expansions,
                         generated=generated, exhausted=exhausted,
-                        forced_emissions=forced)
+                        forced_emissions=forced,
+                        degradation=tuple(degradation))
 
 
 def _candidates_of(space: _JoinSpace, state: _PartialState,

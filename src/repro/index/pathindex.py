@@ -27,6 +27,7 @@ import os
 from ..paths.model import Path
 from ..rdf.ntriples import parse_term
 from ..rdf.terms import Term
+from ..resilience.errors import IndexCorruptError, StorageError
 from ..storage.bufferpool import BufferPool
 from ..storage.dictionary import (TermDictionary, decode_path_ids,
                                   encode_path_ids)
@@ -40,10 +41,6 @@ _PATHS_FILE = "paths.log"
 _DICT_FILE = "terms.dict"
 _MAPS_FILE = "maps.json"
 _FORMAT_VERSION = 1
-
-
-class IndexCorruptError(RuntimeError):
-    """Raised when the on-disk index is unreadable or inconsistent."""
 
 
 class PathIndex:
@@ -93,6 +90,11 @@ class PathIndex:
                           read_latency=read_latency)
         pool = BufferPool(store, capacity=pool_capacity)
         records = RecordFile(store, pool)
+        # An opened index is read-only: drop the staged tail so every
+        # record read is a real (pooled) page read — otherwise the last
+        # page would be served from memory, hiding it from cold-cache
+        # accounting and fault injection alike.
+        records.discard_tail()
         sink_index = _load_label_map(maps["sink"], thesaurus)
         contains_index = _load_label_map(maps["contains"], thesaurus)
         offsets = list(maps["offsets"])
@@ -120,14 +122,27 @@ class PathIndex:
         return len(self._offsets)
 
     def path_at(self, offset: int) -> Path:
-        """Decode the path stored at ``offset`` (cached after first use)."""
+        """Decode the path stored at ``offset`` (cached after first use).
+
+        Storage-level failures (transient reads, checksum mismatches)
+        propagate as their own typed errors; anything else that goes
+        wrong while decoding the record means the stored bytes are not
+        a path and surfaces as :class:`IndexCorruptError`.
+        """
         cached = self._decoded.get(offset)
         if cached is None:
-            blob = self._records.read(offset)
-            if self._dictionary is not None:
-                cached = decode_path_ids(blob, self._dictionary)
-            else:
-                cached = decode_path(blob)
+            try:
+                blob = self._records.read(offset)
+                if self._dictionary is not None:
+                    cached = decode_path_ids(blob, self._dictionary)
+                else:
+                    cached = decode_path(blob)
+            except (StorageError, IndexCorruptError):
+                raise
+            except Exception as exc:
+                raise IndexCorruptError(
+                    f"cannot decode path at offset {offset} of "
+                    f"{self.directory}: {exc}") from exc
             self._decoded[offset] = cached
         return cached
 
@@ -163,6 +178,11 @@ class PathIndex:
         """Touch every page once so subsequent runs are warm."""
         for offset in self._offsets:
             self.path_at(offset)
+
+    @property
+    def page_store(self):
+        """The underlying page store (fault injection, direct stats)."""
+        return self._records.store
 
     @property
     def io_stats(self):

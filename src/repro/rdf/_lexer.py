@@ -39,7 +39,17 @@ class Token(NamedTuple):
 
 
 class LexError(ValueError):
-    """Raised on characters the tokenizer cannot interpret."""
+    """Raised on characters the tokenizer cannot interpret.
+
+    Carries the 1-based source position when known, so parsers can
+    re-raise with precise line/column context.
+    """
+
+    def __init__(self, message: str, line: "int | None" = None,
+                 column: "int | None" = None):
+        super().__init__(message)
+        self.line = line
+        self.column = column
 
 
 def tokenize(text: str) -> Iterator[Token]:
@@ -72,7 +82,8 @@ def tokenize(text: str) -> Iterator[Token]:
         if char == "<":
             end = text.find(">", pos + 1)
             if end == -1:
-                raise LexError(f"unterminated IRI at {start_line}:{start_col}")
+                raise LexError(f"unterminated IRI at {start_line}:{start_col}",
+                               start_line, start_col)
             value = text[pos + 1:end]
             advance(end - pos + 1)
             yield Token(IRI, value, start_line, start_col)
@@ -82,13 +93,20 @@ def tokenize(text: str) -> Iterator[Token]:
             while end < length and (text[end].isalnum() or text[end] == "_"):
                 end += 1
             if end == pos + 1:
-                raise LexError(f"empty variable name at {start_line}:{start_col}")
+                raise LexError(
+                    f"empty variable name at {start_line}:{start_col}",
+                    start_line, start_col)
             value = text[pos + 1:end]
             advance(end - pos)
             yield Token(VAR, value, start_line, start_col)
             continue
         if char in "\"'":
-            value, consumed = _read_string(text, pos)
+            try:
+                value, consumed = _read_string(text, pos)
+            except LexError as exc:
+                if exc.line is None:
+                    raise LexError(str(exc), start_line, start_col) from None
+                raise
             advance(consumed)
             yield Token(STRING, value, start_line, start_col)
             continue
@@ -170,7 +188,9 @@ def tokenize(text: str) -> Iterator[Token]:
             advance(local_end - pos)
             yield Token(PNAME, f":{local}", start_line, start_col)
             continue
-        raise LexError(f"unexpected character {char!r} at {start_line}:{start_col}")
+        raise LexError(
+            f"unexpected character {char!r} at {start_line}:{start_col}",
+            start_line, start_col)
     yield Token(EOF, "", line, column)
 
 

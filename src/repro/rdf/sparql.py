@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 
 from . import _lexer
 from ._lexer import Token
+from ..resilience.errors import ParseError
 from .graph import QueryGraph
 from .namespaces import RDF, XSD
 from .terms import BlankNode, Literal, Term, URI, Variable
@@ -37,8 +38,21 @@ _UNSUPPORTED = {"OPTIONAL", "FILTER", "UNION", "GRAPH", "MINUS", "SERVICE",
                 "BIND", "VALUES", "CONSTRUCT", "ASK", "DESCRIBE"}
 
 
-class SparqlSyntaxError(ValueError):
-    """Raised when the query text falls outside the supported fragment."""
+class SparqlSyntaxError(ParseError):
+    """Raised when the query text falls outside the supported fragment.
+
+    A :class:`~repro.resilience.errors.ParseError` (and therefore still
+    a ``ValueError``): front-ends can render ``exc.one_line()`` with
+    the 1-based line/column when the parser knows it.
+    """
+
+
+def _syntax_error(message: str,
+                  token: "Token | None" = None) -> SparqlSyntaxError:
+    if token is not None:
+        return SparqlSyntaxError(message, line=token.line,
+                                 column=token.column)
+    return SparqlSyntaxError(message)
 
 
 @dataclass
@@ -97,7 +111,8 @@ class _TokenCursor:
         token = self.accept(kind, value)
         if token is None:
             want = value or kind
-            raise SparqlSyntaxError(f"expected {want}, found {self.peek()}")
+            raise _syntax_error(f"expected {want}, found {self.peek()}",
+                                self.peek())
         return token
 
 
@@ -106,7 +121,8 @@ class _Parser:
         try:
             tokens = list(_lexer.tokenize(text))
         except _lexer.LexError as exc:
-            raise SparqlSyntaxError(str(exc)) from exc
+            raise SparqlSyntaxError(str(exc), line=exc.line,
+                                    column=exc.column) from exc
         self.cursor = _TokenCursor(tokens)
         self.prefixes: dict[str, str] = {}
         self.base = ""
@@ -151,7 +167,8 @@ class _Parser:
                 break
             variables.append(Variable(token.value))
         if not variables:
-            raise SparqlSyntaxError("SELECT needs at least one variable or *")
+            raise _syntax_error("SELECT needs at least one variable or *",
+                                self.cursor.peek())
         return variables
 
     def _parse_trailing_modifiers(self) -> None:
@@ -172,9 +189,9 @@ class _Parser:
         while not self.cursor.accept(_lexer.PUNCT, "}"):
             token = self.cursor.peek()
             if token.kind == _lexer.KEYWORD and token.value.upper() in _UNSUPPORTED:
-                raise SparqlSyntaxError(
+                raise _syntax_error(
                     f"{token.value.upper()} is outside the BGP fragment the "
-                    f"paper's engine evaluates")
+                    f"paper's engine evaluates", token)
             patterns.extend(self._parse_triples_block())
             # Optional '.' separators between blocks.
             while self.cursor.accept(_lexer.PUNCT, "."):
@@ -206,7 +223,7 @@ class _Parser:
         token = self.cursor.peek()
         if token.kind in (_lexer.IRI, _lexer.PNAME, _lexer.VAR):
             return self._parse_term(position="predicate")
-        raise SparqlSyntaxError(f"expected predicate, found {token}")
+        raise _syntax_error(f"expected predicate, found {token}", token)
 
     def _parse_term(self, position: str) -> Term:
         token = self.cursor.next()
@@ -228,7 +245,7 @@ class _Parser:
             self.cursor.expect(_lexer.PUNCT, "]")
             self._blank_counter += 1
             return BlankNode(f"anon{self._blank_counter}")
-        raise SparqlSyntaxError(f"expected {position}, found {token}")
+        raise _syntax_error(f"expected {position}, found {token}", token)
 
     def _finish_literal(self, value: str) -> Literal:
         lang = self.cursor.accept(_lexer.LANGTAG)
@@ -240,13 +257,14 @@ class _Parser:
                 return Literal(value, datatype=URI(token.value))
             if token.kind == _lexer.PNAME:
                 return Literal(value, datatype=self._expand_pname(token))
-            raise SparqlSyntaxError(f"expected datatype IRI, found {token}")
+            raise _syntax_error(f"expected datatype IRI, found {token}", token)
         return Literal(value)
 
     def _expand_pname(self, token: Token) -> URI:
         prefix, _, local = token.value.partition(":")
         if prefix not in self.prefixes:
-            raise SparqlSyntaxError(f"undeclared prefix {prefix!r}: {token}")
+            raise _syntax_error(f"undeclared prefix {prefix!r}: {token}",
+                                token)
         return URI(self.prefixes[prefix] + local)
 
 

@@ -1,0 +1,34 @@
+"""Resilient query execution: budgets, degradation, faults, retries.
+
+A production engine serving heavy traffic must guarantee that every
+query *finishes, degrades, or fails cleanly* — never hangs, never dies
+with an unstructured traceback.  This package supplies the pieces:
+
+- :class:`Budget` / :class:`PartialResult` / :class:`DegradationReason`
+  — per-query resource envelopes (wall-clock deadline, expansion cap,
+  candidate cap) with cooperative cancellation and machine-readable
+  degradation (:mod:`repro.resilience.budget`);
+- the :class:`ReproError` exception hierarchy every deliberate error
+  derives from (:mod:`repro.resilience.errors`);
+- bounded retry-with-backoff for transient storage faults
+  (:mod:`repro.resilience.retry`);
+- a deterministic, seeded fault-injection harness
+  (:mod:`repro.resilience.faults`) proving the above under storage
+  failures, page corruption, and clock skew.
+"""
+
+from .budget import (Budget, DegradationCause, DegradationReason,
+                     PartialResult)
+from .errors import (IndexCorruptError, InvalidQueryError, PageCorruptError,
+                     ParseError, QueryTimeout, ReproError, StorageError,
+                     TransientStorageError)
+from .faults import FaultInjector, FaultPlan, install, uninstall
+from .retry import DEFAULT_RETRY, NO_RETRY, RetryPolicy, retry_call
+
+__all__ = [
+    "Budget", "DEFAULT_RETRY", "DegradationCause", "DegradationReason",
+    "FaultInjector", "FaultPlan", "IndexCorruptError", "InvalidQueryError",
+    "NO_RETRY", "PageCorruptError", "ParseError", "PartialResult",
+    "QueryTimeout", "ReproError", "RetryPolicy", "StorageError",
+    "TransientStorageError", "install", "retry_call", "uninstall",
+]

@@ -1,0 +1,159 @@
+"""Deterministic fault injection for resilience testing.
+
+A :class:`FaultPlan` is a *seeded, immutable description* of the
+faults a run should experience: which physical page reads fail
+transiently, which pages come back corrupted, and how skewed the
+query clock runs.  From one plan you derive live fault sources:
+
+- :meth:`FaultPlan.injector` → a :class:`FaultInjector` installed on a
+  :class:`~repro.storage.pagestore.PageStore` (``store.fault_injector``
+  or :func:`install`).  The store consults it on every physical read,
+  *before* checksum verification — so injected corruption is caught by
+  the store's own integrity machinery exactly like real bit rot, and
+  injected read failures are retried by the buffer pool exactly like
+  real transient I/O errors.
+- :meth:`FaultPlan.clock` → a monotonic-but-skewed clock for a
+  :class:`~repro.resilience.budget.Budget`, simulating a host whose
+  clock jumps forward (deadlines trip early; they never hang).
+
+Determinism is the point: the same plan over the same read sequence
+injects the same faults, so every failure a test finds is replayable
+from its seed.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+from .errors import TransientStorageError
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded recipe of storage faults and clock skew.
+
+    ``read_failure_rate`` / ``corrupt_rate`` are per-physical-read
+    probabilities drawn from the seeded stream; ``fail_reads`` names
+    explicit read ordinals (0-based) that must fail and
+    ``corrupt_pages`` page ids whose reads always come back damaged.
+    ``max_failures`` bounds the total injected failures — set it below
+    the retry budget to model blips that heal, leave it ``None`` for
+    persistent trouble.  ``clock_skew_ms`` is the average forward jump
+    the skewed clock adds per reading.
+    """
+
+    seed: int = 0
+    read_failure_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    fail_reads: tuple = ()
+    corrupt_pages: tuple = ()
+    max_failures: "int | None" = None
+    clock_skew_ms: float = 0.0
+
+    def injector(self) -> "FaultInjector":
+        """A fresh live injector for this plan (one per store)."""
+        return FaultInjector(self)
+
+    def clock(self):
+        """A monotonic clock that jumps forward per this plan's skew."""
+        rng = random.Random(self.seed ^ 0x5DEECE66D)
+        offset = [0.0]
+
+        def skewed() -> float:
+            if self.clock_skew_ms:
+                offset[0] += (self.clock_skew_ms / 1000.0) * 2 * rng.random()
+            return time.monotonic() + offset[0]
+
+        return skewed
+
+
+class FaultInjector:
+    """The live, stateful side of a :class:`FaultPlan`.
+
+    One injector watches one store's physical read stream.  Counters
+    (:attr:`reads`, :attr:`failures_injected`,
+    :attr:`corruptions_injected`) let tests assert the plan actually
+    fired.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._rng = random.Random(plan.seed)
+        self.reads = 0
+        self.failures_injected = 0
+        self.corruptions_injected = 0
+
+    def _armed(self) -> bool:
+        if self.plan.max_failures is None:
+            return True
+        return (self.failures_injected + self.corruptions_injected
+                < self.plan.max_failures)
+
+    def on_read(self, page_id: int, data: bytes) -> bytes:
+        """Filter one physical page read; may raise or damage it."""
+        ordinal = self.reads
+        self.reads += 1
+        # Draw both decisions unconditionally so the random stream
+        # stays aligned with the read ordinal regardless of outcomes.
+        fail_draw = self._rng.random()
+        corrupt_draw = self._rng.random()
+        if not self._armed():
+            return data
+        if ordinal in self.plan.fail_reads \
+                or fail_draw < self.plan.read_failure_rate:
+            self.failures_injected += 1
+            raise TransientStorageError(
+                f"injected read failure (read #{ordinal}, page {page_id}, "
+                f"seed {self.plan.seed})")
+        if page_id in self.plan.corrupt_pages \
+                or corrupt_draw < self.plan.corrupt_rate:
+            self.corruptions_injected += 1
+            return _damage(data, self._rng)
+        return data
+
+    def __repr__(self):
+        return (f"<FaultInjector seed={self.plan.seed}: {self.reads} reads, "
+                f"{self.failures_injected} failures, "
+                f"{self.corruptions_injected} corruptions>")
+
+
+def _damage(data: bytes, rng: random.Random) -> bytes:
+    """Flip a few bytes of ``data`` (always actually changes it)."""
+    if not data:
+        return data
+    damaged = bytearray(data)
+    for _ in range(1 + rng.randrange(4)):
+        position = rng.randrange(len(damaged))
+        damaged[position] ^= 0xFF
+    return bytes(damaged)
+
+
+def install(target, plan: FaultPlan) -> FaultInjector:
+    """Install ``plan`` on a store, index, or engine; returns the injector.
+
+    Accepts anything exposing a page store: a ``PageStore`` itself, a
+    ``PathIndex`` (via ``.page_store``), or a ``SamaEngine`` (via
+    ``.index.page_store``).  Pass ``plan=None``?  No — to remove
+    injection set ``store.fault_injector = None`` directly.
+    """
+    store = _resolve_store(target)
+    injector = plan.injector()
+    store.fault_injector = injector
+    return injector
+
+
+def uninstall(target) -> None:
+    """Remove any installed injector from ``target``'s page store."""
+    _resolve_store(target).fault_injector = None
+
+
+def _resolve_store(target):
+    if hasattr(target, "fault_injector"):
+        return target
+    if hasattr(target, "page_store"):
+        return target.page_store
+    if hasattr(target, "index"):
+        return target.index.page_store
+    raise TypeError(f"cannot find a page store on {type(target).__name__}")

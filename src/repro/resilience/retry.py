@@ -1,0 +1,77 @@
+"""Bounded retry with exponential backoff for transient faults.
+
+The storage layer is the only place the engine touches a device, so it
+is the only place failures can be *transient* — a flaky read that would
+succeed if tried again.  :class:`RetryPolicy` describes how hard to
+try; :func:`retry_call` runs a callable under a policy.  The buffer
+pool retries physical page reads with the default policy, so a blip
+injected (or real) below it never surfaces unless it persists.
+
+Delays are deliberately tiny by default (the store is local disk, not
+a network service) and the sleep function is injectable so tests can
+retry without actually waiting.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from .errors import PageCorruptError, TransientStorageError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry, and how long to back off between tries.
+
+    ``retry_on`` lists the exception types worth retrying; anything
+    else propagates immediately.  Corrupt-page reads are retried too:
+    a re-read genuinely can clear a torn or in-flight-damaged read,
+    and persistent corruption just exhausts the (cheap) attempts and
+    then surfaces as the same typed error.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.001
+    multiplier: float = 2.0
+    max_delay: float = 0.05
+    retry_on: tuple = (TransientStorageError, PageCorruptError)
+    sleep: "object" = field(default=time.sleep, repr=False)
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, "
+                             f"got {self.max_attempts}")
+
+    def delay_for(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        return min(self.base_delay * self.multiplier ** (attempt - 1),
+                   self.max_delay)
+
+
+#: Used by the buffer pool unless a caller passes its own policy.
+DEFAULT_RETRY = RetryPolicy()
+
+#: Never retry (a policy, not ``None``, so call sites stay uniform).
+NO_RETRY = RetryPolicy(max_attempts=1)
+
+
+def retry_call(fn, *args, policy: RetryPolicy = DEFAULT_RETRY,
+               on_retry=None, **kwargs):
+    """Call ``fn`` under ``policy``; returns its result or re-raises.
+
+    ``on_retry``, when given, is invoked as ``on_retry(attempt, exc)``
+    before each backoff sleep — the buffer pool uses it to count
+    retries in its stats.
+    """
+    attempt = 1
+    while True:
+        try:
+            return fn(*args, **kwargs)
+        except policy.retry_on as exc:
+            if attempt >= policy.max_attempts:
+                raise
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            policy.sleep(policy.delay_for(attempt))
+            attempt += 1

@@ -11,6 +11,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from ..resilience.retry import DEFAULT_RETRY, RetryPolicy, retry_call
 from .pagestore import PageStore
 
 
@@ -20,6 +21,7 @@ class CacheStats:
 
     hits: int = 0
     misses: int = 0
+    retries: int = 0
 
     @property
     def accesses(self) -> int:
@@ -32,6 +34,7 @@ class CacheStats:
     def reset(self) -> None:
         self.hits = 0
         self.misses = 0
+        self.retries = 0
 
 
 class BufferPool:
@@ -40,15 +43,29 @@ class BufferPool:
     ``capacity`` is in pages.  A capacity of 0 disables caching (every
     read is physical), which is occasionally useful for worst-case
     measurements.
+
+    Physical reads that fail transiently (or come back corrupt) are
+    retried under ``retry`` — bounded exponential backoff — before the
+    typed error is allowed to propagate; ``stats.retries`` counts how
+    often that happened.
     """
 
-    def __init__(self, store: PageStore, capacity: int = 1024):
+    def __init__(self, store: PageStore, capacity: int = 1024,
+                 retry: "RetryPolicy | None" = None):
         if capacity < 0:
             raise ValueError(f"capacity must be >= 0, got {capacity}")
         self.store = store
         self.capacity = capacity
+        self.retry = retry or DEFAULT_RETRY
         self.stats = CacheStats()
         self._pages: OrderedDict[int, bytes] = OrderedDict()
+
+    def _physical_read(self, page_id: int) -> bytes:
+        def count_retry(_attempt, _exc):
+            self.stats.retries += 1
+
+        return retry_call(self.store.read_page, page_id,
+                          policy=self.retry, on_retry=count_retry)
 
     def read_page(self, page_id: int) -> bytes:
         """Read a page through the cache."""
@@ -58,7 +75,7 @@ class BufferPool:
             self.stats.hits += 1
             return cached
         self.stats.misses += 1
-        data = self.store.read_page(page_id)
+        data = self._physical_read(page_id)
         if self.capacity:
             self._pages[page_id] = data
             if len(self._pages) > self.capacity:

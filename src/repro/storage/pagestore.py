@@ -19,11 +19,13 @@ import time
 import zlib
 from dataclasses import dataclass
 
+from ..resilience.errors import (PageCorruptError, StorageError,
+                                 TransientStorageError)
+
 DEFAULT_PAGE_SIZE = 4096
 
-
-class StorageError(RuntimeError):
-    """Raised on invalid page operations."""
+__all__ = ["DEFAULT_PAGE_SIZE", "IoStats", "PageCorruptError", "PageStore",
+           "StorageError", "TransientStorageError"]
 
 
 @dataclass
@@ -54,16 +56,25 @@ class PageStore:
         default (tests); the cold/warm benchmarks set a small value so
         buffer pool misses are visible in the measured times the way
         they were on the paper's RAID array.
+    fault_injector:
+        Optional :class:`~repro.resilience.faults.FaultInjector` (or
+        any object with ``on_read(page_id, data) -> bytes``) consulted
+        on every physical read, before checksum verification — injected
+        corruption therefore trips the same
+        :class:`~repro.resilience.errors.PageCorruptError` real bit rot
+        would.  Assignable after construction; ``None`` disables it.
     """
 
     def __init__(self, path, page_size: int = DEFAULT_PAGE_SIZE,
-                 read_latency: float = 0.0, verify_checksums: bool = True):
+                 read_latency: float = 0.0, verify_checksums: bool = True,
+                 fault_injector=None):
         if page_size < 64:
             raise StorageError(f"page_size too small: {page_size}")
         self.path = os.fspath(path)
         self.page_size = page_size
         self.read_latency = read_latency
         self.verify_checksums = verify_checksums
+        self.fault_injector = fault_injector
         self.stats = IoStats()
         mode = "r+b" if os.path.exists(self.path) else "w+b"
         self._file = open(self.path, mode)
@@ -140,6 +151,8 @@ class PageStore:
             time.sleep(self.read_latency)
         self._file.seek(page_id * self.page_size)
         data = self._file.read(self.page_size)
+        if self.fault_injector is not None:
+            data = self.fault_injector.on_read(page_id, data)
         if self.verify_checksums:
             self._verify(page_id, data)
         self.stats.page_reads += 1
@@ -182,7 +195,7 @@ class PageStore:
     def _verify(self, page_id: int, data: bytes) -> None:
         expected = self._checksums.get(page_id)
         if expected is not None and zlib.crc32(data) != expected:
-            raise StorageError(
+            raise PageCorruptError(
                 f"checksum mismatch on page {page_id} of {self.path}: "
                 f"on-disk corruption detected")
 

@@ -119,6 +119,19 @@ class RecordFile:
         self._tail_page_id = -1
         self._sealed = True
 
+    def discard_tail(self) -> None:
+        """Seal without writing: drop the staged tail, reads go via the pool.
+
+        Correct only when the tail page is already persisted — which is
+        exactly the state of a log just opened from disk, where the
+        staging was *read from* the store.  Read-only openers use this
+        so that cold-cache measurements and fault injection see every
+        physical page read instead of being shadowed by the staging.
+        """
+        self._tail = bytearray()
+        self._tail_page_id = -1
+        self._sealed = True
+
     # -- reading ---------------------------------------------------------------
 
     def read(self, offset: int) -> bytes:

@@ -73,3 +73,4 @@ def tiny_index(tmp_path, govtrack):
     index, stats = build_index(govtrack, str(tmp_path / "tiny"))
     yield index
     index.close()
+
