@@ -1,0 +1,275 @@
+"""Hot-path A/B benchmark: dense-ID fast path vs the pre-interning engine.
+
+Times the three online stages (prepare / cluster / search) of the
+Fig. 6 LUBM workload twice over the *same* on-disk index:
+
+- ``fast``: the default engine — interned label-id χ/ψ intersections,
+  per-query alignment memo, transcript-free alignments, buffer-pool
+  read-ahead, parallel clustering when workers are available;
+- ``base``: ``EngineConfig(fast_path=False)`` with read-ahead zeroed —
+  the engine exactly as it behaved before the hot-path overhaul.
+
+Both modes must produce identical rankings and scores; the run aborts
+otherwise.  Results land in ``BENCH_hotpath.json`` (machine-readable,
+committed so CI can gate on it) and ``results/hotpath.txt``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py            # full run
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --smoke    # CI gate
+
+``--smoke`` runs a reduced workload and compares the measured
+fast-vs-base speedups against the committed ``BENCH_hotpath.json``:
+the build fails (exit 1) when a stage's speedup regressed by more than
+``--tolerance`` (default 30%).  Ratios, not wall-clock, are compared,
+so the gate is machine-independent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from dataclasses import replace
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.datasets import dataset, lubm_queries  # noqa: E402
+from repro.engine import EngineConfig, SamaEngine  # noqa: E402
+from repro.engine.search import top_k  # noqa: E402
+from repro.index.pathindex import DEFAULT_READ_AHEAD  # noqa: E402
+
+#: Same workload subset as ``bench_fig6_response_time.py``.
+QUERY_IDS = ["Q1", "Q2", "Q3", "Q5", "Q7"]
+STAGES = ("prepare", "cluster", "search")
+
+JSON_PATH = REPO_ROOT / "BENCH_hotpath.json"
+TXT_PATH = REPO_ROOT / "results" / "hotpath.txt"
+
+
+def _time_stages(engine: SamaEngine, graph, k: int) -> "tuple[dict, list]":
+    """One cold-cache evaluation, timed per stage; returns the ranking."""
+    engine.cold_cache()
+    timings = {}
+    started = time.perf_counter()
+    prepared = engine.prepare(graph)
+    timings["prepare"] = time.perf_counter() - started
+
+    started = time.perf_counter()
+    clusters = engine.clusters(prepared)
+    timings["cluster"] = time.perf_counter() - started
+
+    config = replace(engine.config.search, k=k)
+    if not engine.config.fast_path and config.interned:
+        config = replace(config, interned=False)
+    started = time.perf_counter()
+    result = top_k(prepared, clusters, weights=engine.config.weights,
+                   config=config)
+    timings["search"] = time.perf_counter() - started
+
+    ranking = [(round(answer.score, 9), str(answer))
+               for answer in result.answers]
+    return timings, ranking
+
+
+def run_bench(triples: int, rounds: int, k: int,
+              seed: int = 0) -> dict:
+    graph = dataset("lubm").build(triples, seed=seed)
+    queries = [spec for spec in lubm_queries() if spec.qid in QUERY_IDS]
+
+    with tempfile.TemporaryDirectory(prefix="sama-hotpath-") as directory:
+        # Two indexes over the same graph: the current default format
+        # (interned records + label dictionary) for ``fast``, and the
+        # pre-overhaul inline-term records for ``base``, whose engine
+        # also runs with every hot-path feature switched off.
+        from repro.index.builder import build_index
+        from repro.index.thesaurus import default_thesaurus
+
+        thesaurus = default_thesaurus()
+        fast_index, _ = build_index(graph, os.path.join(directory, "fast"),
+                                    thesaurus=thesaurus)
+        base_index, _ = build_index(graph, os.path.join(directory, "base"),
+                                    thesaurus=thesaurus,
+                                    intern_records=False)
+        engines = {
+            "fast": SamaEngine(fast_index, config=EngineConfig(),
+                               thesaurus=thesaurus),
+            "base": SamaEngine(base_index,
+                               config=EngineConfig(fast_path=False),
+                               thesaurus=thesaurus),
+        }
+        read_ahead = {"fast": DEFAULT_READ_AHEAD, "base": 0}
+        # Pre-overhaul decode did not intern labels; skip it on base so
+        # its cluster stage is not charged work the old engine never did.
+        base_index.interner.intern_path = lambda path: path
+
+        per_query: dict[str, dict] = {}
+        totals = {mode: dict.fromkeys(STAGES, 0.0) for mode in engines}
+        for spec in queries:
+            per_query[spec.qid] = {}
+            rankings = {}
+            for mode, engine in engines.items():
+                engine.index._records.pool.read_ahead = read_ahead[mode]
+                samples = {stage: [] for stage in STAGES}
+                for _ in range(rounds):
+                    timings, ranking = _time_stages(engine, spec.graph, k)
+                    for stage in STAGES:
+                        samples[stage].append(timings[stage])
+                rankings[mode] = ranking
+                best = {stage: min(samples[stage]) for stage in STAGES}
+                per_query[spec.qid][mode] = {
+                    stage: round(best[stage] * 1000, 3) for stage in STAGES}
+                for stage in STAGES:
+                    totals[mode][stage] += best[stage]
+            if rankings["fast"] != rankings["base"]:
+                raise SystemExit(
+                    f"FATAL: fast/base rankings diverge on {spec.qid} — "
+                    f"the fast path is not score-preserving")
+        fast_index.close()
+        base_index.close()
+
+    stage_summary = {}
+    for stage in STAGES:
+        fast_ms = totals["fast"][stage] * 1000
+        base_ms = totals["base"][stage] * 1000
+        stage_summary[stage] = {
+            "fast_ms": round(fast_ms, 3),
+            "base_ms": round(base_ms, 3),
+            "speedup": round(base_ms / fast_ms, 3) if fast_ms else None,
+        }
+    fast_total = sum(totals["fast"].values()) * 1000
+    base_total = sum(totals["base"].values()) * 1000
+    return {
+        "meta": {
+            "triples": triples,
+            "rounds": rounds,
+            "k": k,
+            "queries": QUERY_IDS,
+            "python": platform.python_version(),
+            "workers_env": os.environ.get("SAMA_WORKERS"),
+            "cpu_count": os.cpu_count(),
+        },
+        "stages": stage_summary,
+        "total": {
+            "fast_ms": round(fast_total, 3),
+            "base_ms": round(base_total, 3),
+            "speedup": round(base_total / fast_total, 3),
+        },
+        "per_query": per_query,
+        "rankings_identical": True,
+    }
+
+
+def render_report(report: dict) -> str:
+    lines = []
+    meta = report["meta"]
+    lines.append("Hot-path A/B benchmark (fast = interned ids + memo + "
+                 "read-ahead; base = pre-overhaul engine)")
+    lines.append(f"LUBM {meta['triples']} triples, queries "
+                 f"{', '.join(meta['queries'])}, k={meta['k']}, "
+                 f"best of {meta['rounds']} cold rounds, "
+                 f"Python {meta['python']}")
+    lines.append("")
+    lines.append(f"{'stage':<10} {'base ms':>10} {'fast ms':>10} "
+                 f"{'speedup':>9}")
+    for stage in STAGES:
+        row = report["stages"][stage]
+        lines.append(f"{stage:<10} {row['base_ms']:>10.1f} "
+                     f"{row['fast_ms']:>10.1f} {row['speedup']:>8.2f}x")
+    total = report["total"]
+    lines.append(f"{'total':<10} {total['base_ms']:>10.1f} "
+                 f"{total['fast_ms']:>10.1f} {total['speedup']:>8.2f}x")
+    lines.append("")
+    lines.append(f"{'query':<8}" + "".join(
+        f" {stage + ' b/f':>16}" for stage in STAGES))
+    for qid, modes in report["per_query"].items():
+        cells = []
+        for stage in STAGES:
+            cells.append(f" {modes['base'][stage]:>7.1f}/"
+                         f"{modes['fast'][stage]:<8.1f}")
+        lines.append(f"{qid:<8}" + "".join(cells))
+    lines.append("")
+    lines.append("Rankings and scores identical across modes: "
+                 f"{report['rankings_identical']}")
+    return "\n".join(lines)
+
+
+def smoke_check(current: dict, committed_path: Path,
+                tolerance: float) -> int:
+    """Compare measured speedups against the committed baseline.
+
+    A stage fails when its measured fast-vs-base speedup fell more
+    than ``tolerance`` below the committed one — e.g. a committed 2.0x
+    that now measures below 1.4x at the default 30%.  Stages whose
+    committed base time is under 5 ms are skipped as noise.
+    """
+    if not committed_path.exists():
+        print(f"smoke: no committed baseline at {committed_path}; "
+              "nothing to gate against")
+        return 0
+    committed = json.loads(committed_path.read_text())
+    failures = []
+    checks = [(stage, committed["stages"][stage], current["stages"][stage])
+              for stage in STAGES]
+    checks.append(("total", committed["total"], current["total"]))
+    for name, want, got in checks:
+        if want.get("speedup") is None or want.get("base_ms", 0.0) < 5.0:
+            print(f"smoke: {name:<8} skipped (committed base "
+                  f"{want.get('base_ms', 0.0):.1f} ms below noise floor)")
+            continue
+        floor = want["speedup"] * (1.0 - tolerance)
+        status = "ok" if got["speedup"] >= floor else "REGRESSED"
+        print(f"smoke: {name:<8} committed {want['speedup']:.2f}x, "
+              f"measured {got['speedup']:.2f}x, floor {floor:.2f}x  "
+              f"[{status}]")
+        if got["speedup"] < floor:
+            failures.append(name)
+    if failures:
+        print(f"smoke: FAIL — speedup regressed >{tolerance:.0%} on: "
+              + ", ".join(failures))
+        return 1
+    print("smoke: PASS — all stage speedups within tolerance")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--triples", type=int, default=None,
+                        help="LUBM scale (default 3000; 800 under --smoke)")
+    parser.add_argument("--rounds", type=int, default=None,
+                        help="cold rounds per query/mode, best-of "
+                             "(default 3; 1 under --smoke)")
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced run; gate speedup ratios against the "
+                             "committed BENCH_hotpath.json instead of "
+                             "rewriting it")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed relative speedup regression in smoke "
+                             "mode (default 0.30)")
+    args = parser.parse_args(argv)
+
+    triples = args.triples or (800 if args.smoke else 3000)
+    rounds = args.rounds or (1 if args.smoke else 3)
+
+    report = run_bench(triples, rounds, args.k)
+    print(render_report(report))
+
+    if args.smoke:
+        return smoke_check(report, JSON_PATH, args.tolerance)
+
+    JSON_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    TXT_PATH.parent.mkdir(exist_ok=True)
+    TXT_PATH.write_text(render_report(report) + "\n")
+    print(f"\nwrote {JSON_PATH} and {TXT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

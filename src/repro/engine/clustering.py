@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..index.pathindex import PathIndex
+from ..parallel import chunked
 from ..paths.alignment import Alignment, LabelMatcher, align, exact_match
 from ..paths.model import Path
 from ..resilience.budget import Budget
@@ -24,6 +25,14 @@ from .preprocess import PreparedQuery
 #: Candidates charged to the budget per call (granularity of the
 #: ``max_candidates`` cap inside one cluster).
 _CHARGE_BLOCK = 64
+
+#: Below this many candidates a cluster is aligned serially even when
+#: an executor is available: dispatch overhead beats the win (measured
+#: in ``benchmarks/bench_hotpath.py``).
+PARALLEL_THRESHOLD = 512
+
+#: Candidates per parallel alignment chunk.
+_CHUNK = 128
 
 
 @dataclass(frozen=True)
@@ -97,6 +106,62 @@ def _prefix_at_anchor(path: Path, anchor, matcher: LabelMatcher) -> "Path | None
     return None
 
 
+class AlignmentMemo:
+    """Per-query alignment cache: ``(offset, prefix length, query path)``
+    → ``(alignment, λ score)``.
+
+    Thesaurus-widened retrieval routinely hands the same stored path to
+    clustering more than once — identical query paths extracted from
+    different parts of the query graph, anchor fallbacks re-fetching a
+    containment set, the explain forest re-clustering after the engine
+    already did — and each occurrence used to pay a full greedy scan.
+    The memo keys on the stored-path identity (offset + prefix length,
+    the same identity the uid pool uses) and the query path (by value:
+    equal query paths share entries), so every distinct alignment
+    problem is solved exactly once per query.
+
+    A memo is per-query state, like a :class:`Budget`: create one per
+    query (or let :func:`build_clusters` create its own) — reusing one
+    across queries would be correct but unbounded.
+    """
+
+    __slots__ = ("_table", "hits", "misses")
+
+    def __init__(self):
+        self._table: dict[tuple, tuple[Alignment, float]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def get(self, key: tuple) -> "tuple[Alignment, float] | None":
+        found = self._table.get(key)
+        if found is not None:
+            self.hits += 1
+        return found
+
+    def put(self, key: tuple, alignment: Alignment, score: float) -> None:
+        self.misses += 1
+        self._table[key] = (alignment, score)
+
+    @classmethod
+    def disabled(cls) -> "AlignmentMemo":
+        """A memo that never caches — the pre-PR (re-align every
+        occurrence) behaviour, kept for A/B benchmarking."""
+        return _NullMemo()
+
+
+class _NullMemo(AlignmentMemo):
+    __slots__ = ()
+
+    def get(self, key: tuple) -> None:
+        return None
+
+    def put(self, key: tuple, alignment: Alignment, score: float) -> None:
+        self.misses += 1
+
+
 def missing_path_penalty(query_path: Path,
                          weights: ScoringWeights = PAPER_WEIGHTS) -> float:
     """λ-equivalent cost of leaving a query path completely unmatched.
@@ -115,7 +180,11 @@ def build_clusters(prepared: PreparedQuery, index: PathIndex,
                    matcher: LabelMatcher = exact_match,
                    semantic_lookup: bool = True,
                    max_cluster_size: "int | None" = None,
-                   budget: "Budget | None" = None) -> list[Cluster]:
+                   budget: "Budget | None" = None,
+                   memo: "AlignmentMemo | None" = None,
+                   executor=None,
+                   parallel_threshold: int = PARALLEL_THRESHOLD,
+                   transcript: bool = False) -> list[Cluster]:
     """Build one cluster per query path of ``prepared``.
 
     ``semantic_lookup`` controls whether index retrieval may widen
@@ -132,10 +201,25 @@ def build_clusters(prepared: PreparedQuery, index: PathIndex,
     entries; clusters not yet reached come back empty — the search
     prices them with the missing-path penalty, so a degraded query
     still yields ranked, scored answers.
+
+    ``memo`` caches scored alignments per query (one is created when
+    not supplied; pass the same instance to a follow-up ``explain`` to
+    share work).  ``executor`` fans a cluster's candidate alignments
+    out in chunks of :data:`_CHUNK` when the cluster holds at least
+    ``parallel_threshold`` of them (pass an executor explicitly or let
+    the engine supply the process-wide :func:`repro.parallel.shared_executor`);
+    entry order, uids, scores, and budget charging are identical to the
+    serial path — charging happens up front on the calling thread, and
+    chunk results are merged in submission order.  ``transcript``
+    re-enables the :class:`~repro.paths.alignment.EditOp` transcript on
+    entry alignments (off by default: clustering reads only counts and
+    substitutions, and skipping the transcript is a large win).
     """
     clusters = []
     next_uid = 0
     tripped = False
+    if memo is None:
+        memo = AlignmentMemo()
     # Prefix-trimmed candidates of the same stored path must share a
     # uid only when the prefix matches; key the uid pool accordingly.
     uid_pool: dict[tuple[int, int], int] = {}
@@ -179,7 +263,10 @@ def build_clusters(prepared: PreparedQuery, index: PathIndex,
                         anchor, semantic=semantic_lookup)
                     if offsets:
                         break
-        entries = []
+        # Stage 1 (serial): charge the budget, decode, and trim.  The
+        # storage layer stays single-threaded; only the pure-CPU
+        # alignment below ever fans out.
+        pool_pairs: list[tuple[int, Path]] = []
         for rank, offset in enumerate(offsets):
             # Charging per candidate would make the budget call the
             # hottest instruction of the loop; charge whole blocks
@@ -195,7 +282,19 @@ def build_clusters(prepared: PreparedQuery, index: PathIndex,
                 path = _prefix_at_anchor(path, anchor, matcher)
                 if path is None:
                     continue
-            alignment = align(path, query_path, matcher)
+            pool_pairs.append((offset, path))
+        # Stage 2: score every candidate (memoised; chunked across the
+        # executor when the cluster is large enough).
+        scored = _score_candidates(pool_pairs, query_path, matcher, weights,
+                                   memo, transcript, budget, executor,
+                                   parallel_threshold)
+        if len(scored) < len(pool_pairs):
+            # Deadline tripped mid-scoring: keep what was scored, emit
+            # the remaining clusters empty (same contract as before).
+            tripped = True
+        # Stage 3 (serial): assign uids in candidate order and sort.
+        entries = []
+        for (offset, path), (alignment, score) in zip(pool_pairs, scored):
             uid_key = (offset, path.length)
             uid = uid_pool.get(uid_key)
             if uid is None:
@@ -204,7 +303,7 @@ def build_clusters(prepared: PreparedQuery, index: PathIndex,
                 next_uid += 1
             entries.append(ClusterEntry(
                 offset=offset, path=path, alignment=alignment,
-                score=lambda_cost(alignment.counts, weights), uid=uid))
+                score=score, uid=uid))
         # Best (lowest λ) first; offset breaks ties deterministically.
         entries.sort(key=lambda entry: (entry.score, entry.offset))
         if max_cluster_size is not None:
@@ -213,3 +312,63 @@ def build_clusters(prepared: PreparedQuery, index: PathIndex,
             query_path=query_path, entries=entries,
             missing_penalty=missing_path_penalty(query_path, weights)))
     return clusters
+
+
+def _score_candidates(pool_pairs: list[tuple[int, Path]], query_path: Path,
+                      matcher: LabelMatcher, weights: ScoringWeights,
+                      memo: AlignmentMemo, transcript: bool,
+                      budget: "Budget | None", executor,
+                      parallel_threshold: int,
+                      ) -> list[tuple[Alignment, float]]:
+    """λ-score one cluster's candidates in a single batched pass.
+
+    Returns one ``(alignment, score)`` per candidate, in candidate
+    order; a deadline trip mid-cluster returns the prefix scored so
+    far.  The weighted λ sum is inlined (attribute lookups hoisted)
+    rather than routed through :func:`lambda_cost` per candidate.
+    """
+    results: list[tuple[Alignment, float]] = []
+    if not pool_pairs:
+        return results
+    node_mis = weights.node_mismatch
+    node_ins = weights.node_insertion
+    edge_mis = weights.edge_mismatch
+    edge_ins = weights.edge_insertion
+    node_del = weights.node_deletion
+    edge_del = weights.edge_deletion
+
+    def score_one(offset: int, path: Path) -> tuple[Alignment, float]:
+        key = (offset, path.length, query_path)
+        found = memo.get(key)
+        if found is not None:
+            return found
+        alignment = align(path, query_path, matcher, transcript=transcript)
+        counts = alignment.counts
+        score = (node_mis * counts.node_mismatches
+                 + node_ins * counts.node_insertions
+                 + edge_mis * counts.edge_mismatches
+                 + edge_ins * counts.edge_insertions
+                 + node_del * counts.node_deletions
+                 + edge_del * counts.edge_deletions)
+        memo.put(key, alignment, score)
+        return alignment, score
+
+    if executor is not None and len(pool_pairs) >= max(2, parallel_threshold):
+        chunks = chunked(pool_pairs, _CHUNK)
+        futures = [executor.submit(
+            lambda chunk=chunk: [score_one(o, p) for o, p in chunk])
+            for chunk in chunks]
+        for index, future in enumerate(futures):
+            if budget is not None and budget.poll("cluster"):
+                for late in futures[index:]:
+                    late.cancel()
+                return results
+            results.extend(future.result())
+        return results
+
+    for rank, (offset, path) in enumerate(pool_pairs):
+        if (budget is not None and rank and rank % _CHARGE_BLOCK == 0
+                and budget.poll("cluster")):
+            return results
+        results.append(score_one(offset, path))
+    return results

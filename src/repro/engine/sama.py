@@ -31,6 +31,7 @@ from ..index.builder import IndexStats, build_index
 from ..index.labels import SemanticMatcher
 from ..index.pathindex import PathIndex
 from ..index.thesaurus import Thesaurus, default_thesaurus
+from ..parallel import shared_executor
 from ..paths.alignment import LabelMatcher, exact_match
 from ..paths.extraction import DEFAULT_LIMITS, ExtractionLimits
 from ..rdf.graph import DataGraph, QueryGraph
@@ -39,7 +40,7 @@ from ..resilience.budget import Budget, PartialResult
 from ..resilience.errors import QueryTimeout
 from ..scoring.weights import PAPER_WEIGHTS, ScoringWeights
 from .answers import Answer
-from .clustering import Cluster, build_clusters
+from .clustering import AlignmentMemo, Cluster, build_clusters
 from .forest import PathForest
 from .preprocess import PreparedQuery, prepare_query, validate_query_graph
 from .search import SearchConfig, SearchResult, top_k
@@ -53,6 +54,15 @@ class EngineConfig:
     (``exact`` / ``lexical`` / ``semantic``); ``semantic_lookup``
     controls thesaurus widening during index retrieval.  The defaults
     reproduce the prototype's behaviour (WordNet-backed matching).
+
+    ``workers`` sizes the worker pool used to parallelise clustering's
+    candidate alignment (``None`` defers to ``SAMA_WORKERS`` /
+    ``os.cpu_count()``; 1 or 0 forces serial).  ``fast_path`` gates the
+    dense-ID hot path as a whole — interned χ/ψ intersections, the
+    per-query alignment memo, transcript-free alignments, parallel
+    clustering.  Rankings and scores are identical either way; the
+    switch exists for A/B benchmarking (``benchmarks/bench_hotpath.py``)
+    and equivalence tests, not for production use.
     """
 
     weights: ScoringWeights = field(default_factory=ScoringWeights.paper)
@@ -64,6 +74,8 @@ class EngineConfig:
     index_limits: "ExtractionLimits | None" = None
     max_cluster_size: "int | None" = 4_000
     search: SearchConfig = field(default_factory=SearchConfig)
+    workers: "int | None" = None
+    fast_path: bool = True
 
 
 class SamaEngine:
@@ -135,13 +147,33 @@ class SamaEngine:
 
     def clusters(self, prepared: PreparedQuery,
                  budget: "Budget | None" = None) -> list[Cluster]:
-        """Clustering (step 2) for an already prepared query."""
+        """Clustering (step 2) for an already prepared query.
+
+        On the fast path a fresh per-query :class:`AlignmentMemo`
+        deduplicates alignments across the query's paths, transcripts
+        are skipped (the cluster stage only reads counts), and
+        candidate alignment fans out onto the shared worker pool when
+        pools are large enough.  With ``fast_path=False`` everything
+        runs serial and transcript-recording — the pre-interning
+        behaviour, kept for A/B measurement.
+        """
+        if self.config.fast_path:
+            executor = shared_executor(self.config.workers)
+            memo: AlignmentMemo = AlignmentMemo()
+            transcript = False
+        else:
+            executor = None
+            memo = AlignmentMemo.disabled()
+            transcript = True
         return build_clusters(prepared, self.index,
                               weights=self.config.weights,
                               matcher=self.matcher,
                               semantic_lookup=self.config.semantic_lookup,
                               max_cluster_size=self.config.max_cluster_size,
-                              budget=budget)
+                              budget=budget,
+                              memo=memo,
+                              executor=executor,
+                              transcript=transcript)
 
     def query(self, query, k: "int | None" = None, *,
               deadline_ms: "float | None" = None,
@@ -177,6 +209,8 @@ class SamaEngine:
         search_config = self.config.search
         if k is not None:
             search_config = replace(search_config, k=k)
+        if not self.config.fast_path and search_config.interned:
+            search_config = replace(search_config, interned=False)
         result = top_k(prepared, clusters, weights=self.config.weights,
                        config=search_config, budget=budget)
         self.last_result = result

@@ -66,6 +66,12 @@ class SearchConfig:
     far more than finding the answers; patience trades the guarantee
     for a hard latency bound (forced emissions are counted on the
     result).  ``None`` disables it.
+
+    ``interned`` lets χ/ψ intersect the dense label-id sets attached by
+    the index's :class:`~repro.index.labels.LabelInterner` instead of
+    Term sets.  Rankings and scores are identical either way (interning
+    is injective); the flag exists so benchmarks and equivalence tests
+    can run the pre-interning path.
     """
 
     k: int = 10
@@ -74,6 +80,7 @@ class SearchConfig:
     dedupe: bool = True
     sibling_limit: "int | None" = 64
     patience: "int | None" = 250
+    interned: bool = True
 
 
 @dataclass
@@ -108,10 +115,11 @@ class _JoinSpace:
     """Shared immutable context of one top-k search."""
 
     def __init__(self, prepared: PreparedQuery, clusters: list[Cluster],
-                 weights: ScoringWeights):
+                 weights: ScoringWeights, interned: bool = True):
         self.prepared = prepared
         self.clusters = clusters
         self.weights = weights
+        self.interned = interned
         self.order = _join_order(prepared, clusters)
         # position_of[cluster index] = depth at which it is decided.
         self.position_of = {cluster: depth
@@ -135,10 +143,23 @@ class _JoinSpace:
                 self.edge_floor[(i, j)] = penalty
                 continue
             cap = 0
-            for entry_i in entries_i[:_FLOOR_SAMPLE]:
-                labels_i = entry_i.path.node_label_set()
-                for entry_j in entries_j[:_FLOOR_SAMPLE]:
-                    common = len(labels_i & entry_j.path.node_label_set())
+            sample_i = entries_i[:_FLOOR_SAMPLE]
+            sample_j = entries_j[:_FLOOR_SAMPLE]
+            # One key space per edge: ids only when every sampled path
+            # on both sides carries them (mixed spaces would intersect
+            # to nothing and overstate the floor).
+            sets_i = sets_j = None
+            if interned:
+                sets_i = [e.path.node_label_id_set() for e in sample_i]
+                sets_j = [e.path.node_label_id_set() for e in sample_j]
+                if None in sets_i or None in sets_j:
+                    sets_i = sets_j = None
+            if sets_i is None:
+                sets_i = [e.path.node_label_set() for e in sample_i]
+                sets_j = [e.path.node_label_set() for e in sample_j]
+            for labels_i in sets_i:
+                for labels_j in sets_j:
+                    common = len(labels_i & labels_j)
                     if common > cap:
                         cap = common
             self.edge_floor[(i, j)] = penalty / cap if cap else penalty
@@ -148,6 +169,13 @@ class _JoinSpace:
             for cluster in clusters]
         # h(depth): optimistic remainder after ``depth`` clusters decided.
         self.tail_estimate = self._tail_estimates()
+        # Pairwise-ψ cache keyed on packed entry uids.  The packing
+        # stride is derived from the actual uid population — a fixed
+        # 2^20 stride silently collided (and returned a wrong cached
+        # intersection) once a clustering run handed out uids past it.
+        self._uid_stride = 1 + max(
+            (entry.uid for cluster in clusters for entry in cluster.entries),
+            default=0)
         self._pair_cache: dict[int, int] = {}
         # Edges settled when the cluster at each join depth is decided:
         # (other cluster index, penalty) — ψ against anything else is
@@ -162,20 +190,43 @@ class _JoinSpace:
         # that depth's settled edges) — states sharing those share the
         # list, which this cache exploits.
         self._candidate_cache: dict[tuple, list[tuple[float, int, int]]] = {}
-        # Per-cluster inverted index: node label → entry ranks, used to
-        # find the entries that *intersect* an anchor path without
+        # Per-cluster inverted index: node label key → entry ranks, used
+        # to find the entries that *intersect* an anchor path without
         # scanning the whole cluster.  Built lazily per cluster.
-        self._buckets: dict[int, dict] = {}
+        self._buckets: dict[int, tuple[dict, dict]] = {}
 
-    def buckets_of(self, cluster_index: int) -> dict:
-        buckets = self._buckets.get(cluster_index)
-        if buckets is None:
-            buckets = {}
+    def buckets_of(self, cluster_index: int) -> tuple[dict, dict]:
+        """Inverted index of one cluster: label key → entry ranks.
+
+        Keys are interned label ids when the cluster's paths carry them
+        (C-speed int hashing), the Term labels otherwise.  The second
+        dict maps each key to the label's lexical form — the
+        deterministic tie-break of the rarest-label ordering, identical
+        in both key spaces so interned and Term-based runs score the
+        same candidate pools.
+        """
+        cached = self._buckets.get(cluster_index)
+        if cached is None:
+            buckets: dict = {}
+            names: dict = {}
             for rank, entry in enumerate(self.clusters[cluster_index].entries):
-                for label in entry.path.node_label_set():
-                    buckets.setdefault(label, []).append(rank)
-            self._buckets[cluster_index] = buckets
-        return buckets
+                path = entry.path
+                label_ids = path.label_ids if self.interned else None
+                if label_ids is not None:
+                    seen = set()
+                    for label_id, node in zip(label_ids, path.nodes):
+                        if label_id in seen:
+                            continue
+                        seen.add(label_id)
+                        buckets.setdefault(label_id, []).append(rank)
+                        names.setdefault(label_id, str(node))
+                else:
+                    for label in path.node_label_set():
+                        buckets.setdefault(label, []).append(rank)
+                        names.setdefault(label, str(label))
+            cached = (buckets, names)
+            self._buckets[cluster_index] = cached
+        return cached
 
     def _longest(self, cluster_index: int) -> int:
         entries = self.clusters[cluster_index].entries
@@ -202,14 +253,19 @@ class _JoinSpace:
 
     def common_nodes(self, entry_a: ClusterEntry, entry_b: ClusterEntry) -> int:
         uid_a, uid_b = entry_a.uid, entry_b.uid
-        key = uid_a * 1_048_576 + uid_b if uid_a <= uid_b \
-            else uid_b * 1_048_576 + uid_a
+        key = uid_a * self._uid_stride + uid_b if uid_a <= uid_b \
+            else uid_b * self._uid_stride + uid_a
         cached = self._pair_cache.get(key)
         if cached is None:
-            cached = len(entry_a.path.node_label_set()
-                         & entry_b.path.node_label_set())
+            labels_a, labels_b = self.chi_operands(entry_a.path, entry_b.path)
+            cached = len(labels_a & labels_b)
             self._pair_cache[key] = cached
         return cached
+
+    def chi_operands(self, path_a, path_b) -> tuple[frozenset, frozenset]:
+        if self.interned:
+            return _chi_operands(path_a, path_b)
+        return path_a.node_label_set(), path_b.node_label_set()
 
     def psi_of_pair(self, entry: "ClusterEntry | None",
                     other: "ClusterEntry | None",
@@ -221,6 +277,19 @@ class _JoinSpace:
         if common == 0:
             return penalty, True
         return penalty / common, False
+
+
+def _chi_operands(path_a, path_b) -> tuple[frozenset, frozenset]:
+    """The two node-label sets |χ| intersects, in the fastest shared
+    key space: interned int-sets when *both* paths carry ids (interning
+    is injective, so the intersection cardinality is identical), Term
+    sets otherwise."""
+    ids_a = path_a.node_label_id_set()
+    if ids_a is not None:
+        ids_b = path_b.node_label_id_set()
+        if ids_b is not None:
+            return ids_a, ids_b
+    return path_a.node_label_set(), path_b.node_label_set()
 
 
 def _join_order(prepared: PreparedQuery, clusters: list[Cluster]) -> list[int]:
@@ -280,7 +349,8 @@ def top_k(prepared: PreparedQuery, clusters: list[Cluster],
     if not clusters:
         return SearchResult(answers=[], exhausted=True)
 
-    space = _JoinSpace(prepared, clusters, weights)
+    space = _JoinSpace(prepared, clusters, weights,
+                       interned=config.interned)
     depth_total = len(clusters)
     tie = itertools.count()
 
@@ -448,10 +518,55 @@ def _candidates_of(space: _JoinSpace, state: _PartialState,
         result = [(cost, broken, _MISSING)]
     else:
         ranks = _evaluation_pool(space, cluster_index, anchors, limit)
-        scored = (increments(cluster.entries[rank], cluster.entries[rank].score)
-                  + (rank,) for rank in ranks)
+        entries = cluster.entries
+        # Interned fast path: the ψ of every settled edge is an int-set
+        # intersection, inlined here — the generic increments() chain
+        # (psi_of_pair → common_nodes → chi_operands) costs several
+        # Python calls and a pair-cache probe per pair, which dominates
+        # this loop on large pools.  Anchor id-sets are hoisted; an
+        # anchor entry without ids (foreign path) falls back to the
+        # generic chain.  Floats are combined in the same order as
+        # increments(), so both paths produce bit-identical costs.
+        anchor_sets: "list | None" = None
+        if space.interned:
+            anchor_sets = []
+            for other_entry, penalty in anchors:
+                if other_entry is None:
+                    anchor_sets.append((None, penalty))
+                    continue
+                ids = other_entry.path.node_label_id_set()
+                if ids is None:
+                    anchor_sets = None
+                    break
+                anchor_sets.append((ids, penalty))
+        scored = []
+        if anchor_sets is not None:
+            for rank in ranks:
+                entry = entries[rank]
+                ids = entry.path.node_label_id_set()
+                if ids is None:
+                    cost, broken = increments(entry, entry.score)
+                    scored.append((cost, broken, rank))
+                    continue
+                psi_total = 0.0
+                broken = 0
+                for other_ids, penalty in anchor_sets:
+                    if other_ids is not None:
+                        common = len(ids & other_ids)
+                        if common:
+                            psi_total += penalty / common
+                            continue
+                    psi_total += penalty
+                    broken += 1
+                scored.append((entry.score + psi_total, broken, rank))
+        else:
+            for rank in ranks:
+                entry = entries[rank]
+                cost, broken = increments(entry, entry.score)
+                scored.append((cost, broken, rank))
         if limit is None:
-            result = sorted(scored)
+            scored.sort()
+            result = scored
         else:
             result = heapq.nsmallest(limit, scored)
     space._candidate_cache[key] = result
@@ -481,16 +596,21 @@ def _evaluation_pool(space: _JoinSpace, cluster_index: int,
         return list(range(total))
     pool: list[int] = []
     seen: set[int] = set()
-    buckets = space.buckets_of(cluster_index)
+    buckets, names = space.buckets_of(cluster_index)
     anchor_labels = set()
     for entry, _penalty in anchors:
         if entry is not None:
-            anchor_labels |= entry.path.node_label_set()
+            ids = entry.path.node_label_id_set() if space.interned else None
+            anchor_labels |= ids if ids is not None \
+                else entry.path.node_label_set()
     # Rarest labels first: a label shared with few entries pinpoints
     # the genuinely related candidates (specific entities), while a
     # label shared with thousands (class nodes) carries no signal.
+    # The tie-break is the label's lexical form in both key spaces, so
+    # interned and Term-based runs pool identical candidates.
     for label in sorted(anchor_labels,
-                        key=lambda l: (len(buckets.get(l, ())), str(l))):
+                        key=lambda l: (len(buckets.get(l, ())),
+                                       names.get(l) or str(l))):
         for rank in buckets.get(label, ()):
             if rank not in seen:
                 seen.add(rank)

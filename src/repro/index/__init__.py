@@ -10,13 +10,13 @@ the engine never traverses the data graph online.
 from .builder import INDEXER_LIMITS, IndexStats, build_index
 from .hypergraph import Hypergraph, hypergraph_of
 from .incremental import IncrementalIndex, UpdateStats
-from .labels import LabelIndex, SemanticMatcher
+from .labels import LabelIndex, LabelInterner, SemanticMatcher
 from .pathindex import IndexCorruptError, PathIndex, PathIndexWriter
 from .thesaurus import Thesaurus, default_thesaurus, tokenize_label
 
 __all__ = [
     "Hypergraph", "INDEXER_LIMITS", "IncrementalIndex", "IndexCorruptError",
-    "IndexStats", "LabelIndex", "PathIndex", "PathIndexWriter",
-    "SemanticMatcher", "Thesaurus", "UpdateStats", "build_index",
-    "default_thesaurus", "hypergraph_of", "tokenize_label",
+    "IndexStats", "LabelIndex", "LabelInterner", "PathIndex",
+    "PathIndexWriter", "SemanticMatcher", "Thesaurus", "UpdateStats",
+    "build_index", "default_thesaurus", "hypergraph_of", "tokenize_label",
 ]

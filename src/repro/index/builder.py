@@ -63,14 +63,18 @@ def build_index(graph: DataGraph, directory,
                 thesaurus: "Thesaurus | None" = None,
                 use_default_thesaurus: bool = True,
                 page_size: int = 4096,
-                compress: bool = False) -> tuple[PathIndex, IndexStats]:
+                compress: bool = False,
+                intern_records: bool = True) -> tuple[PathIndex, IndexStats]:
     """Build the path index of ``graph`` under ``directory``.
 
     Returns the opened :class:`PathIndex` and its :class:`IndexStats`.
     ``thesaurus`` defaults to the built-in lexicon (pass
     ``use_default_thesaurus=False`` for purely lexical matching).
     ``compress=True`` dictionary-encodes the stored paths (the §7
-    compression extension); queries are unaffected.
+    compression extension); queries are unaffected.  By default records
+    are label-interned (compact ids decoded through the persisted
+    label dictionary); ``intern_records=False`` writes the original
+    inline-term records.
     """
     if thesaurus is None and use_default_thesaurus:
         thesaurus = default_thesaurus()
@@ -96,7 +100,8 @@ def build_index(graph: DataGraph, directory,
     # Step (iii): compute and store the paths (BFS from every root).
     step_started = time.perf_counter()
     writer = PathIndexWriter(directory, thesaurus=thesaurus,
-                             page_size=page_size, compress=compress)
+                             page_size=page_size, compress=compress,
+                             intern_records=intern_records)
     budget = _Budget(limits, graph)
     for root in roots:
         for path in _walk_from(graph, root, budget):

@@ -11,10 +11,204 @@ comparison with the same lexical and thesaurus machinery.
 
 from __future__ import annotations
 
-from typing import Iterable
+import io
+import os
+from array import array
+from typing import BinaryIO, Iterable
 
+from ..paths.model import Path
 from ..rdf.terms import Literal, Term, URI, Variable
 from .thesaurus import Thesaurus, tokenize_label
+
+
+def _uvarint(data: bytes, pos: int) -> tuple[int, int]:
+    """Decode one LEB128 varint at ``pos``; returns (value, next pos)."""
+    result = 0
+    shift = 0
+    while True:
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 63:
+            from ..storage.serializer import CodecError
+            raise CodecError("varint too long")
+
+
+class LabelInterner:
+    """A persisted dense label → ``int`` id dictionary.
+
+    The hot paths of the engine — χ intersections inside ψ, the
+    search's inverted candidate buckets, the conformity floors — all
+    operate on *sets of node labels*.  Hashing and comparing full
+    :class:`~repro.rdf.terms.Term` objects there costs a Python-level
+    ``__eq__`` per probe; interning every label once into a dense
+    integer id turns those into C-speed small-int set operations (the
+    classic IR/RDF-store dense-vocabulary move).
+
+    Ids are assigned in first-use order (an id *is* its position), so
+    the on-disk form is simply the labels in order: ``LINT`` magic, a
+    varint count, then each term in the serializer's term encoding.
+    The index builder interns every node label at ``add_path`` time and
+    persists the dictionary next to the path log; reopening reads it
+    back so ids are stable across processes.  Labels first seen at
+    query time (thesaurus-widened anchors, literals only the query
+    mentions) keep interning in memory — determinism within a process
+    is all χ needs, since only *data-path* id sets are ever intersected.
+    """
+
+    def __init__(self):
+        self._terms: list[Term] = []
+        self._ids: dict[Term, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def __contains__(self, term: Term) -> bool:
+        return term in self._ids
+
+    def intern(self, term: Term) -> int:
+        """The dense id of ``term``, assigning the next id on first use."""
+        existing = self._ids.get(term)
+        if existing is not None:
+            return existing
+        label_id = len(self._terms)
+        self._terms.append(term)
+        self._ids[term] = label_id
+        return label_id
+
+    def lookup(self, label_id: int) -> Term:
+        """The label behind ``label_id``."""
+        return self._terms[label_id]
+
+    def intern_path(self, path: Path) -> Path:
+        """Attach the ``array('i')`` id sequence of ``path``'s node
+        labels (idempotent; returns ``path`` for chaining)."""
+        if path.label_ids is None:
+            path.attach_label_ids(
+                array("i", [self.intern(node) for node in path.nodes]))
+        return path
+
+    # -- record codec ------------------------------------------------------
+
+    def encode_path(self, path: Path) -> bytes:
+        """Serialise ``path`` as varint label ids in this dictionary.
+
+        The interned record format: varint node count, the node label
+        ids, the edge label ids, then the node-id presence flag and
+        varints of the serializer format.  Ids are (re)computed through
+        :meth:`intern` rather than trusting any attached ``label_ids``
+        — those may belong to a different interner.
+        """
+        from ..storage.serializer import write_varint
+
+        stream = io.BytesIO()
+        write_varint(stream, path.length)
+        for node in path.nodes:
+            write_varint(stream, self.intern(node))
+        for edge in path.edges:
+            write_varint(stream, self.intern(edge))
+        if path.node_ids is None:
+            stream.write(b"\x00")
+        else:
+            stream.write(b"\x01")
+            for node_id in path.node_ids:
+                write_varint(stream, node_id)
+        return stream.getvalue()
+
+    def decode_path(self, data: bytes) -> Path:
+        """Deserialise an interned record.
+
+        This is the decode hot path of query-time cluster retrieval:
+        label ids resolve by list indexing into *shared* Term objects
+        (no UTF-8 parsing, no fresh Term per record), and the node-id
+        array doubles as the path's ``label_ids``, so the dense-ID
+        pipeline needs no re-interning pass afterwards.
+        """
+        from ..storage.serializer import CodecError
+
+        # Varints are parsed by direct byte indexing — a BytesIO-based
+        # reader allocates a one-byte object per byte read, which is
+        # the difference between decode being I/O-shaped and
+        # allocation-shaped on cold cluster scans.
+        try:
+            count, pos = _uvarint(data, 0)
+            if count < 1:
+                raise CodecError("path must have at least one node")
+            terms = self._terms
+            raw_ids = []
+            append_id = raw_ids.append
+            for _ in range(count):
+                byte = data[pos]
+                if byte < 0x80:
+                    pos += 1
+                else:
+                    byte, pos = _uvarint(data, pos)
+                append_id(byte)
+            label_ids = array("i", raw_ids)
+            nodes = tuple(terms[i] for i in raw_ids)
+            edges = []
+            for _ in range(count - 1):
+                byte = data[pos]
+                if byte < 0x80:
+                    pos += 1
+                else:
+                    byte, pos = _uvarint(data, pos)
+                edges.append(terms[byte])
+            flag = data[pos:pos + 1]
+            pos += 1
+            if flag == b"\x00":
+                node_ids = None
+            elif flag == b"\x01":
+                ids = []
+                for _ in range(count):
+                    value, pos = _uvarint(data, pos)
+                    ids.append(value)
+                node_ids = tuple(ids)
+            else:
+                raise CodecError(f"bad node-id presence flag {flag!r}")
+        except IndexError as exc:
+            raise CodecError(f"truncated or corrupt interned record: "
+                             f"{exc}") from exc
+        path = Path.from_terms(nodes, tuple(edges), node_ids)
+        path.attach_label_ids(label_ids)
+        return path
+
+    # -- persistence -------------------------------------------------------
+
+    def save(self, path) -> int:
+        """Write the dictionary to ``path``; returns bytes written."""
+        from ..storage.serializer import write_term, write_varint
+
+        buffer = io.BytesIO()
+        buffer.write(b"LINT")
+        write_varint(buffer, len(self._terms))
+        for term in self._terms:
+            write_term(buffer, term)
+        data = buffer.getvalue()
+        with open(path, "wb") as handle:
+            handle.write(data)
+        return len(data)
+
+    @classmethod
+    def load(cls, path) -> "LabelInterner":
+        from ..storage.serializer import CodecError, read_term, read_varint
+
+        with open(path, "rb") as handle:
+            stream: BinaryIO = io.BytesIO(handle.read())
+        magic = stream.read(4)
+        if magic != b"LINT":
+            raise CodecError(f"{os.fspath(path)} is not a label-interner "
+                             f"dictionary (magic {magic!r})")
+        count = read_varint(stream)
+        interner = cls()
+        for _ in range(count):
+            interner.intern(read_term(stream))
+        if len(interner) != count:
+            raise CodecError("duplicate labels in interner stream")
+        return interner
 
 
 class LabelIndex:

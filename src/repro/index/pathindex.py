@@ -34,13 +34,20 @@ from ..storage.dictionary import (TermDictionary, decode_path_ids,
 from ..storage.pagestore import PageStore
 from ..storage.recordfile import RecordFile
 from ..storage.serializer import decode_path, encode_path
-from .labels import LabelIndex
+from .labels import LabelIndex, LabelInterner
 from .thesaurus import Thesaurus
 
 _PATHS_FILE = "paths.log"
 _DICT_FILE = "terms.dict"
+_LABELS_FILE = "labels.dict"
 _MAPS_FILE = "maps.json"
 _FORMAT_VERSION = 1
+
+#: Pages prefetched after a demand miss during record reads.  Records
+#: are packed contiguously and cluster retrieval walks offsets in
+#: ascending order, so sequential read-ahead turns one-fault-per-path
+#: cold scans into one fault per run of pages.
+DEFAULT_READ_AHEAD = 8
 
 
 class PathIndex:
@@ -53,7 +60,9 @@ class PathIndex:
     def __init__(self, directory, records: RecordFile,
                  sink_index: LabelIndex, contains_index: LabelIndex,
                  offsets: list[int], metadata: dict,
-                 dictionary: "TermDictionary | None" = None):
+                 dictionary: "TermDictionary | None" = None,
+                 interner: "LabelInterner | None" = None,
+                 interned_records: bool = False):
         self.directory = os.fspath(directory)
         self._records = records
         self._sink_index = sink_index
@@ -61,6 +70,11 @@ class PathIndex:
         self._offsets = offsets
         self.metadata = metadata
         self._dictionary = dictionary
+        # Every decoded path gets dense node-label ids attached so χ/ψ
+        # downstream intersect int-sets; indexes built before the
+        # interner existed just start from an empty in-memory one.
+        self.interner = interner if interner is not None else LabelInterner()
+        self._interned_records = interned_records
         self._decoded: dict[int, Path] = {}
 
     @property
@@ -73,7 +87,8 @@ class PathIndex:
     @classmethod
     def open(cls, directory, thesaurus: "Thesaurus | None" = None,
              read_latency: float = 0.0,
-             pool_capacity: int = 4096) -> "PathIndex":
+             pool_capacity: int = 4096,
+             read_ahead: int = DEFAULT_READ_AHEAD) -> "PathIndex":
         """Open an index previously persisted under ``directory``."""
         directory = os.fspath(directory)
         maps_path = os.path.join(directory, _MAPS_FILE)
@@ -88,7 +103,8 @@ class PathIndex:
                 f"(expected {_FORMAT_VERSION})")
         store = PageStore(os.path.join(directory, _PATHS_FILE),
                           read_latency=read_latency)
-        pool = BufferPool(store, capacity=pool_capacity)
+        pool = BufferPool(store, capacity=pool_capacity,
+                          read_ahead=read_ahead)
         records = RecordFile(store, pool)
         # An opened index is read-only: drop the staged tail so every
         # record read is a real (pooled) page read — otherwise the last
@@ -102,8 +118,22 @@ class PathIndex:
         if maps.get("compressed"):
             dictionary = TermDictionary.load(
                 os.path.join(directory, _DICT_FILE))
+        interner = None
+        labels_path = os.path.join(directory, _LABELS_FILE)
+        if os.path.exists(labels_path):
+            try:
+                interner = LabelInterner.load(labels_path)
+            except Exception as exc:
+                raise IndexCorruptError(
+                    f"cannot read {labels_path}: {exc}") from exc
+        interned_records = bool(maps.get("interned_records"))
+        if interned_records and interner is None:
+            raise IndexCorruptError(
+                f"{directory} stores interned records but has no "
+                f"{_LABELS_FILE} dictionary to decode them")
         return cls(directory, records, sink_index, contains_index,
-                   offsets, maps.get("metadata", {}), dictionary=dictionary)
+                   offsets, maps.get("metadata", {}), dictionary=dictionary,
+                   interner=interner, interned_records=interned_records)
 
     def close(self) -> None:
         self._records.store.close()
@@ -133,7 +163,10 @@ class PathIndex:
         if cached is None:
             try:
                 blob = self._records.read(offset)
-                if self._dictionary is not None:
+                if self._interned_records:
+                    # label_ids come attached straight from the record.
+                    cached = self.interner.decode_path(blob)
+                elif self._dictionary is not None:
                     cached = decode_path_ids(blob, self._dictionary)
                 else:
                     cached = decode_path(blob)
@@ -143,6 +176,8 @@ class PathIndex:
                 raise IndexCorruptError(
                     f"cannot decode path at offset {offset} of "
                     f"{self.directory}: {exc}") from exc
+            if cached.label_ids is None:
+                self.interner.intern_path(cached)
             self._decoded[offset] = cached
         return cached
 
@@ -203,7 +238,8 @@ class PathIndexWriter:
     """Accumulates paths during the build, then persists the maps."""
 
     def __init__(self, directory, thesaurus: "Thesaurus | None" = None,
-                 page_size: int = 4096, compress: bool = False):
+                 page_size: int = 4096, compress: bool = False,
+                 intern_records: bool = True):
         self.directory = os.fspath(directory)
         os.makedirs(self.directory, exist_ok=True)
         self._store = PageStore(os.path.join(self.directory, _PATHS_FILE),
@@ -211,14 +247,24 @@ class PathIndexWriter:
         self._records = RecordFile(self._store)
         self._thesaurus = thesaurus
         self._dictionary = TermDictionary() if compress else None
+        self._interner = LabelInterner()
+        # Interned records are the default format: compact like the §7
+        # dictionary compression AND decodable without constructing
+        # fresh Terms.  ``compress`` (the explicit §7 codec) takes
+        # precedence; ``intern_records=False`` writes the original
+        # inline-term records for comparison/compatibility runs.
+        self._intern_records = intern_records and not compress
         self._sink_map: dict[Term, list[int]] = {}
         self._contains_map: dict[Term, list[int]] = {}
         self._offsets: list[int] = []
 
     def add_path(self, path: Path) -> int:
         """Store one path; returns its offset."""
+        self._interner.intern_path(path)
         if self._dictionary is not None:
             blob = encode_path_ids(path, self._dictionary)
+        elif self._intern_records:
+            blob = self._interner.encode_path(path)
         else:
             blob = encode_path(path)
         offset = self._records.append(blob)
@@ -240,12 +286,14 @@ class PathIndexWriter:
             "version": _FORMAT_VERSION,
             "metadata": metadata or {},
             "compressed": self._dictionary is not None,
+            "interned_records": self._intern_records,
             "offsets": self._offsets,
             "sink": _dump_label_map(self._sink_map),
             "contains": _dump_label_map(self._contains_map),
         }
         if self._dictionary is not None:
             self._dictionary.save(os.path.join(self.directory, _DICT_FILE))
+        self._interner.save(os.path.join(self.directory, _LABELS_FILE))
         maps_path = os.path.join(self.directory, _MAPS_FILE)
         with open(maps_path, "w", encoding="utf-8") as handle:
             json.dump(maps, handle)
@@ -253,14 +301,17 @@ class PathIndexWriter:
         contains_index = _build_label_index(self._contains_map, self._thesaurus)
         return PathIndex(self.directory, self._records, sink_index,
                          contains_index, self._offsets, maps["metadata"],
-                         dictionary=self._dictionary)
+                         dictionary=self._dictionary,
+                         interner=self._interner,
+                         interned_records=self._intern_records)
 
     @property
     def size_bytes(self) -> int:
         total = self._store.size_bytes()
-        dict_path = os.path.join(self.directory, _DICT_FILE)
-        if os.path.exists(dict_path):
-            total += os.path.getsize(dict_path)
+        for name in (_DICT_FILE, _LABELS_FILE):
+            side_path = os.path.join(self.directory, name)
+            if os.path.exists(side_path):
+                total += os.path.getsize(side_path)
         return total
 
 

@@ -1,0 +1,81 @@
+"""Shared worker-pool plumbing for the engine's parallel stages.
+
+Both path extraction (the paper's "independently concurrent" BFS, §3.2)
+and clustering (per-query-path candidate alignment) can fan work out to
+a thread pool.  Creating a :class:`~concurrent.futures.ThreadPoolExecutor`
+per call is wasteful — thread startup dominates small workloads — so
+this module owns one lazily-created, module-level executor sized from
+``SAMA_WORKERS`` (falling back to ``os.cpu_count()``), shared by every
+caller in the process.
+
+Setting ``SAMA_WORKERS=1`` (or 0) disables parallelism entirely:
+:func:`shared_executor` then returns ``None`` and callers take their
+serial paths.  Callers may also pass their own executor explicitly,
+which always wins over the shared one.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+_lock = threading.Lock()
+_executor: "ThreadPoolExecutor | None" = None
+_executor_workers = 0
+
+
+def worker_count() -> int:
+    """The configured worker count: ``SAMA_WORKERS`` or ``os.cpu_count()``.
+
+    A value of 1 (or less) means "serial": the shared executor is not
+    created and parallel stages fall back to their single-threaded code
+    paths.  Invalid values in the environment are treated as unset.
+    """
+    raw = os.environ.get("SAMA_WORKERS", "").strip()
+    if raw:
+        try:
+            return max(0, int(raw))
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+def shared_executor(workers: "int | None" = None) -> "ThreadPoolExecutor | None":
+    """The process-wide executor, or ``None`` when running serially.
+
+    ``workers`` overrides the environment-derived count for this call;
+    the pool is (re)created when the effective count grows beyond what
+    the current pool was sized for.  The pool's threads are daemonic
+    idle workers — there is no per-query creation cost.
+    """
+    global _executor, _executor_workers
+    count = worker_count() if workers is None else max(0, workers)
+    if count <= 1:
+        return None
+    with _lock:
+        if _executor is None or _executor_workers < count:
+            if _executor is not None:
+                _executor.shutdown(wait=False)
+            _executor = ThreadPoolExecutor(
+                max_workers=count, thread_name_prefix="sama-worker")
+            _executor_workers = count
+        return _executor
+
+
+def _shutdown() -> None:  # pragma: no cover - interpreter teardown
+    global _executor
+    with _lock:
+        if _executor is not None:
+            _executor.shutdown(wait=False)
+            _executor = None
+
+
+atexit.register(_shutdown)
+
+
+def chunked(items, chunk_size: int):
+    """Split ``items`` (a sequence) into consecutive chunks."""
+    return [items[start:start + chunk_size]
+            for start in range(0, len(items), chunk_size)]

@@ -124,10 +124,20 @@ class Alignment:
 
 
 class _Scanner:
-    """Mutable state of one greedy backward scan."""
+    """Mutable state of one greedy backward scan.
 
-    def __init__(self, matcher: LabelMatcher):
+    With ``record_ops=False`` the transcript is skipped: counts and the
+    substitution are still exact (scores and bindings are unaffected),
+    but no :class:`EditOp` objects are built.  Clustering aligns every
+    retrieved candidate and only ever reads counts + substitution, so
+    the transcript would be allocated millions of times and read never
+    — the engine's hot path runs with recording off, while ``explain``
+    paths keep the default.
+    """
+
+    def __init__(self, matcher: LabelMatcher, record_ops: bool = True):
         self.matcher = matcher
+        self.record_ops = record_ops
         self.ops: list[EditOp] = []
         self.substitution = Substitution()
         self.node_mismatches = 0
@@ -141,33 +151,43 @@ class _Scanner:
         if isinstance(query_label, Variable):
             try:
                 self.substitution = self.substitution.bind(query_label, data_label)
-                self.ops.append(EditOp("bind", data_label, query_label))
+                if self.record_ops:
+                    self.ops.append(EditOp("bind", data_label, query_label))
             except BindingConflict:
                 # A variable repeated in one query path that would need
                 # two different constants: counted as a node mismatch.
                 self.node_mismatches += 1
-                self.ops.append(EditOp("mismatch-node", data_label, query_label))
+                if self.record_ops:
+                    self.ops.append(EditOp("mismatch-node", data_label,
+                                           query_label))
             return
         if self.matcher(data_label, query_label):
-            self.ops.append(EditOp("match-node", data_label, query_label))
+            if self.record_ops:
+                self.ops.append(EditOp("match-node", data_label, query_label))
         else:
             self.node_mismatches += 1
-            self.ops.append(EditOp("mismatch-node", data_label, query_label))
+            if self.record_ops:
+                self.ops.append(EditOp("mismatch-node", data_label, query_label))
 
     def compare_edge(self, data_label: Term, query_label: Term) -> None:
         if isinstance(query_label, Variable):
             try:
                 self.substitution = self.substitution.bind(query_label, data_label)
-                self.ops.append(EditOp("bind", data_label, query_label))
+                if self.record_ops:
+                    self.ops.append(EditOp("bind", data_label, query_label))
             except BindingConflict:
                 self.edge_mismatches += 1
-                self.ops.append(EditOp("mismatch-edge", data_label, query_label))
+                if self.record_ops:
+                    self.ops.append(EditOp("mismatch-edge", data_label,
+                                           query_label))
             return
         if self.matcher(data_label, query_label):
-            self.ops.append(EditOp("match-edge", data_label, query_label))
+            if self.record_ops:
+                self.ops.append(EditOp("match-edge", data_label, query_label))
         else:
             self.edge_mismatches += 1
-            self.ops.append(EditOp("mismatch-edge", data_label, query_label))
+            if self.record_ops:
+                self.ops.append(EditOp("mismatch-edge", data_label, query_label))
 
     def edge_compatible(self, data_label: Term, query_label: Term) -> bool:
         if isinstance(query_label, Variable):
@@ -177,14 +197,16 @@ class _Scanner:
     def insert_pair(self, edge_label: Term, node_label: Term) -> None:
         self.edge_insertions += 1
         self.node_insertions += 1
-        self.ops.append(EditOp("insert-edge", edge_label, None))
-        self.ops.append(EditOp("insert-node", node_label, None))
+        if self.record_ops:
+            self.ops.append(EditOp("insert-edge", edge_label, None))
+            self.ops.append(EditOp("insert-node", node_label, None))
 
     def delete_pair(self, edge_label: Term, node_label: Term) -> None:
         self.edge_deletions += 1
         self.node_deletions += 1
-        self.ops.append(EditOp("delete-edge", None, edge_label))
-        self.ops.append(EditOp("delete-node", None, node_label))
+        if self.record_ops:
+            self.ops.append(EditOp("delete-edge", None, edge_label))
+            self.ops.append(EditOp("delete-node", None, node_label))
 
     def counts(self) -> AlignmentCounts:
         return AlignmentCounts(
@@ -198,13 +220,19 @@ class _Scanner:
 
 
 def align(data_path: Path, query_path: Path,
-          matcher: LabelMatcher = exact_match) -> Alignment:
+          matcher: LabelMatcher = exact_match,
+          transcript: bool = True) -> Alignment:
     """Greedy linear-time alignment (the paper's §4.3 scan).
 
     Runs in ``O(|p| + |q|)``: every iteration of the loop consumes at
     least one ``(edge, node)`` pair from one of the two paths.
+
+    ``transcript=False`` skips recording the :class:`EditOp` sequence
+    (``ops`` comes back empty); counts, score, and substitution are
+    identical.  The clustering hot path uses this — it scores millions
+    of candidates and reads the transcript of none of them.
     """
-    scanner = _Scanner(matcher)
+    scanner = _Scanner(matcher, record_ops=transcript)
     # Anchor the sinks: both paths end at their sink by construction.
     scanner.compare_node(data_path.sink, query_path.sink)
 

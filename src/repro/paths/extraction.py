@@ -18,12 +18,17 @@ truncation is never silent.
 from __future__ import annotations
 
 from collections import deque
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Iterator
 
+from ..parallel import shared_executor
 from ..rdf.graph import DataGraph
 from .model import Path
+
+#: Roots below which ``parallel=True`` extraction stays serial: pool
+#: dispatch costs more than walking a handful of roots inline (the
+#: crossover is measured by ``benchmarks/bench_hotpath.py``).
+PARALLEL_MIN_ROOTS = 8
 
 
 class PathExplosionError(RuntimeError):
@@ -66,18 +71,23 @@ def extract_paths(graph: DataGraph,
     (§3.2).  An isolated node (source and sink at once) yields the
     single-node path containing just its label.
 
-    With ``parallel=True`` the per-root traversals run on a thread
-    pool, mirroring the paper's concurrent BFS; results are identical
-    and deterministically ordered by root id either way.
+    With ``parallel=True`` the per-root traversals run on the shared
+    module-level worker pool (sized from ``SAMA_WORKERS`` /
+    ``os.cpu_count()`` — a pool used to be created per call, with
+    unbounded default workers), mirroring the paper's concurrent BFS;
+    results are identical and deterministically ordered by root id
+    either way.  Small inputs (< :data:`PARALLEL_MIN_ROOTS` roots) skip
+    the pool entirely: dispatch overhead dominates below that.
     """
     roots = graph.path_roots()
     if not roots:
         return []
     budget = _Budget(limits, graph)
-    if parallel and len(roots) > 1:
-        with ThreadPoolExecutor() as pool:
-            chunks = pool.map(lambda r: list(_walk_from(graph, r, budget)), roots)
-            results = [p for chunk in chunks for p in chunk]
+    pool = shared_executor() if (parallel
+                                 and len(roots) >= PARALLEL_MIN_ROOTS) else None
+    if pool is not None:
+        chunks = pool.map(lambda r: list(_walk_from(graph, r, budget)), roots)
+        results = [p for chunk in chunks for p in chunk]
     else:
         results = [p for root in roots for p in _walk_from(graph, root, budget)]
     return results

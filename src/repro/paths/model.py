@@ -35,7 +35,8 @@ class Path:
         absent on synthetic paths.
     """
 
-    __slots__ = ("nodes", "edges", "node_ids", "_hash", "_label_set")
+    __slots__ = ("nodes", "edges", "node_ids", "_hash", "_label_set",
+                 "_label_ids", "_label_id_set")
 
     def __init__(self, nodes: Sequence, edges: Sequence,
                  node_ids: "Sequence[int] | None" = None):
@@ -50,13 +51,39 @@ class Path:
         object.__setattr__(self, "edges", edges)
         object.__setattr__(self, "node_ids",
                            tuple(node_ids) if node_ids is not None else None)
-        object.__setattr__(self, "_hash", hash((nodes, edges)))
+        object.__setattr__(self, "_hash", None)
         # Memoised by node_label_set(); χ is called on every conformity
         # check, so the set must not be rebuilt per call.
         object.__setattr__(self, "_label_set", None)
+        # Dense interned node-label ids (attach_label_ids) and their
+        # frozenset, the fast-path operands of χ/ψ — absent (None) on
+        # paths that never went through a LabelInterner.
+        object.__setattr__(self, "_label_ids", None)
+        object.__setattr__(self, "_label_id_set", None)
 
     def __setattr__(self, name, value):  # pragma: no cover - guard rail
         raise AttributeError("Path is immutable")
+
+    @classmethod
+    def from_terms(cls, nodes: "tuple[Term, ...]", edges: "tuple[Term, ...]",
+                   node_ids: "tuple[int, ...] | None" = None) -> "Path":
+        """Construct from already-validated Term tuples.
+
+        The record-decode fast path: callers guarantee ``nodes`` and
+        ``edges`` are Term tuples of consistent lengths (the codec
+        enforced that when the record was written), so per-element
+        coercion and the length checks are skipped.
+        """
+        path = object.__new__(cls)
+        set_slot = object.__setattr__
+        set_slot(path, "nodes", nodes)
+        set_slot(path, "edges", edges)
+        set_slot(path, "node_ids", node_ids)
+        set_slot(path, "_hash", None)
+        set_slot(path, "_label_set", None)
+        set_slot(path, "_label_ids", None)
+        set_slot(path, "_label_id_set", None)
+        return path
 
     # -- identity ---------------------------------------------------------
 
@@ -66,7 +93,13 @@ class Path:
                 and self.edges == other.edges)
 
     def __hash__(self):
-        return self._hash
+        # Lazy: hashing every term eagerly would dominate record decode,
+        # and most decoded paths are never used as dict keys.
+        cached = self._hash
+        if cached is None:
+            cached = hash((self.nodes, self.edges))
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
     def __repr__(self):
         return f"Path({self.text()!r})"
@@ -135,6 +168,40 @@ class Path:
             object.__setattr__(self, "_label_set", frozenset(self.nodes))
         return self._label_set
 
+    # -- dense-id fast path -------------------------------------------------
+
+    def attach_label_ids(self, label_ids) -> None:
+        """Attach interned node-label ids (an ``array('i')``-compatible
+        sequence aligned with ``nodes``).
+
+        Interning is injective, so any set computed over the ids has the
+        same cardinality as the corresponding label set — which is what
+        lets χ/ψ intersect small int-sets instead of hashing Terms.
+        Attaching twice is a no-op (the ids are a pure function of the
+        labels for a given interner).
+        """
+        if self._label_ids is None:
+            if len(label_ids) != len(self.nodes):
+                raise ValueError(
+                    f"need one label id per node: {len(label_ids)} ids "
+                    f"for {len(self.nodes)} nodes")
+            object.__setattr__(self, "_label_ids", label_ids)
+
+    @property
+    def label_ids(self):
+        """The attached interned node-label ids, or ``None``."""
+        return self._label_ids
+
+    def node_label_id_set(self) -> "frozenset[int] | None":
+        """Cached frozenset of interned node-label ids (``None`` when no
+        ids were attached) — the int-set operand of the χ fast path."""
+        if self._label_id_set is None:
+            if self._label_ids is None:
+                return None
+            object.__setattr__(self, "_label_id_set",
+                               frozenset(self._label_ids))
+        return self._label_id_set
+
     def variables(self) -> set[Variable]:
         """Variables occurring as node or edge labels (query paths)."""
         found = {n for n in self.nodes if isinstance(n, Variable)}
@@ -156,7 +223,12 @@ class Path:
         if not 1 <= node_count <= self.length:
             raise ValueError(f"node_count must be in [1, {self.length}]")
         ids = self.node_ids[:node_count] if self.node_ids else None
-        return Path(self.nodes[:node_count], self.edges[:node_count - 1], ids)
+        clipped = Path(self.nodes[:node_count], self.edges[:node_count - 1], ids)
+        if self._label_ids is not None:
+            # Interned ids slice with the nodes, so prefix-trimmed
+            # candidates stay on the int-set fast path for free.
+            clipped.attach_label_ids(self._label_ids[:node_count])
+        return clipped
 
     # -- rendering ------------------------------------------------------------
 

@@ -17,11 +17,17 @@ from .pagestore import PageStore
 
 @dataclass
 class CacheStats:
-    """Logical read counters at the buffer pool."""
+    """Logical read counters at the buffer pool.
+
+    ``prefetches`` counts pages faulted in by sequential read-ahead
+    rather than by a demand read; a later demand hit on a prefetched
+    page counts as a plain hit.
+    """
 
     hits: int = 0
     misses: int = 0
     retries: int = 0
+    prefetches: int = 0
 
     @property
     def accesses(self) -> int:
@@ -35,6 +41,7 @@ class CacheStats:
         self.hits = 0
         self.misses = 0
         self.retries = 0
+        self.prefetches = 0
 
 
 class BufferPool:
@@ -48,15 +55,27 @@ class BufferPool:
     retried under ``retry`` — bounded exponential backoff — before the
     typed error is allowed to propagate; ``stats.retries`` counts how
     often that happened.
+
+    ``read_ahead`` enables sequential prefetch: a demand miss on page
+    ``p`` also faults in pages ``p+1 .. p+read_ahead`` (those not
+    already resident).  Records in the path log are packed contiguously
+    and cluster retrieval decodes them in ascending-offset order, so a
+    cold-cache candidate scan that would otherwise pay one page fault
+    per path amortises the faults across whole runs of pages.  Prefetch
+    failures are swallowed — the page will simply fault on demand,
+    where the error (if persistent) surfaces with full retry semantics.
     """
 
     def __init__(self, store: PageStore, capacity: int = 1024,
-                 retry: "RetryPolicy | None" = None):
+                 retry: "RetryPolicy | None" = None, read_ahead: int = 0):
         if capacity < 0:
             raise ValueError(f"capacity must be >= 0, got {capacity}")
+        if read_ahead < 0:
+            raise ValueError(f"read_ahead must be >= 0, got {read_ahead}")
         self.store = store
         self.capacity = capacity
         self.retry = retry or DEFAULT_RETRY
+        self.read_ahead = read_ahead
         self.stats = CacheStats()
         self._pages: OrderedDict[int, bytes] = OrderedDict()
 
@@ -80,7 +99,24 @@ class BufferPool:
             self._pages[page_id] = data
             if len(self._pages) > self.capacity:
                 self._pages.popitem(last=False)
+            if self.read_ahead:
+                self._prefetch_after(page_id)
         return data
+
+    def _prefetch_after(self, page_id: int) -> None:
+        """Sequentially fault in the pages after a demand miss."""
+        last = min(page_id + self.read_ahead, self.store.page_count - 1)
+        for ahead in range(page_id + 1, last + 1):
+            if ahead in self._pages:
+                continue
+            try:
+                data = self._physical_read(ahead)
+            except Exception:
+                return
+            self.stats.prefetches += 1
+            self._pages[ahead] = data
+            if len(self._pages) > self.capacity:
+                self._pages.popitem(last=False)
 
     def write_page(self, page_id: int, data: bytes) -> None:
         """Write through to the store and refresh the cached copy."""

@@ -1,0 +1,399 @@
+"""Tests for the dense-ID hot path: interned records, the per-query
+alignment memo, parallel clustering, read-ahead, and the pair-cache fix.
+
+The load-bearing invariant throughout: every fast-path feature is an
+*optimisation*, so rankings, scores, bindings, and budget semantics must
+be indistinguishable from the plain engine.
+"""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.datasets import dataset, lubm_queries
+from repro.engine import EngineConfig, SamaEngine
+from repro.engine.clustering import AlignmentMemo, build_clusters
+from repro.engine.search import _JoinSpace
+from repro.index.builder import build_index
+from repro.index.labels import LabelInterner
+from repro.index.pathindex import PathIndex
+from repro.index.thesaurus import default_thesaurus
+from repro.parallel import chunked, shared_executor, worker_count
+from repro.paths.alignment import align
+from repro.paths.model import Path
+from repro.resilience.budget import Budget
+from repro.resilience.errors import IndexCorruptError
+from repro.rdf.terms import Literal, URI
+from repro.scoring.weights import PAPER_WEIGHTS
+from repro.storage.serializer import CodecError
+
+
+def _uri_path(*names, node_ids=None):
+    nodes = [URI(f"http://x/{name}") for name in names]
+    edges = [URI(f"http://x/e{i}") for i in range(len(names) - 1)]
+    return Path(nodes, edges, node_ids=node_ids)
+
+
+# -- label interner ----------------------------------------------------------
+
+
+class TestLabelInterner:
+    def test_dense_first_use_ids(self):
+        interner = LabelInterner()
+        a, b = URI("http://x/a"), URI("http://x/b")
+        assert interner.intern(a) == 0
+        assert interner.intern(b) == 1
+        assert interner.intern(a) == 0
+        assert interner.lookup(1) is b
+        assert len(interner) == 2
+
+    def test_intern_path_attaches_ids(self):
+        interner = LabelInterner()
+        path = _uri_path("a", "b", "a")
+        interner.intern_path(path)
+        assert list(path.label_ids) == [0, 1, 0]
+        assert path.node_label_id_set() == frozenset({0, 1})
+
+    def test_save_load_preserves_ids(self, tmp_path):
+        interner = LabelInterner()
+        terms = [URI("http://x/a"), Literal("two words"),
+                 Literal("fr", language="fr"),
+                 Literal("7", datatype=URI("http://x/int"))]
+        ids = [interner.intern(term) for term in terms]
+        target = tmp_path / "labels.dict"
+        interner.save(target)
+        reloaded = LabelInterner.load(target)
+        assert len(reloaded) == len(interner)
+        assert [reloaded.intern(term) for term in terms] == ids
+
+    def test_load_rejects_bad_magic(self, tmp_path):
+        target = tmp_path / "bogus.dict"
+        target.write_bytes(b"NOPE....")
+        with pytest.raises(CodecError):
+            LabelInterner.load(target)
+
+    def test_record_roundtrip(self):
+        interner = LabelInterner()
+        path = _uri_path("a", "b", "c", node_ids=(4, 9, 300))
+        blob = interner.encode_path(path)
+        decoded = interner.decode_path(blob)
+        assert decoded == path
+        assert decoded.node_ids == (4, 9, 300)
+        assert list(decoded.label_ids) == [interner.intern(n)
+                                           for n in path.nodes]
+        # Decoded labels are the interner's shared Term objects.
+        for node, label_id in zip(decoded.nodes, decoded.label_ids):
+            assert node is interner.lookup(label_id)
+
+    def test_record_roundtrip_without_node_ids(self):
+        interner = LabelInterner()
+        path = _uri_path("x", "y")
+        decoded = interner.decode_path(interner.encode_path(path))
+        assert decoded == path
+        assert decoded.node_ids is None
+
+    def test_decode_rejects_unknown_id(self):
+        interner = LabelInterner()
+        blob = interner.encode_path(_uri_path("a", "b"))
+        fresh = LabelInterner()  # empty dictionary: ids out of range
+        with pytest.raises(CodecError):
+            fresh.decode_path(blob)
+
+
+class TestInternedIndex:
+    def test_reopened_index_decodes_identically(self, govtrack, tmp_path):
+        directory = str(tmp_path / "interned")
+        built, _stats = build_index(govtrack, directory)
+        original = sorted(p.text() for p in built.all_paths())
+        with_ids = [p.label_ids is not None for p in built.all_paths()]
+        assert all(with_ids)
+        built.close()
+        reopened = PathIndex.open(directory)
+        assert sorted(p.text() for p in reopened.all_paths()) == original
+        assert all(p.label_ids is not None for p in reopened.all_paths())
+        reopened.close()
+
+    def test_interned_matches_inline_format(self, govtrack, tmp_path):
+        interned, _ = build_index(govtrack, str(tmp_path / "i"))
+        inline, _ = build_index(govtrack, str(tmp_path / "p"),
+                                intern_records=False)
+        assert sorted(p.text() for p in interned.all_paths()) == \
+            sorted(p.text() for p in inline.all_paths())
+        interned.close()
+        inline.close()
+
+    def test_missing_label_dictionary_is_corruption(self, govtrack, tmp_path):
+        directory = str(tmp_path / "broken")
+        built, _stats = build_index(govtrack, directory)
+        built.close()
+        (tmp_path / "broken" / "labels.dict").unlink()
+        with pytest.raises(IndexCorruptError):
+            PathIndex.open(directory)
+
+
+# -- pair-cache key regression ----------------------------------------------
+
+
+class _StubIG:
+    def edges(self):
+        return []
+
+    def neighbors(self, index):
+        return []
+
+    def has_edge(self, i, j):
+        return False
+
+
+class _StubPrepared:
+    ig = _StubIG()
+
+
+def test_pair_cache_keys_do_not_collide_past_2_20():
+    """Regression: the ψ pair cache used a fixed 2^20 packing stride, so
+    uid pairs (1, 2) and (0, 2^20 + 2) collided and the second pair
+    read the first pair's cached |χ|."""
+    from repro.engine.clustering import Cluster, ClusterEntry
+
+    def entry(uid, *names):
+        path = _uri_path(*names)
+        return ClusterEntry(offset=uid, path=path,
+                            alignment=align(path, path), score=0.0, uid=uid)
+
+    entry_a = entry(1, "x", "y")                  # |χ| with entry_b: 1
+    entry_b = entry(2, "y", "z")
+    entry_c = entry(0, "u", "v", "w")             # |χ| with entry_d: 2
+    entry_d = entry(2 ** 20 + 2, "u", "v", "q")
+    clusters = [
+        Cluster(query_path=_uri_path("q"), entries=[entry_a, entry_c],
+                missing_penalty=1.0),
+        Cluster(query_path=_uri_path("r"), entries=[entry_b, entry_d],
+                missing_penalty=1.0),
+    ]
+    space = _JoinSpace(_StubPrepared(), clusters, PAPER_WEIGHTS)
+    assert space._uid_stride == 2 ** 20 + 3
+    # Prime the cache with the small-uid pair, then probe the pair that
+    # collided under the old stride.
+    assert space.common_nodes(entry_a, entry_b) == 1
+    assert space.common_nodes(entry_c, entry_d) == 2
+    # Symmetry and cache stability.
+    assert space.common_nodes(entry_d, entry_c) == 2
+    assert space.common_nodes(entry_b, entry_a) == 1
+
+
+# -- fast path vs plain engine equivalence -----------------------------------
+
+
+@pytest.fixture(scope="module")
+def ab_engines(tmp_path_factory):
+    """A fast-path engine and a fully switched-off engine, the latter
+    over an inline-term (pre-overhaul format) index."""
+    graph = dataset("lubm").build(1200, seed=3)
+    root = tmp_path_factory.mktemp("hotpath-ab")
+    thesaurus = default_thesaurus()
+    fast_index, _ = build_index(graph, str(root / "fast"),
+                                thesaurus=thesaurus)
+    base_index, _ = build_index(graph, str(root / "base"),
+                                thesaurus=thesaurus, intern_records=False)
+    fast = SamaEngine(fast_index, config=EngineConfig(), thesaurus=thesaurus)
+    base = SamaEngine(base_index, config=EngineConfig(fast_path=False),
+                      thesaurus=thesaurus)
+    yield fast, base
+    fast.close()
+    base.close()
+
+
+@pytest.mark.parametrize("qid", ["Q1", "Q2", "Q4"])
+def test_fast_path_rankings_identical(ab_engines, qid):
+    fast, base = ab_engines
+    spec = next(s for s in lubm_queries() if s.qid == qid)
+    fast_answers = fast.query(spec.graph, k=10)
+    base_answers = base.query(spec.graph, k=10)
+    assert [(a.score, str(a)) for a in fast_answers] == \
+        [(a.score, str(a)) for a in base_answers]
+
+
+def test_fast_path_rankings_identical_govtrack(govtrack_engine, q1):
+    plain = SamaEngine(govtrack_engine.index,
+                       config=EngineConfig(fast_path=False),
+                       thesaurus=govtrack_engine.thesaurus)
+    fast_answers = govtrack_engine.query(q1, k=8)
+    base_answers = plain.query(q1, k=8)
+    assert [(a.score, str(a)) for a in fast_answers] == \
+        [(a.score, str(a)) for a in base_answers]
+
+
+# -- alignment memo ----------------------------------------------------------
+
+
+class TestAlignmentMemo:
+    def test_counts_hits_and_misses(self):
+        memo = AlignmentMemo()
+        key = (7, 3, _uri_path("q"))
+        assert memo.get(key) is None
+        alignment = align(_uri_path("a"), _uri_path("q"))
+        memo.put(key, alignment, 1.5)
+        assert memo.get(key) == (alignment, 1.5)
+        assert memo.hits == 1 and memo.misses == 1 and len(memo) == 1
+
+    def test_disabled_memo_never_caches(self):
+        memo = AlignmentMemo.disabled()
+        key = (7, 3, _uri_path("q"))
+        memo.put(key, align(_uri_path("a"), _uri_path("q")), 1.5)
+        assert memo.get(key) is None
+        assert memo.hits == 0
+
+    def test_memo_shared_across_clustering_runs(self, govtrack_engine, q1):
+        engine = govtrack_engine
+        prepared = engine.prepare(q1)
+        memo = AlignmentMemo()
+        kwargs = dict(weights=engine.config.weights, matcher=engine.matcher,
+                      memo=memo)
+        first = build_clusters(prepared, engine.index, **kwargs)
+        aligned = memo.misses
+        assert aligned > 0
+        second = build_clusters(prepared, engine.index, **kwargs)
+        # The re-run is served entirely from the memo...
+        assert memo.misses == aligned
+        assert memo.hits >= aligned
+        # ...and reproduces the clusters exactly.
+        assert [[(e.offset, e.uid, e.score) for e in c.entries]
+                for c in first] == \
+            [[(e.offset, e.uid, e.score) for e in c.entries]
+             for c in second]
+
+
+# -- parallel clustering -----------------------------------------------------
+
+
+class TestParallelClustering:
+    def _cluster_shape(self, clusters):
+        return [[(e.offset, e.path.length, e.uid, e.score)
+                 for e in c.entries] for c in clusters]
+
+    def test_parallel_matches_serial(self, lubm_engine):
+        spec = next(s for s in lubm_queries() if s.qid == "Q2")
+        prepared = lubm_engine.prepare(spec.graph)
+        kwargs = dict(weights=lubm_engine.config.weights,
+                      matcher=lubm_engine.matcher)
+        serial = build_clusters(prepared, lubm_engine.index, **kwargs)
+        with ThreadPoolExecutor(max_workers=3) as pool:
+            parallel = build_clusters(prepared, lubm_engine.index,
+                                      executor=pool, parallel_threshold=2,
+                                      **kwargs)
+        assert self._cluster_shape(serial) == self._cluster_shape(parallel)
+
+    def test_parallel_respects_expired_budget(self, lubm_engine):
+        spec = next(s for s in lubm_queries() if s.qid == "Q2")
+        prepared = lubm_engine.prepare(spec.graph)
+        kwargs = dict(weights=lubm_engine.config.weights,
+                      matcher=lubm_engine.matcher)
+        budget = Budget(deadline_ms=0)
+        with ThreadPoolExecutor(max_workers=3) as pool:
+            clusters = build_clusters(prepared, lubm_engine.index,
+                                      executor=pool, parallel_threshold=2,
+                                      budget=budget, **kwargs)
+        # One cluster per query path, all degraded to empty, trip noted.
+        assert len(clusters) == len(prepared.paths)
+        assert all(c.is_empty for c in clusters)
+        assert budget.reasons
+
+    def test_engine_workers_config_end_to_end(self, lubm_small, tmp_path):
+        engine = SamaEngine.from_graph(
+            lubm_small, directory=str(tmp_path / "workers"),
+            config=EngineConfig(workers=2))
+        try:
+            spec = next(s for s in lubm_queries() if s.qid == "Q1")
+            answers = engine.query(spec.graph, k=5)
+            assert list(answers)
+        finally:
+            engine.close()
+
+
+# -- worker pool plumbing ----------------------------------------------------
+
+
+class TestWorkerPool:
+    def test_worker_count_env_override(self, monkeypatch):
+        monkeypatch.setenv("SAMA_WORKERS", "3")
+        assert worker_count() == 3
+
+    def test_single_worker_means_no_pool(self, monkeypatch):
+        monkeypatch.setenv("SAMA_WORKERS", "1")
+        assert shared_executor() is None
+
+    def test_explicit_workers_beat_env(self, monkeypatch):
+        monkeypatch.setenv("SAMA_WORKERS", "1")
+        pool = shared_executor(2)
+        assert pool is not None
+
+    def test_chunked(self):
+        assert chunked(list(range(5)), 2) == [[0, 1], [2, 3], [4]]
+        assert chunked([], 4) == []
+
+    def test_small_extraction_skips_pool(self, monkeypatch, govtrack):
+        import repro.paths.extraction as extraction
+
+        calls = []
+        monkeypatch.setattr(extraction, "shared_executor",
+                            lambda *a, **k: calls.append(1) or None)
+        assert len(govtrack.path_roots()) < extraction.PARALLEL_MIN_ROOTS
+        serial = [p.text() for p in extraction.extract_paths(govtrack)]
+        small = [p.text() for p in
+                 extraction.extract_paths(govtrack, parallel=True)]
+        assert small == serial
+        assert calls == []  # below the threshold the pool is never asked
+
+    def test_parallel_extraction_matches_serial(self, monkeypatch):
+        import repro.paths.extraction as extraction
+
+        graph = dataset("lubm").build(900, seed=5)
+        assert len(graph.path_roots()) >= extraction.PARALLEL_MIN_ROOTS
+        serial = [p.text() for p in extraction.extract_paths(graph)]
+        with ThreadPoolExecutor(max_workers=3) as pool:
+            monkeypatch.setattr(extraction, "shared_executor",
+                                lambda *a, **k: pool)
+            parallel = [p.text() for p in
+                        extraction.extract_paths(graph, parallel=True)]
+        assert parallel == serial
+
+
+# -- buffer pool read-ahead --------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def scan_index_dir(tmp_path_factory):
+    """An on-disk index big enough to span many pages."""
+    graph = dataset("lubm").build(2000, seed=11)
+    directory = tmp_path_factory.mktemp("readahead") / "idx"
+    index, _stats = build_index(graph, str(directory))
+    index.close()
+    return str(directory)
+
+
+class TestReadAhead:
+    def _scan_stats(self, directory, read_ahead):
+        index = PathIndex.open(directory, read_ahead=read_ahead)
+        index.clear_cache()
+        for offset in index.all_offsets():
+            index.path_at(offset)
+        stats = index.cache_stats
+        index.close()
+        return stats
+
+    def test_sequential_scan_prefetches(self, scan_index_dir):
+        stats = self._scan_stats(scan_index_dir, read_ahead=4)
+        assert stats.prefetches > 0
+
+    def test_read_ahead_cuts_demand_misses(self, scan_index_dir):
+        without = self._scan_stats(scan_index_dir, read_ahead=0)
+        with_ra = self._scan_stats(scan_index_dir, read_ahead=8)
+        assert with_ra.misses < without.misses
+
+    def test_read_ahead_preserves_content(self, scan_index_dir):
+        plain = PathIndex.open(scan_index_dir, read_ahead=0)
+        ahead = PathIndex.open(scan_index_dir, read_ahead=8)
+        assert [p.text() for p in plain.all_paths()] == \
+            [p.text() for p in ahead.all_paths()]
+        plain.close()
+        ahead.close()

@@ -84,6 +84,31 @@ def test_optimal_alignment_never_worse(data_path, query_path):
     assert optimal <= greedy + 1e-9
 
 
+@given(ground_paths())
+@settings(max_examples=100, deadline=None)
+def test_greedy_and_optimal_agree_on_exact_matches(path):
+    """On an exact match both alignment algorithms recognise it: the
+    greedy scan and the DP both report is_exact and λ = 0."""
+    greedy = align(path, path)
+    optimal = align_optimal(path, path, PAPER_WEIGHTS)
+    assert greedy.is_exact and optimal.is_exact
+    assert lambda_cost(greedy) == 0.0
+    assert lambda_cost(optimal) == 0.0
+
+
+@given(ground_paths(), query_paths_st())
+@settings(max_examples=150, deadline=None)
+def test_transcript_free_alignment_matches(data_path, query_path):
+    """The hot-path mode (transcript=False) skips op recording but must
+    keep identical counts, substitution, and hence λ."""
+    full = align(data_path, query_path)
+    bare = align(data_path, query_path, transcript=False)
+    assert bare.ops == ()
+    assert bare.counts == full.counts
+    assert dict(bare.substitution.items()) == dict(full.substitution.items())
+    assert lambda_cost(bare) == lambda_cost(full)
+
+
 @given(ground_paths(), query_paths_st())
 @settings(max_examples=150, deadline=None)
 def test_gamma_equals_lambda(data_path, query_path):
