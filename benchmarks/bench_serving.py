@@ -1,0 +1,276 @@
+"""Serving-layer throughput benchmark: concurrent clients, cache on/off.
+
+Runs the Fig. 6 LUBM workload against a real HTTP serving stack
+(ThreadingHTTPServer + ServingEngine) three ways over the *same*
+on-disk index:
+
+- ``direct``: the cold single-shot baseline — one thread calling
+  ``SamaEngine.query`` with a cold cache per evaluation, the way the
+  CLI answers a query today;
+- ``serve_cold``: 8 concurrent HTTP clients with the result cache
+  disabled — what concurrency alone buys;
+- ``serve_warm``: the same clients with the cache on, measured after
+  one warming pass — what the epoch-keyed result cache buys.
+
+Every ranking served over HTTP must be bit-identical (same JSON wire
+form) to the direct engine's; the run aborts otherwise.  Results land
+in ``BENCH_serving.json`` and ``results/serving.txt``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py            # full run
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke    # CI gate
+
+``--smoke`` runs a reduced workload and gates on behaviour, not
+wall-clock: zero HTTP errors, at least one cache hit, zero shed
+requests, rankings identical, clean shutdown.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.datasets import dataset, lubm_queries  # noqa: E402
+from repro.engine import SamaEngine  # noqa: E402
+from repro.serving import (ServingClient, ServingConfig,  # noqa: E402
+                           ServingEngine, answers_payload, serve)
+
+#: Same workload subset as ``bench_fig6_response_time.py``.
+QUERY_IDS = ["Q1", "Q2", "Q3", "Q5", "Q7"]
+
+JSON_PATH = REPO_ROOT / "BENCH_serving.json"
+TXT_PATH = REPO_ROOT / "results" / "serving.txt"
+
+
+def _direct_baseline(engine: SamaEngine, queries, k: int,
+                     rounds: int) -> dict:
+    """Cold single-shot: one query at a time, caches dropped each time."""
+    evaluated = 0
+    started = time.perf_counter()
+    for _ in range(rounds):
+        for spec in queries:
+            engine.cold_cache()
+            engine.query(spec.graph, k=k)
+            evaluated += 1
+    elapsed = time.perf_counter() - started
+    return {"requests": evaluated, "seconds": round(elapsed, 4),
+            "qps": round(evaluated / elapsed, 2)}
+
+
+def _reference_payloads(engine: SamaEngine, queries, k: int) -> dict:
+    return {spec.qid: answers_payload(engine.query(spec.graph, k=k), k,
+                                      epoch=0)["answers"]
+            for spec in queries}
+
+
+def _hammer(url: str, queries, k: int, clients: int, rounds: int,
+            reference: dict) -> dict:
+    """``clients`` threads, each sweeping the workload ``rounds`` times."""
+    lock = threading.Lock()
+    state = {"requests": 0, "errors": 0, "divergences": []}
+
+    def worker(offset: int):
+        client = ServingClient(url, timeout=300)
+        for round_no in range(rounds):
+            for step in range(len(queries)):
+                spec = queries[(offset + step) % len(queries)]
+                try:
+                    document = client.query(spec.sparql, k=k)
+                except Exception:
+                    with lock:
+                        state["errors"] += 1
+                    continue
+                with lock:
+                    state["requests"] += 1
+                    if document["answers"] != reference[spec.qid]:
+                        state["divergences"].append(spec.qid)
+
+    threads = [threading.Thread(target=worker, args=(i,), daemon=True)
+               for i in range(clients)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    if state["divergences"]:
+        raise SystemExit(
+            "FATAL: served rankings diverge from SamaEngine.query on "
+            + ", ".join(sorted(set(state["divergences"])))
+            + " — the serving layer is not answer-preserving")
+    return {
+        "requests": state["requests"],
+        "errors": state["errors"],
+        "seconds": round(elapsed, 4),
+        "qps": round(state["requests"] / elapsed, 2) if elapsed else None,
+    }
+
+
+def run_bench(triples: int, clients: int, rounds: int, k: int,
+              workers: int, seed: int = 0) -> dict:
+    graph = dataset("lubm").build(triples, seed=seed)
+    queries = [spec for spec in lubm_queries() if spec.qid in QUERY_IDS]
+
+    with tempfile.TemporaryDirectory(prefix="sama-serving-") as directory:
+        engine = SamaEngine.from_graph(graph, directory=directory)
+        reference = _reference_payloads(engine, queries, k)
+        direct = _direct_baseline(engine, queries, k, rounds=1)
+
+        arms = {}
+        stats = {}
+        for arm, cache_bytes in (("serve_cold", 0),
+                                 ("serve_warm", 64 << 20)):
+            serving = ServingEngine(engine, ServingConfig(
+                workers=workers, max_queue=max(2 * clients, 8),
+                cache_bytes=cache_bytes, default_k=k))
+            server = serve(serving, port=0).serve_background()
+            try:
+                if cache_bytes:
+                    # One warming sweep; the measured phase is all-warm.
+                    _hammer(server.url, queries, k, clients=1, rounds=1,
+                            reference=reference)
+                arms[arm] = _hammer(server.url, queries, k,
+                                    clients=clients, rounds=rounds,
+                                    reference=reference)
+                stats[arm] = serving.stats_payload()
+            finally:
+                server.shutdown(close_engine=False)
+        engine.close()
+
+    warm_vs_direct = (arms["serve_warm"]["qps"] / direct["qps"]
+                      if direct["qps"] else None)
+    cold_vs_direct = (arms["serve_cold"]["qps"] / direct["qps"]
+                      if direct["qps"] else None)
+    return {
+        "meta": {
+            "triples": triples,
+            "clients": clients,
+            "rounds": rounds,
+            "k": k,
+            "workers": workers,
+            "queries": QUERY_IDS,
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+        "direct": direct,
+        "serve_cold": {**arms["serve_cold"],
+                       "shed": stats["serve_cold"]["shed"]},
+        "serve_warm": {
+            **arms["serve_warm"],
+            "shed": stats["serve_warm"]["shed"],
+            "cache_hit_rate": stats["serve_warm"]["cache"]["hit_rate"],
+            "cache_hits": stats["serve_warm"]["cache"]["hits"],
+            "cache_misses": stats["serve_warm"]["cache"]["misses"],
+        },
+        "speedup": {
+            "serve_cold_vs_direct": round(cold_vs_direct, 3),
+            "serve_warm_vs_direct": round(warm_vs_direct, 3),
+        },
+        "rankings_identical": True,
+    }
+
+
+def render_report(report: dict) -> str:
+    meta = report["meta"]
+    lines = []
+    lines.append("Serving-layer throughput: concurrent HTTP clients vs "
+                 "cold single-shot queries")
+    lines.append(f"LUBM {meta['triples']} triples, queries "
+                 f"{', '.join(meta['queries'])}, k={meta['k']}, "
+                 f"{meta['clients']} clients x {meta['rounds']} rounds, "
+                 f"{meta['workers']} workers, Python {meta['python']}")
+    lines.append("")
+    lines.append(f"{'arm':<12} {'requests':>9} {'errors':>7} "
+                 f"{'seconds':>9} {'req/s':>9} {'vs direct':>10}")
+    speedups = {"direct": 1.0,
+                "serve_cold": report["speedup"]["serve_cold_vs_direct"],
+                "serve_warm": report["speedup"]["serve_warm_vs_direct"]}
+    for arm in ("direct", "serve_cold", "serve_warm"):
+        row = report[arm]
+        lines.append(f"{arm:<12} {row['requests']:>9} "
+                     f"{row.get('errors', 0):>7} {row['seconds']:>9.2f} "
+                     f"{row['qps']:>9.1f} {speedups[arm]:>9.2f}x")
+    warm = report["serve_warm"]
+    lines.append("")
+    lines.append(f"warm cache: {warm['cache_hit_rate']:.1%} hit rate "
+                 f"({warm['cache_hits']} hits / {warm['cache_misses']} "
+                 f"misses), {warm['shed']} shed")
+    lines.append("Served rankings bit-identical to SamaEngine.query: "
+                 f"{report['rankings_identical']}")
+    return "\n".join(lines)
+
+
+def smoke_check(report: dict) -> int:
+    """Behavioural gate for CI: correctness, not wall-clock."""
+    failures = []
+    for arm in ("serve_cold", "serve_warm"):
+        if report[arm]["errors"]:
+            failures.append(f"{arm}: {report[arm]['errors']} HTTP errors")
+        if report[arm]["shed"]:
+            failures.append(f"{arm}: {report[arm]['shed']} shed requests")
+    if report["serve_warm"]["cache_hits"] < 1:
+        failures.append("serve_warm: no cache hits recorded")
+    if not report["rankings_identical"]:
+        failures.append("served rankings diverged")
+    for line in (failures or ["all checks passed"]):
+        print(f"smoke: {line}")
+    print(f"smoke: {'FAIL' if failures else 'PASS'}")
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--triples", type=int, default=3000)
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--rounds", type=int, default=4,
+                        help="workload sweeps per client")
+    parser.add_argument("-k", type=int, default=10)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="serving worker threads "
+                             "(default: min(clients, cpu_count))")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced workload + behavioural gate for CI")
+    parser.add_argument("--no-write", action="store_true",
+                        help="do not update the committed result files")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.triples = min(args.triples, 800)
+        args.rounds = min(args.rounds, 2)
+        args.clients = min(args.clients, 4)
+    workers = args.workers or min(args.clients, os.cpu_count() or 4)
+
+    report = run_bench(args.triples, args.clients, args.rounds, args.k,
+                       workers=workers, seed=args.seed)
+    text = render_report(report)
+    print(text)
+
+    if args.smoke:
+        return smoke_check(report)
+
+    warm_ratio = report["speedup"]["serve_warm_vs_direct"]
+    if warm_ratio < 3.0:
+        print(f"WARNING: warm-cache throughput is only {warm_ratio:.2f}x "
+              "the cold single-shot baseline (target: >= 3x)")
+    if not args.no_write:
+        JSON_PATH.write_text(json.dumps(report, indent=2) + "\n")
+        TXT_PATH.parent.mkdir(exist_ok=True)
+        TXT_PATH.write_text(text + "\n")
+        print(f"\nwrote {JSON_PATH} and {TXT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

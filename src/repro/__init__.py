@@ -36,17 +36,19 @@ from .paths import Path, align, path_of
 from .rdf import (DataGraph, Literal, Namespace, QueryGraph, Triple, URI,
                   Variable, query_graph)
 from .resilience import (Budget, DegradationCause, DegradationReason,
-                         FaultPlan, InvalidQueryError, ParseError,
-                         PartialResult, QueryTimeout, ReproError)
+                         FaultPlan, InvalidQueryError, OverloadedError,
+                         ParseError, PartialResult, QueryTimeout, ReproError)
 from .scoring import PAPER_WEIGHTS, ScoringWeights, score_paths, score_value
+from .serving import ResultCache, ServingConfig, ServingEngine
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Answer", "Budget", "DataGraph", "DegradationCause", "DegradationReason",
     "EngineConfig", "FaultPlan", "InvalidQueryError", "Literal", "Namespace",
-    "PAPER_WEIGHTS", "ParseError", "PartialResult", "Path", "QueryGraph",
-    "QueryTimeout", "ReproError", "SamaEngine", "ScoringWeights",
-    "SearchConfig", "Triple", "URI", "Variable", "align", "path_of",
-    "query_graph", "score_paths", "score_value", "__version__",
+    "OverloadedError", "PAPER_WEIGHTS", "ParseError", "PartialResult", "Path",
+    "QueryGraph", "QueryTimeout", "ReproError", "ResultCache", "SamaEngine",
+    "ScoringWeights", "SearchConfig", "ServingConfig", "ServingEngine",
+    "Triple", "URI", "Variable", "align", "path_of", "query_graph",
+    "score_paths", "score_value", "__version__",
 ]

@@ -1,15 +1,23 @@
 """The ``sama`` command-line interface.
 
-Four subcommands cover the offline/online split of §5 plus utilities::
+The subcommands cover the offline/online split of §5 plus the serving
+layer and utilities::
 
     sama generate lubm data.nt --triples 10000 --seed 1
     sama index data.nt ./my-index
+    sama index compact ./my-incremental-index
     sama query ./my-index -e 'SELECT ?s WHERE { ?s <http://...> ?o . }'
+    sama serve ./my-index --port 8080
+    sama bench-serve ./my-index --clients 8
     sama inspect ./my-index
 
 ``sama query`` accepts SPARQL from a file or inline (``-e``), prints
 the ranked answers with scores and bindings, and with ``--explain``
-also renders the forest of paths (Fig. 4).
+also renders the forest of paths (Fig. 4).  ``sama serve`` keeps one
+hot engine resident behind the JSON/HTTP API of
+:mod:`repro.serving.http`; ``sama bench-serve`` drives it with
+concurrent in-process clients and reports throughput and cache
+effectiveness.
 """
 
 from __future__ import annotations
@@ -25,7 +33,8 @@ from .index.pathindex import PathIndex
 from .paths.extraction import ExtractionLimits
 from .rdf import ntriples, turtle
 from .rdf.graph import DataGraph
-from .resilience.errors import ParseError, QueryTimeout, ReproError
+from .resilience.errors import (OverloadedError, ParseError, QueryTimeout,
+                                ReproError)
 
 
 def _cmd_generate(args) -> int:
@@ -48,6 +57,9 @@ def _load_graph(path: str, fmt: "str | None") -> DataGraph:
 
 
 def _cmd_index(args) -> int:
+    if args.data == "compact":
+        # ``sama index compact DIR`` — vacuum an incremental index.
+        return _cmd_index_compact(args)
     graph = _load_graph(args.data, args.format)
     print(f"loaded {graph.edge_count()} triples, "
           f"{graph.node_count()} nodes from {args.data}")
@@ -64,6 +76,110 @@ def _cmd_index(args) -> int:
     if stats.truncated:
         print("note: path extraction hit its budget and truncated "
               "(raise --max-paths / --max-length to extract more)")
+    return 0
+
+
+def _cmd_index_compact(args) -> int:
+    from .index.incremental import compact_directory
+
+    report = compact_directory(args.index_dir)
+    print(f"compacted {args.index_dir}: {report.live_paths} live paths kept")
+    print(f"tombstoned records reclaimed: {format_bytes(report.dead_bytes)}")
+    print(f"log: {format_bytes(report.old_log_bytes)} -> "
+          f"{format_bytes(report.new_log_bytes)} "
+          f"({format_bytes(report.reclaimed_bytes)} reclaimed on disk)")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from .serving import ServingConfig, ServingEngine
+    from .serving.http import serve
+
+    config = EngineConfig(matcher_level=args.matcher)
+    engine = SamaEngine.open(args.index_dir, config=config)
+    serving = ServingEngine(engine, ServingConfig(
+        workers=args.workers,
+        max_queue=args.max_queue,
+        cache_bytes=args.cache_mb * (1 << 20),
+        default_k=args.k,
+        default_deadline_ms=args.deadline_ms,
+        queue_deadline_ms=args.queue_deadline_ms))
+    server = serve(serving, host=args.host, port=args.port,
+                   verbose=args.verbose)
+    print(f"serving {args.index_dir} on {server.url} "
+          f"({args.workers} workers, queue {args.max_queue}, "
+          f"cache {args.cache_mb} MiB)")
+    print("endpoints: POST /query, GET /healthz, GET /stats  "
+          "(Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.shutdown()
+    return 0
+
+
+def _cmd_bench_serve(args) -> int:
+    import threading
+    import time as _time
+
+    from .serving import ServingConfig, ServingEngine
+
+    texts = list(args.expression or [])
+    if args.query_file:
+        with open(args.query_file, encoding="utf-8") as handle:
+            texts.append(handle.read())
+    if not texts:
+        print("error: provide at least one query "
+              "(-e 'SELECT ...' or a query file)", file=sys.stderr)
+        return 2
+
+    config = EngineConfig(matcher_level=args.matcher)
+    engine = SamaEngine.open(args.index_dir, config=config)
+    serving = ServingEngine(engine, ServingConfig(
+        workers=args.workers or args.clients,
+        max_queue=max(args.clients * 2, 8),
+        cache_bytes=0 if args.no_cache else args.cache_mb * (1 << 20),
+        default_k=args.k))
+    errors: list[str] = []
+
+    def client(worker_id: int) -> None:
+        for round_no in range(args.rounds):
+            text = texts[(worker_id + round_no) % len(texts)]
+            try:
+                serving.query(text, k=args.k)
+            except OverloadedError:
+                pass  # counted by the service as shed
+            except Exception as exc:  # pragma: no cover - report & fail
+                errors.append(f"client {worker_id}: "
+                              f"{type(exc).__name__}: {exc}")
+
+    threads = [threading.Thread(target=client, args=(i,), daemon=True)
+               for i in range(args.clients)]
+    started = _time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = _time.perf_counter() - started
+    stats = serving.stats_payload()
+    serving.close()
+    if errors:
+        for line in errors[:5]:
+            print(f"error: {line}", file=sys.stderr)
+        return 3
+    answered = stats["served"]
+    print(f"{answered} requests from {args.clients} clients in "
+          f"{format_seconds(elapsed)} "
+          f"({answered / elapsed if elapsed else 0:.1f} req/s)")
+    print(f"cache hit rate: {stats['cache']['hit_rate']:.1%} "
+          f"({stats['cache']['hits']} hits / "
+          f"{stats['cache']['misses']} misses), shed: {stats['shed']}")
+    p50 = stats["latency_p50_ms"]
+    p95 = stats["latency_p95_ms"]
+    print(f"latency p50 {p50:.2f} ms, p95 {p95:.2f} ms"
+          if p50 is not None else "latency: no samples")
     return 0
 
 
@@ -155,8 +271,12 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--seed", type=int, default=0)
     generate.set_defaults(func=_cmd_generate)
 
-    index = sub.add_parser("index", help="build a path index from RDF data")
-    index.add_argument("data", help="input .nt or .ttl file")
+    index = sub.add_parser(
+        "index", help="build a path index from RDF data "
+                      "(or: sama index compact DIR)")
+    index.add_argument("data", help="input .nt or .ttl file, or the word "
+                                    "'compact' to vacuum an incremental "
+                                    "index directory")
     index.add_argument("index_dir", help="directory for the index")
     index.add_argument("--format", choices=["nt", "ttl"], default=None)
     index.add_argument("--max-paths", type=int, default=200_000)
@@ -182,6 +302,54 @@ def build_parser() -> argparse.ArgumentParser:
                        help="when the deadline trips, print the answers "
                             "found so far instead of failing")
     query.set_defaults(func=_cmd_query)
+
+    serve = sub.add_parser("serve",
+                           help="serve an index over JSON/HTTP")
+    serve.add_argument("index_dir")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument("--workers", type=int, default=4,
+                       help="concurrent query workers (default 4)")
+    serve.add_argument("--max-queue", type=int, default=8,
+                       help="admitted requests allowed to wait beyond the "
+                            "busy workers; anything more is shed (503)")
+    serve.add_argument("--cache-mb", type=int, default=64,
+                       help="result cache budget in MiB (0 disables)")
+    serve.add_argument("-k", type=int, default=10,
+                       help="default top-k per request")
+    serve.add_argument("--deadline-ms", type=_non_negative_ms, default=None,
+                       help="default per-request deadline")
+    serve.add_argument("--queue-deadline-ms", type=_non_negative_ms,
+                       default=None,
+                       help="deadline forced onto requests that have to "
+                            "wait for a worker (degrade under pressure)")
+    serve.add_argument("--matcher", choices=["exact", "lexical", "semantic"],
+                       default="semantic")
+    serve.add_argument("-v", "--verbose", action="store_true",
+                       help="log each HTTP request")
+    serve.set_defaults(func=_cmd_serve)
+
+    bench_serve = sub.add_parser(
+        "bench-serve",
+        help="drive a served index with concurrent clients")
+    bench_serve.add_argument("index_dir")
+    bench_serve.add_argument("query_file", nargs="?", default=None,
+                             help="file with a SPARQL SELECT query")
+    bench_serve.add_argument("-e", "--expression", action="append",
+                             help="inline SPARQL (repeatable)")
+    bench_serve.add_argument("--clients", type=int, default=8)
+    bench_serve.add_argument("--rounds", type=int, default=4,
+                             help="requests per client (default 4)")
+    bench_serve.add_argument("--workers", type=int, default=None,
+                             help="service workers (default: --clients)")
+    bench_serve.add_argument("--cache-mb", type=int, default=64)
+    bench_serve.add_argument("--no-cache", action="store_true",
+                             help="disable the result cache")
+    bench_serve.add_argument("-k", type=int, default=10)
+    bench_serve.add_argument("--matcher",
+                             choices=["exact", "lexical", "semantic"],
+                             default="semantic")
+    bench_serve.set_defaults(func=_cmd_bench_serve)
 
     inspect = sub.add_parser("inspect", help="show index metadata")
     inspect.add_argument("index_dir")

@@ -9,14 +9,16 @@ the engine never traverses the data graph online.
 
 from .builder import INDEXER_LIMITS, IndexStats, build_index
 from .hypergraph import Hypergraph, hypergraph_of
-from .incremental import IncrementalIndex, UpdateStats
+from .incremental import (CompactionReport, IncrementalIndex, UpdateStats,
+                          compact_directory)
 from .labels import LabelIndex, LabelInterner, SemanticMatcher
 from .pathindex import IndexCorruptError, PathIndex, PathIndexWriter
 from .thesaurus import Thesaurus, default_thesaurus, tokenize_label
 
 __all__ = [
-    "Hypergraph", "INDEXER_LIMITS", "IncrementalIndex", "IndexCorruptError",
-    "IndexStats", "LabelIndex", "LabelInterner", "PathIndex",
-    "PathIndexWriter", "SemanticMatcher", "Thesaurus", "UpdateStats",
-    "build_index", "default_thesaurus", "hypergraph_of", "tokenize_label",
+    "CompactionReport", "Hypergraph", "INDEXER_LIMITS", "IncrementalIndex",
+    "IndexCorruptError", "IndexStats", "LabelIndex", "LabelInterner",
+    "PathIndex", "PathIndexWriter", "SemanticMatcher", "Thesaurus",
+    "UpdateStats", "build_index", "compact_directory", "default_thesaurus",
+    "hypergraph_of", "tokenize_label",
 ]

@@ -30,7 +30,9 @@ The class exposes the same lookup surface as
 
 from __future__ import annotations
 
+import json
 import os
+import shutil
 from collections import deque
 from dataclasses import dataclass
 
@@ -39,6 +41,8 @@ from ..paths.model import Path
 from ..rdf.graph import DataGraph
 from ..rdf.terms import Term
 from ..rdf.triples import Triple
+from ..resilience.errors import IndexCorruptError
+from ..storage.atomic import atomic_write_json
 from ..storage.bufferpool import BufferPool
 from ..storage.pagestore import PageStore
 from ..storage.recordfile import RecordFile
@@ -46,6 +50,12 @@ from ..storage.serializer import decode_path, encode_path
 from .builder import INDEXER_LIMITS
 from .labels import LabelIndex
 from .thesaurus import Thesaurus, default_thesaurus
+
+#: Sidecar persisting which records of ``paths.log`` are alive (and
+#: their roots), so maintenance tools can compact the log without the
+#: in-memory index that wrote it.
+MANIFEST_FILE = "incremental.json"
+_MANIFEST_VERSION = 1
 
 
 @dataclass
@@ -93,6 +103,11 @@ class IncrementalIndex:
         self._offsets_by_root: dict[int, set[int]] = {}
         self._decoded: dict[int, Path] = {}
         self._hub_mode = not graph.sources() and graph.node_count() > 0
+        #: Bumped on every observable change to the index contents —
+        #: effective insertions, deletions, rebuilds, compactions.
+        #: Result caches key on it so stale rankings die with the data
+        #: version that produced them.
+        self.epoch = 0
         self._extract_roots(self.graph.path_roots())
 
     # -- construction helpers ------------------------------------------------
@@ -130,6 +145,7 @@ class IncrementalIndex:
         self.stats.triples_added += 1
         if self.graph.edge_count() == edge_count_before:
             return  # duplicate triple: nothing changed
+        self.epoch += 1
 
         if self._hub_mode or not self.graph.sources():
             # Hub-promoted roots are global; rebuild everything.
@@ -188,6 +204,7 @@ class IncrementalIndex:
             for node, label in old_labels.items()))
         self.graph = rebuilt
         self.stats.triples_added += 1  # counts update rounds
+        self.epoch += 1
 
         if not same_ids or self._hub_mode or not self.graph.sources():
             self._hub_mode = not self.graph.sources() \
@@ -291,7 +308,7 @@ class IncrementalIndex:
     @property
     def metadata(self) -> dict:
         return {"dataset": self.graph.name, "incremental": True,
-                "triples": self.graph.edge_count()}
+                "triples": self.graph.edge_count(), "epoch": self.epoch}
 
     def close(self) -> None:
         self._records.store.close()
@@ -303,7 +320,13 @@ class IncrementalIndex:
     # -- maintenance -----------------------------------------------------------------
 
     def compact(self, directory) -> "IncrementalIndex":
-        """Vacuum: rewrite only the live paths into a fresh directory."""
+        """Vacuum: rewrite only the live paths into a fresh directory.
+
+        The compacted index starts a *new* epoch (record offsets
+        change, so anything keyed to the old data version is stale) and
+        persists its manifest so disk-level tools can keep maintaining
+        it.
+        """
         fresh = IncrementalIndex.__new__(IncrementalIndex)
         fresh.graph = self.graph
         fresh.directory = directory
@@ -322,7 +345,122 @@ class IncrementalIndex:
         fresh._offsets_by_root = {}
         fresh._decoded = {}
         fresh._hub_mode = self._hub_mode
+        fresh.epoch = self.epoch + 1
         for offset in self.all_offsets():
             fresh._store_path(self._root_of[offset], self.path_at(offset))
         fresh.stats = UpdateStats()
+        fresh.save_manifest()
         return fresh
+
+    # -- on-disk manifest ---------------------------------------------------------
+
+    def save_manifest(self) -> str:
+        """Flush the log and persist the live-record manifest.
+
+        The manifest (``incremental.json``, written atomically) records
+        which offsets of ``paths.log`` are alive, their roots, the
+        epoch, and the accumulated ``dead_bytes`` — everything
+        :func:`compact_directory` needs to vacuum the log offline.
+        Returns the manifest path.
+        """
+        self._records.sync()
+        payload = {
+            "version": _MANIFEST_VERSION,
+            "epoch": self.epoch,
+            "page_size": self._records.store.page_size,
+            "dead_bytes": self.stats.dead_bytes,
+            "alive": [[offset, self._root_of[offset]]
+                      for offset in self.all_offsets()],
+        }
+        path = os.path.join(os.fspath(self.directory), MANIFEST_FILE)
+        atomic_write_json(path, payload)
+        return path
+
+
+@dataclass
+class CompactionReport:
+    """What :func:`compact_directory` did to an index directory."""
+
+    directory: str
+    live_paths: int
+    #: Tombstoned record bytes the manifest declared (reclaimed).
+    dead_bytes: int
+    #: paths.log size before and after the rewrite.
+    old_log_bytes: int
+    new_log_bytes: int
+
+    @property
+    def reclaimed_bytes(self) -> int:
+        return max(0, self.old_log_bytes - self.new_log_bytes)
+
+
+def _read_manifest(directory) -> dict:
+    path = os.path.join(os.fspath(directory), MANIFEST_FILE)
+    try:
+        with open(path, encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise IndexCorruptError(
+            f"cannot read incremental manifest {path}: {exc}") from exc
+    if manifest.get("version") != _MANIFEST_VERSION:
+        raise IndexCorruptError(
+            f"incremental manifest version {manifest.get('version')!r} "
+            f"unsupported (expected {_MANIFEST_VERSION})")
+    return manifest
+
+
+def compact_directory(directory, output=None) -> CompactionReport:
+    """Vacuum an incremental index directory on disk.
+
+    Reads the ``incremental.json`` manifest (see
+    :meth:`IncrementalIndex.save_manifest`), rewrites only the live
+    records into a fresh log, and — when ``output`` is ``None`` —
+    atomically swaps the compacted directory into place (the original
+    is staged aside and removed only after the swap, so a crash leaves
+    a complete index under either name, never a torn one).
+    """
+    directory = os.fspath(directory)
+    manifest = _read_manifest(directory)
+    store = PageStore(os.path.join(directory, "paths.log"),
+                      page_size=manifest["page_size"])
+    records = RecordFile(store, BufferPool(store))
+    records.discard_tail()
+    old_log_bytes = store.size_bytes()
+
+    in_place = output is None
+    target = directory + ".compacting" if in_place else os.fspath(output)
+    if os.path.exists(target):
+        shutil.rmtree(target)
+    os.makedirs(target)
+    fresh_store = PageStore(os.path.join(target, "paths.log"),
+                            page_size=manifest["page_size"])
+    fresh_records = RecordFile(fresh_store, BufferPool(fresh_store))
+    alive = []
+    for offset, root in manifest["alive"]:
+        blob = records.read(offset)
+        alive.append([fresh_records.append(blob), root])
+    fresh_records.sync()
+    new_log_bytes = fresh_store.size_bytes()
+    fresh_store.close()
+    store.close()
+    atomic_write_json(os.path.join(target, MANIFEST_FILE), {
+        "version": _MANIFEST_VERSION,
+        "epoch": manifest["epoch"] + 1,
+        "page_size": manifest["page_size"],
+        "dead_bytes": 0,
+        "alive": alive,
+    })
+
+    final = directory if in_place else target
+    if in_place:
+        staged = directory + ".pre-compact"
+        if os.path.exists(staged):
+            shutil.rmtree(staged)
+        os.rename(directory, staged)
+        os.rename(target, directory)
+        shutil.rmtree(staged)
+    return CompactionReport(directory=final,
+                            live_paths=len(alive),
+                            dead_bytes=manifest["dead_bytes"],
+                            old_log_bytes=old_log_bytes,
+                            new_log_bytes=new_log_bytes)

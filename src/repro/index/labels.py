@@ -179,7 +179,13 @@ class LabelInterner:
     # -- persistence -------------------------------------------------------
 
     def save(self, path) -> int:
-        """Write the dictionary to ``path``; returns bytes written."""
+        """Write the dictionary to ``path``; returns bytes written.
+
+        The write is atomic (temp file + ``os.replace``): a crash
+        mid-save can never leave a torn ``labels.dict`` that a server
+        opening the index would reject as corrupt.
+        """
+        from ..storage.atomic import atomic_write_bytes
         from ..storage.serializer import write_term, write_varint
 
         buffer = io.BytesIO()
@@ -187,10 +193,7 @@ class LabelInterner:
         write_varint(buffer, len(self._terms))
         for term in self._terms:
             write_term(buffer, term)
-        data = buffer.getvalue()
-        with open(path, "wb") as handle:
-            handle.write(data)
-        return len(data)
+        return atomic_write_bytes(path, buffer.getvalue())
 
     @classmethod
     def load(cls, path) -> "LabelInterner":

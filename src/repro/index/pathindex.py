@@ -28,6 +28,7 @@ from ..paths.model import Path
 from ..rdf.ntriples import parse_term
 from ..rdf.terms import Term
 from ..resilience.errors import IndexCorruptError, StorageError
+from ..storage.atomic import atomic_write_json
 from ..storage.bufferpool import BufferPool
 from ..storage.dictionary import (TermDictionary, decode_path_ids,
                                   encode_path_ids)
@@ -76,6 +77,11 @@ class PathIndex:
         self.interner = interner if interner is not None else LabelInterner()
         self._interned_records = interned_records
         self._decoded: dict[int, Path] = {}
+        #: Data version for result caching.  A static on-disk index
+        #: never changes after build, so its epoch is constant;
+        #: :class:`~repro.index.incremental.IncrementalIndex` bumps its
+        #: own counter on every update/compaction.
+        self.epoch = 0
 
     @property
     def is_compressed(self) -> bool:
@@ -294,9 +300,10 @@ class PathIndexWriter:
         if self._dictionary is not None:
             self._dictionary.save(os.path.join(self.directory, _DICT_FILE))
         self._interner.save(os.path.join(self.directory, _LABELS_FILE))
-        maps_path = os.path.join(self.directory, _MAPS_FILE)
-        with open(maps_path, "w", encoding="utf-8") as handle:
-            json.dump(maps, handle)
+        # maps.json is the file that makes the directory an index; write
+        # it atomically so a crash here leaves either no index or a
+        # complete one, never a torn manifest.
+        atomic_write_json(os.path.join(self.directory, _MAPS_FILE), maps)
         sink_index = _build_label_index(self._sink_map, self._thesaurus)
         contains_index = _build_label_index(self._contains_map, self._thesaurus)
         return PathIndex(self.directory, self._records, sink_index,

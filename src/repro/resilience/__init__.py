@@ -19,16 +19,17 @@ with an unstructured traceback.  This package supplies the pieces:
 
 from .budget import (Budget, DegradationCause, DegradationReason,
                      PartialResult)
-from .errors import (IndexCorruptError, InvalidQueryError, PageCorruptError,
-                     ParseError, QueryTimeout, ReproError, StorageError,
-                     TransientStorageError)
+from .errors import (IndexCorruptError, InvalidQueryError, OverloadedError,
+                     PageCorruptError, ParseError, QueryTimeout, ReproError,
+                     StorageError, TransientStorageError)
 from .faults import FaultInjector, FaultPlan, install, uninstall
 from .retry import DEFAULT_RETRY, NO_RETRY, RetryPolicy, retry_call
 
 __all__ = [
     "Budget", "DEFAULT_RETRY", "DegradationCause", "DegradationReason",
     "FaultInjector", "FaultPlan", "IndexCorruptError", "InvalidQueryError",
-    "NO_RETRY", "PageCorruptError", "ParseError", "PartialResult",
+    "NO_RETRY", "OverloadedError", "PageCorruptError", "ParseError",
+    "PartialResult",
     "QueryTimeout", "ReproError", "RetryPolicy", "StorageError",
     "TransientStorageError", "install", "retry_call", "uninstall",
 ]

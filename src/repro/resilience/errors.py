@@ -76,6 +76,23 @@ class QueryTimeout(ReproError, TimeoutError):
         self.partial = partial
 
 
+class OverloadedError(ReproError, RuntimeError):
+    """The serving layer is at capacity and shed this request.
+
+    Raised by :class:`~repro.serving.service.ServingEngine` when every
+    worker is busy and the bounded admission queue is full — the
+    alternative would be an unbounded queue, which converts overload
+    into unbounded latency.  ``in_flight`` and ``capacity`` report the
+    admission state at rejection time so clients can implement backoff.
+    """
+
+    def __init__(self, message: str, in_flight: "int | None" = None,
+                 capacity: "int | None" = None):
+        super().__init__(message)
+        self.in_flight = in_flight
+        self.capacity = capacity
+
+
 class StorageError(ReproError, RuntimeError):
     """Invalid or failed page/record operation in the storage layer."""
 

@@ -1,0 +1,34 @@
+"""The serving layer: a long-lived, concurrent query service.
+
+The paper's §5 splits Sama into an offline index build and an online
+query phase; this package is the online phase grown into a service:
+
+- :class:`ServingEngine` — one resident :class:`~repro.engine.sama.
+  SamaEngine` behind a bounded worker pool with admission control
+  (typed :class:`~repro.resilience.errors.OverloadedError` on
+  overload, deadline-tightening under queue pressure);
+- :class:`ResultCache` — an LRU with a byte budget, keyed by the
+  canonical query form + ``k`` + the index *epoch*, so incremental
+  index updates invalidate exactly the affected entries;
+- :mod:`repro.serving.canonical` — alpha-renaming + pattern-order
+  normalisation behind those keys;
+- :mod:`repro.serving.http` / :mod:`repro.serving.client` — a
+  stdlib-only JSON-over-HTTP front end (``POST /query``,
+  ``GET /healthz``, ``GET /stats``) and its client helper.
+
+CLI: ``sama serve INDEX_DIR`` and ``sama bench-serve INDEX_DIR``.
+"""
+
+from .cache import CachedResult, ResultCache, ResultCacheStats
+from .canonical import cache_key, canonical_form
+from .client import ServingClient, ServingClientError
+from .http import ServingRequestHandler, ServingServer, serve
+from .service import (ServedResult, ServingConfig, ServingEngine,
+                      ServingStats, answers_payload)
+
+__all__ = [
+    "CachedResult", "ResultCache", "ResultCacheStats", "ServedResult",
+    "ServingClient", "ServingClientError", "ServingConfig", "ServingEngine",
+    "ServingRequestHandler", "ServingServer", "ServingStats",
+    "answers_payload", "cache_key", "canonical_form", "serve",
+]

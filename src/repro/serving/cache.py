@@ -1,0 +1,131 @@
+"""The epoch-keyed result cache: LRU under a byte budget.
+
+Entries are complete served results (the ranked answers plus their
+wire payload) keyed by :func:`repro.serving.canonical.cache_key` — the
+canonical query text, ``k``, and the **index epoch** at evaluation
+time.  Because the epoch is part of the key, an index update
+invalidates every affected entry *by construction*: post-update
+lookups carry the new epoch and miss, while the stale entries age out
+of the LRU (or are dropped eagerly via :meth:`drop_stale_epochs`).
+
+The budget is in bytes of wire payload, not entry count, so one huge
+k=1000 ranking cannot pin the cache while hundreds of small results
+are evicted around it.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class ResultCacheStats:
+    """Counters exposed on ``/stats``."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    stale_dropped: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass
+class CachedResult:
+    """One cache entry: the answers exactly as the engine returned them."""
+
+    answers: Any               # PartialResult — returned verbatim on a hit
+    payload: dict              # JSON-ready wire form
+    size_bytes: int
+    epoch: int
+    key: str = field(repr=False, default="")
+
+
+class ResultCache:
+    """Thread-safe LRU over served results with a byte budget.
+
+    ``max_bytes=0`` disables caching entirely (every lookup misses,
+    nothing is stored) — the cache-off arm of the serving benchmark.
+    An entry larger than the whole budget is never admitted.
+    """
+
+    def __init__(self, max_bytes: int = 64 << 20):
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        self.max_bytes = max_bytes
+        self.stats = ResultCacheStats()
+        self._entries: "OrderedDict[str, CachedResult]" = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.Lock()
+
+    @property
+    def current_bytes(self) -> int:
+        return self._bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> "CachedResult | None":
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
+
+    def put(self, entry: CachedResult) -> bool:
+        """Admit ``entry`` (keyed by ``entry.key``); False if too big."""
+        if not entry.key:
+            raise ValueError("cache entry has no key")
+        if entry.size_bytes > self.max_bytes:
+            return False
+        with self._lock:
+            old = self._entries.pop(entry.key, None)
+            if old is not None:
+                self._bytes -= old.size_bytes
+            self._entries[entry.key] = entry
+            self._bytes += entry.size_bytes
+            self.stats.insertions += 1
+            while self._bytes > self.max_bytes and self._entries:
+                _, evicted = self._entries.popitem(last=False)
+                self._bytes -= evicted.size_bytes
+                self.stats.evictions += 1
+            return True
+
+    def drop_stale_epochs(self, current_epoch: int) -> int:
+        """Eagerly drop entries from epochs before ``current_epoch``.
+
+        Purely a byte-budget optimisation: stale entries can never be
+        *returned* (their keys embed the old epoch), but until evicted
+        they occupy budget that live results could use.
+        """
+        with self._lock:
+            stale = [key for key, entry in self._entries.items()
+                     if entry.epoch < current_epoch]
+            for key in stale:
+                entry = self._entries.pop(key)
+                self._bytes -= entry.size_bytes
+            self.stats.stale_dropped += len(stale)
+            return len(stale)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    def __repr__(self):
+        return (f"<ResultCache: {len(self._entries)} entries, "
+                f"{self._bytes}/{self.max_bytes} bytes, "
+                f"hit rate {self.stats.hit_rate:.2%}>")

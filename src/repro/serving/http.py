@@ -1,0 +1,198 @@
+"""JSON-over-HTTP front end for a :class:`ServingEngine` (stdlib only).
+
+Endpoints::
+
+    POST /query    {"query": "SELECT ...", "k": 10, "deadline_ms": 500}
+    GET  /healthz  liveness + index epoch
+    GET  /stats    cache hit rate, in-flight, p50/p95 latency, shed count
+
+Errors map onto HTTP the way the typed hierarchy intends: bad queries
+are 400 (with the parser's one-line diagnostic), shed requests are 503
+with a ``Retry-After`` hint, deadline trips under ``on_budget=raise``
+semantics never happen here (the service degrades to partial results,
+reported in the 200 body), and anything unexpected is a 500 that never
+leaks a traceback to the client.
+
+The server is a :class:`ThreadingHTTPServer`: one OS thread per
+connection doing I/O, while the actual query work is bounded by the
+serving engine's worker pool + admission control — slow clients hold
+sockets, not workers.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..resilience.errors import (InvalidQueryError, OverloadedError,
+                                 ParseError, ReproError)
+from .service import ServingEngine
+
+#: Hard cap on accepted request bodies (a query, not a dataset).
+MAX_BODY_BYTES = 1 << 20
+
+
+class ServingRequestHandler(BaseHTTPRequestHandler):
+    """Routes the three endpoints onto the serving engine."""
+
+    server_version = "sama-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # The serving engine is attached to the server object by serve().
+    @property
+    def serving(self) -> ServingEngine:
+        return self.server.serving_engine  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    # -- helpers -----------------------------------------------------------
+
+    def _send_json(self, status: int, payload: dict,
+                   headers: "dict[str, str] | None" = None) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise ValueError("empty request body")
+        if length > MAX_BODY_BYTES:
+            raise ValueError(f"request body over {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length)
+        document = json.loads(raw.decode("utf-8"))
+        if not isinstance(document, dict):
+            raise ValueError("request body must be a JSON object")
+        return document
+
+    # -- endpoints ---------------------------------------------------------
+
+    def do_GET(self):  # noqa: N802 - stdlib naming
+        if self.path == "/healthz":
+            self._send_json(200, self.serving.health_payload())
+        elif self.path == "/stats":
+            self._send_json(200, self.serving.stats_payload())
+        else:
+            self._send_json(404, {"error": "NotFound", "message": self.path})
+
+    def do_POST(self):  # noqa: N802 - stdlib naming
+        if self.path != "/query":
+            self._send_json(404, {"error": "NotFound", "message": self.path})
+            return
+        try:
+            document = self._read_body()
+            query = document.get("query")
+            if not isinstance(query, str) or not query.strip():
+                raise ValueError("'query' must be non-empty SPARQL text")
+            k = document.get("k")
+            if k is not None and (not isinstance(k, int) or k < 1):
+                raise ValueError("'k' must be a positive integer")
+            deadline_ms = document.get("deadline_ms")
+            if deadline_ms is not None and (
+                    not isinstance(deadline_ms, (int, float))
+                    or deadline_ms < 0):
+                raise ValueError("'deadline_ms' must be a number >= 0")
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._send_json(400, {"error": "BadRequest", "message": str(exc)})
+            return
+
+        try:
+            result = self.serving.query(query, k=k, deadline_ms=deadline_ms)
+        except OverloadedError as exc:
+            self._send_json(503, {
+                "error": "OverloadedError", "message": str(exc),
+                "in_flight": exc.in_flight, "capacity": exc.capacity,
+            }, headers={"Retry-After": "1"})
+            return
+        except (ParseError, InvalidQueryError) as exc:
+            message = (exc.one_line() if isinstance(exc, ParseError)
+                       else str(exc))
+            self._send_json(400, {"error": type(exc).__name__,
+                                  "message": message})
+            return
+        except ReproError as exc:
+            self._send_json(500, {"error": type(exc).__name__,
+                                  "message": str(exc)})
+            return
+        except Exception as exc:  # never leak a traceback to the wire
+            self._send_json(500, {"error": "InternalError",
+                                  "message": type(exc).__name__})
+            return
+        payload = dict(result.payload)
+        payload["cached"] = result.cached
+        payload["latency_ms"] = round(result.latency_ms, 3)
+        self._send_json(200, payload)
+
+
+class ServingServer:
+    """A serving engine bound to a listening HTTP socket.
+
+    ``port=0`` picks a free port (tests, benchmarks); the bound port is
+    on :attr:`port` after construction.  :meth:`serve_background` runs
+    the accept loop on a daemon thread and returns immediately —
+    :meth:`shutdown` stops the loop, drains the engine's workers, and
+    closes the index.
+    """
+
+    def __init__(self, serving: ServingEngine, host: str = "127.0.0.1",
+                 port: int = 8080, verbose: bool = False):
+        self.serving = serving
+        self.httpd = ThreadingHTTPServer((host, port), ServingRequestHandler)
+        self.httpd.daemon_threads = True
+        self.httpd.serving_engine = serving  # type: ignore[attr-defined]
+        self.httpd.verbose = verbose  # type: ignore[attr-defined]
+        self._thread: "threading.Thread | None" = None
+
+    @property
+    def host(self) -> str:
+        return self.httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def serve_forever(self) -> None:
+        """Run the accept loop on the calling thread (the CLI path)."""
+        self.httpd.serve_forever()
+
+    def serve_background(self) -> "ServingServer":
+        self._thread = threading.Thread(target=self.httpd.serve_forever,
+                                        name="sama-serve-http", daemon=True)
+        self._thread.start()
+        return self
+
+    def shutdown(self, close_engine: bool = True) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+        self.serving.close(close_engine=close_engine)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.shutdown()
+        return False
+
+
+def serve(engine_or_serving, host: str = "127.0.0.1", port: int = 8080,
+          verbose: bool = False) -> ServingServer:
+    """Wrap an engine (or serving engine) in a ready-to-run HTTP server."""
+    serving = engine_or_serving
+    if not isinstance(serving, ServingEngine):
+        serving = ServingEngine(serving)
+    return ServingServer(serving, host=host, port=port, verbose=verbose)

@@ -1,0 +1,337 @@
+"""The long-lived concurrent query service around one ``SamaEngine``.
+
+The CLI evaluates one query per process: open the index, answer, exit.
+A :class:`ServingEngine` instead keeps one hot engine resident — open
+``PathIndex`` (or ``IncrementalIndex``), warm buffer pool, interned
+label dictionary — and dispatches queries across a bounded worker
+pool, the shape the paper's §5 online/offline split implies for a
+production deployment.
+
+Three mechanisms make it safe under load:
+
+- **Admission control.**  At most ``workers + max_queue`` requests are
+  in flight; anything beyond that is rejected *immediately* with a
+  typed :class:`~repro.resilience.errors.OverloadedError`.  There is
+  deliberately no unbounded queue — overload turns into a fast, typed
+  error the client can back off from, never into unbounded latency.
+- **Load-shedding by degradation.**  Admitted requests that must wait
+  for a worker (the pool is saturated) have their deadline tightened
+  to ``queue_deadline_ms``, reusing the resilience layer's
+  :class:`~repro.resilience.budget.Budget` machinery: under pressure
+  the service degrades to partial results instead of falling behind.
+- **Epoch-keyed result caching.**  Results are cached under the
+  canonical query form + ``k`` + the index epoch
+  (:mod:`repro.serving.canonical`); an ``IncrementalIndex`` update
+  bumps the epoch, so every affected entry is unreachable from the
+  next request onwards.  Only *complete* results are cached — a
+  deadline-degraded ranking must not be replayed to clients that
+  asked with a healthier budget.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+
+from ..engine.sama import SamaEngine
+from ..resilience.budget import PartialResult
+from ..resilience.errors import OverloadedError
+from .cache import CachedResult, ResultCache
+from .canonical import cache_key
+
+#: Latency samples kept for the p50/p95 estimates on ``/stats``.
+LATENCY_WINDOW = 4096
+
+
+@dataclass
+class ServingConfig:
+    """Tunables of a :class:`ServingEngine`."""
+
+    #: Worker threads evaluating queries concurrently.
+    workers: int = 4
+    #: Admitted requests allowed to wait beyond the busy workers.
+    #: ``workers + max_queue`` is the hard in-flight cap.
+    max_queue: int = 8
+    #: Result-cache byte budget; 0 disables caching.
+    cache_bytes: int = 64 << 20
+    #: Default top-k when a request does not specify one.
+    default_k: int = 10
+    #: Default per-request deadline (None = unlimited).
+    default_deadline_ms: "float | None" = None
+    #: Deadline forced onto requests admitted while all workers are
+    #: busy (load-shedding by degradation); None leaves them untouched.
+    queue_deadline_ms: "float | None" = None
+
+
+@dataclass
+class ServedResult:
+    """One answered request: the ranked answers plus serving metadata."""
+
+    answers: PartialResult
+    payload: dict
+    cached: bool
+    latency_ms: float
+    epoch: int
+    k: int
+
+    @property
+    def complete(self) -> bool:
+        return self.answers.complete
+
+
+def answers_payload(answers: PartialResult, k: int, epoch: int) -> dict:
+    """The JSON-ready wire form of a ranked result."""
+    rows = []
+    for rank, answer in enumerate(answers, start=1):
+        bindings = answer.substitution()
+        rows.append({
+            "rank": rank,
+            "score": round(answer.score, 9),
+            "quality": round(answer.quality, 9),
+            "conformity": round(answer.conformity, 9),
+            "exact": answer.is_exact,
+            "complete": answer.is_complete,
+            "bindings": {f"?{variable.value}": bindings[variable].n3()
+                         for variable in sorted(bindings,
+                                                key=lambda v: v.value)},
+        })
+    return {
+        "k": k,
+        "epoch": epoch,
+        "complete": answers.complete,
+        "reasons": [str(reason) for reason in answers.reasons],
+        "answers": rows,
+    }
+
+
+class ServingStats:
+    """Thread-safe serving counters + a latency reservoir."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.requests = 0
+        self.served = 0
+        self.errors = 0
+        self.shed = 0
+        self.degraded = 0
+        self._latencies: deque[float] = deque(maxlen=LATENCY_WINDOW)
+
+    def note_request(self) -> None:
+        with self._lock:
+            self.requests += 1
+
+    def record(self, latency_ms: float, *, error: bool = False,
+               degraded: bool = False) -> None:
+        with self._lock:
+            self.served += 1
+            if error:
+                self.errors += 1
+            if degraded:
+                self.degraded += 1
+            self._latencies.append(latency_ms)
+
+    def percentile(self, fraction: float) -> "float | None":
+        with self._lock:
+            if not self._latencies:
+                return None
+            ordered = sorted(self._latencies)
+        position = min(len(ordered) - 1,
+                       max(0, round(fraction * (len(ordered) - 1))))
+        return ordered[position]
+
+
+class ServingEngine:
+    """A concurrent, caching query service over one resident engine.
+
+    The wrapped :class:`SamaEngine` is shared by every worker thread:
+    per-query state (budgets, memos, prepared queries) is already
+    request-local, and the storage layer's buffer pool is lock-
+    protected.  Close the service, not the engine — :meth:`close`
+    drains the pool before closing the index underneath it.
+    """
+
+    def __init__(self, engine: SamaEngine,
+                 config: "ServingConfig | None" = None):
+        self.engine = engine
+        self.config = config or ServingConfig()
+        if self.config.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.config.max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        self.capacity = self.config.workers + self.config.max_queue
+        self.cache = ResultCache(self.config.cache_bytes)
+        self.stats = ServingStats()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.workers,
+            thread_name_prefix="sama-serve")
+        self._admission = threading.Semaphore(self.capacity)
+        self._in_flight = 0
+        self._flight_lock = threading.Lock()
+        self._seen_epoch = self.epoch
+        self._closed = False
+
+    # -- data version ------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """The index's current data epoch (0 for static indexes)."""
+        return getattr(self.engine.index, "epoch", 0)
+
+    @property
+    def in_flight(self) -> int:
+        return self._in_flight
+
+    # -- request path -------------------------------------------------------
+
+    def submit(self, query, k: "int | None" = None, *,
+               deadline_ms: "float | None" = None) -> "Future[ServedResult]":
+        """Admit one request; a future for its :class:`ServedResult`.
+
+        Raises :class:`OverloadedError` synchronously when the service
+        is at capacity (the request is *shed*, nothing was queued).
+        Cache hits are answered inline on the caller's thread — they
+        cost a dictionary lookup and are never shed.
+        """
+        if self._closed:
+            raise RuntimeError("serving engine is closed")
+        started = time.perf_counter()
+        self.stats.note_request()
+        k = self.config.default_k if k is None else k
+        if deadline_ms is None:
+            deadline_ms = self.config.default_deadline_ms
+        graph = self.engine._coerce_query(query)
+
+        epoch = self.epoch
+        if epoch != self._seen_epoch:
+            # The data moved under us: eagerly release the bytes held
+            # by entries no future request can reach.
+            self._seen_epoch = epoch
+            self.cache.drop_stale_epochs(epoch)
+
+        key = ""
+        if self.cache.max_bytes:
+            key = cache_key(graph, k, epoch)
+            entry = self.cache.get(key)
+            if entry is not None:
+                latency = (time.perf_counter() - started) * 1000.0
+                self.stats.record(latency)
+                future: "Future[ServedResult]" = Future()
+                future.set_result(ServedResult(
+                    answers=entry.answers, payload=entry.payload,
+                    cached=True, latency_ms=latency, epoch=epoch, k=k))
+                return future
+
+        if not self._admission.acquire(blocking=False):
+            self.stats.shed += 1
+            raise OverloadedError(
+                f"serving capacity exhausted "
+                f"({self._in_flight}/{self.capacity} in flight)",
+                in_flight=self._in_flight, capacity=self.capacity)
+        with self._flight_lock:
+            self._in_flight += 1
+            queued = self._in_flight > self.config.workers
+        if queued and self.config.queue_deadline_ms is not None:
+            if deadline_ms is None:
+                deadline_ms = self.config.queue_deadline_ms
+            else:
+                deadline_ms = min(deadline_ms, self.config.queue_deadline_ms)
+        try:
+            return self._pool.submit(self._serve, graph, k, deadline_ms,
+                                     key, epoch, started)
+        except BaseException:
+            with self._flight_lock:
+                self._in_flight -= 1
+            self._admission.release()
+            raise
+
+    def query(self, query, k: "int | None" = None, *,
+              deadline_ms: "float | None" = None) -> ServedResult:
+        """Answer one request synchronously (submit + wait)."""
+        return self.submit(query, k, deadline_ms=deadline_ms).result()
+
+    def _serve(self, graph, k: int, deadline_ms: "float | None",
+               key: str, epoch: int, started: float) -> ServedResult:
+        try:
+            answers = self.engine.query(graph, k=k, deadline_ms=deadline_ms)
+            payload = answers_payload(answers, k, epoch)
+            if key and answers.complete and self.epoch == epoch:
+                # Complete results only: a degraded ranking must not be
+                # replayed to callers with healthier budgets.  The
+                # epoch re-check keeps a result computed during an
+                # update from being filed under the pre-update key.
+                size = len(json.dumps(payload).encode("utf-8"))
+                self.cache.put(CachedResult(
+                    answers=answers, payload=payload, size_bytes=size,
+                    epoch=epoch, key=key))
+            latency = (time.perf_counter() - started) * 1000.0
+            self.stats.record(latency, degraded=answers.degraded)
+            return ServedResult(answers=answers, payload=payload,
+                                cached=False, latency_ms=latency,
+                                epoch=epoch, k=k)
+        except Exception:
+            self.stats.record((time.perf_counter() - started) * 1000.0,
+                              error=True)
+            raise
+        finally:
+            with self._flight_lock:
+                self._in_flight -= 1
+            self._admission.release()
+
+    # -- introspection ------------------------------------------------------
+
+    def stats_payload(self) -> dict:
+        """The ``/stats`` document (all counters, JSON-ready)."""
+        cache = self.cache.stats
+        return {
+            "epoch": self.epoch,
+            "in_flight": self._in_flight,
+            "capacity": self.capacity,
+            "workers": self.config.workers,
+            "requests": self.stats.requests,
+            "served": self.stats.served,
+            "errors": self.stats.errors,
+            "shed": self.stats.shed,
+            "degraded": self.stats.degraded,
+            "latency_p50_ms": self.stats.percentile(0.50),
+            "latency_p95_ms": self.stats.percentile(0.95),
+            "cache": {
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "hit_rate": round(cache.hit_rate, 4),
+                "evictions": cache.evictions,
+                "entries": len(self.cache),
+                "bytes": self.cache.current_bytes,
+                "max_bytes": self.cache.max_bytes,
+            },
+        }
+
+    def health_payload(self) -> dict:
+        return {"status": "ok", "epoch": self.epoch,
+                "paths": self.engine.index.path_count}
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self, close_engine: bool = True) -> None:
+        """Drain the worker pool; optionally close the engine under it."""
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.shutdown(wait=True)
+        if close_engine:
+            self.engine.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    def __repr__(self):
+        return (f"<ServingEngine: {self.config.workers} workers, "
+                f"{self._in_flight}/{self.capacity} in flight, "
+                f"epoch {self.epoch}>")

@@ -7,6 +7,7 @@ accounting and optional simulated latency, an LRU buffer pool whose
 record log holding the serialised paths.
 """
 
+from .atomic import atomic_write_bytes, atomic_write_json, atomic_write_text
 from .bufferpool import BufferPool, CacheStats
 from .dictionary import TermDictionary, decode_path_ids, encode_path_ids
 from .pagestore import DEFAULT_PAGE_SIZE, IoStats, PageStore, StorageError
@@ -16,6 +17,7 @@ from .serializer import CodecError, decode_path, encode_path, read_term, write_t
 __all__ = [
     "BufferPool", "CacheStats", "CodecError", "DEFAULT_PAGE_SIZE", "IoStats",
     "PageStore", "RecordFile", "StorageError", "TermDictionary",
+    "atomic_write_bytes", "atomic_write_json", "atomic_write_text",
     "decode_path", "decode_path_ids", "encode_path", "encode_path_ids",
     "read_term", "write_term",
 ]

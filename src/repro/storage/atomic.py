@@ -1,0 +1,56 @@
+"""Crash-safe metadata writes: write a temp file, then ``os.replace``.
+
+Index metadata — ``maps.json``, the ``labels.dict`` interner, the §7
+``terms.dict`` dictionary, the incremental manifest — is rewritten in
+full on every save.  A plain ``open(path, "w")`` truncates the old
+contents *before* the new bytes land, so a crash mid-write leaves a
+torn file that a server opening the index moments later reads as
+corruption.  Every metadata writer therefore goes through this module:
+the bytes are staged in a sibling temp file in the *same directory*
+(``os.replace`` must not cross filesystems), fsynced, and renamed over
+the target in one atomic step.  Readers see either the old complete
+file or the new complete file, never a prefix of the new one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+
+
+def atomic_write_bytes(path, data: bytes) -> int:
+    """Atomically replace ``path`` with ``data``; returns bytes written.
+
+    The temp file is created next to the target so the final
+    ``os.replace`` is a same-filesystem rename.  On any failure the
+    temp file is removed and the original ``path`` is left untouched.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, staging = tempfile.mkstemp(dir=directory,
+                                   prefix=os.path.basename(path) + ".",
+                                   suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(staging, path)
+    except BaseException:
+        try:
+            os.unlink(staging)
+        except OSError:
+            pass
+        raise
+    return len(data)
+
+
+def atomic_write_text(path, text: str, encoding: str = "utf-8") -> int:
+    """Atomically replace ``path`` with ``text``."""
+    return atomic_write_bytes(path, text.encode(encoding))
+
+
+def atomic_write_json(path, payload) -> int:
+    """Atomically replace ``path`` with ``payload`` rendered as JSON."""
+    return atomic_write_text(path, json.dumps(payload))

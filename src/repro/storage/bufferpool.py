@@ -8,6 +8,7 @@ Hit/miss counters feed the evaluation harness.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -78,6 +79,10 @@ class BufferPool:
         self.read_ahead = read_ahead
         self.stats = CacheStats()
         self._pages: OrderedDict[int, bytes] = OrderedDict()
+        # The serving layer reads through one shared pool from many
+        # worker threads; without a lock, an LRU move_to_end can race a
+        # concurrent eviction of the same page and raise KeyError.
+        self._lock = threading.RLock()
 
     def _physical_read(self, page_id: int) -> bytes:
         def count_retry(_attempt, _exc):
@@ -88,20 +93,21 @@ class BufferPool:
 
     def read_page(self, page_id: int) -> bytes:
         """Read a page through the cache."""
-        cached = self._pages.get(page_id)
-        if cached is not None:
-            self._pages.move_to_end(page_id)
-            self.stats.hits += 1
-            return cached
-        self.stats.misses += 1
-        data = self._physical_read(page_id)
-        if self.capacity:
-            self._pages[page_id] = data
-            if len(self._pages) > self.capacity:
-                self._pages.popitem(last=False)
-            if self.read_ahead:
-                self._prefetch_after(page_id)
-        return data
+        with self._lock:
+            cached = self._pages.get(page_id)
+            if cached is not None:
+                self._pages.move_to_end(page_id)
+                self.stats.hits += 1
+                return cached
+            self.stats.misses += 1
+            data = self._physical_read(page_id)
+            if self.capacity:
+                self._pages[page_id] = data
+                if len(self._pages) > self.capacity:
+                    self._pages.popitem(last=False)
+                if self.read_ahead:
+                    self._prefetch_after(page_id)
+            return data
 
     def _prefetch_after(self, page_id: int) -> None:
         """Sequentially fault in the pages after a demand miss."""
@@ -120,16 +126,18 @@ class BufferPool:
 
     def write_page(self, page_id: int, data: bytes) -> None:
         """Write through to the store and refresh the cached copy."""
-        self.store.write_page(page_id, data)
-        if self.capacity:
-            self._pages[page_id] = data.ljust(self.store.page_size, b"\x00")
-            self._pages.move_to_end(page_id)
-            if len(self._pages) > self.capacity:
-                self._pages.popitem(last=False)
+        with self._lock:
+            self.store.write_page(page_id, data)
+            if self.capacity:
+                self._pages[page_id] = data.ljust(self.store.page_size, b"\x00")
+                self._pages.move_to_end(page_id)
+                if len(self._pages) > self.capacity:
+                    self._pages.popitem(last=False)
 
     def clear(self) -> None:
         """Drop every cached page — the cold-cache starting condition."""
-        self._pages.clear()
+        with self._lock:
+            self._pages.clear()
 
     def warm(self, page_ids) -> None:
         """Pre-fault the given pages (builds a warm cache explicitly)."""

@@ -68,10 +68,8 @@ class TermDictionary:
         write_varint(buffer, len(self._terms))
         for term in self._terms:
             write_term(buffer, term)
-        data = buffer.getvalue()
-        with open(path, "wb") as handle:
-            handle.write(data)
-        return len(data)
+        from .atomic import atomic_write_bytes
+        return atomic_write_bytes(path, buffer.getvalue())
 
     @classmethod
     def load(cls, path) -> "TermDictionary":

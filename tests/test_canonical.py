@@ -1,0 +1,180 @@
+"""Canonicalisation invariants behind the serving result cache.
+
+The cache key must be *stable* under the two rewritings that preserve
+query meaning — variable renaming and triple-pattern reordering — and
+must *separate* queries that differ in any constant or in structure.
+A false merge would serve one query's answers for another; a false
+split only costs a cache miss.
+"""
+
+import random
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdf.graph import QueryGraph
+from repro.rdf.terms import URI, Variable
+from repro.serving.canonical import cache_key, canonical_form
+
+_locals = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=3)
+
+
+@st.composite
+def bgps(draw, max_triples=5, max_vars=4):
+    """A small connected-ish BGP as a list of (s, p, o) terms."""
+    n_vars = draw(st.integers(min_value=1, max_value=max_vars))
+    variables = [Variable(f"v{i}") for i in range(n_vars)]
+    constants = [URI("http://x/" + name)
+                 for name in draw(st.lists(_locals, min_size=1, max_size=4,
+                                           unique=True))]
+    predicates = [URI("http://x/p/" + name)
+                  for name in draw(st.lists(_locals, min_size=1, max_size=3,
+                                            unique=True))]
+    nodes = variables + constants
+    n_triples = draw(st.integers(min_value=1, max_value=max_triples))
+    triples = []
+    for _ in range(n_triples):
+        s = draw(st.sampled_from(nodes))
+        p = draw(st.sampled_from(predicates))
+        o = draw(st.sampled_from(nodes))
+        if s != o:
+            triples.append((s, p, o))
+    if not any(isinstance(t, Variable) for row in triples for t in row):
+        triples.append((variables[0], predicates[0], constants[0]))
+    return triples
+
+
+def _graph(triples) -> QueryGraph:
+    graph = QueryGraph()
+    for s, p, o in triples:
+        graph.add_triple(s, p, o)
+    return graph
+
+
+def _renamed(triples, seed: int):
+    """The same BGP under a random variable bijection + triple shuffle."""
+    rng = random.Random(seed)
+    variables = sorted({t for row in triples for t in row
+                        if isinstance(t, Variable)})
+    fresh = [Variable(f"renamed_{seed}_{i}") for i in range(len(variables))]
+    rng.shuffle(fresh)
+    mapping = dict(zip(variables, fresh))
+    rewritten = [tuple(mapping.get(t, t) for t in row) for row in triples]
+    rng.shuffle(rewritten)
+    return rewritten
+
+
+@settings(max_examples=150, deadline=None)
+@given(bgps(), st.integers(min_value=0, max_value=2**32))
+def test_invariant_under_renaming_and_reordering(triples, seed):
+    original = canonical_form(_graph(triples))
+    rewritten = canonical_form(_graph(_renamed(triples, seed)))
+    assert original == rewritten
+
+
+@settings(max_examples=100, deadline=None)
+@given(bgps(), st.integers(min_value=0, max_value=2**32))
+def test_constant_change_changes_form(triples, seed):
+    rng = random.Random(seed)
+    mutable = [i for i, row in enumerate(triples)
+               if any(not isinstance(t, Variable) for t in row)]
+    if not mutable:
+        return
+    i = rng.choice(mutable)
+    row = list(triples[i])
+    j = rng.choice([p for p, t in enumerate(row)
+                    if not isinstance(t, Variable)])
+    row[j] = URI("http://x/African_swallow")  # not in the generator pool
+    mutated = triples[:i] + [tuple(row)] + triples[i + 1:]
+    assert canonical_form(_graph(triples)) != canonical_form(_graph(mutated))
+
+
+@settings(max_examples=100, deadline=None)
+@given(bgps())
+def test_extra_pattern_changes_form(triples):
+    grown = triples + [(Variable("extra_var"),
+                        URI("http://x/p/extra_edge"),
+                        URI("http://x/extra_const"))]
+    assert canonical_form(_graph(triples)) != canonical_form(_graph(grown))
+
+
+@settings(max_examples=60, deadline=None)
+@given(bgps())
+def test_variable_sharing_is_distinguished(triples):
+    """Splitting one shared variable into two must change the form."""
+    counts = {}
+    for row in triples:
+        for t in row:
+            if isinstance(t, Variable):
+                counts[t] = counts.get(t, 0) + 1
+    shared = [v for v, n in counts.items() if n >= 2]
+    if not shared:
+        return
+    victim = shared[0]
+    replaced = False
+    rewritten = []
+    for row in rewritten_rows(triples, victim):
+        rewritten.append(row)
+        replaced = True
+    assert replaced
+    assert canonical_form(_graph(triples)) != canonical_form(_graph(rewritten))
+
+
+def rewritten_rows(triples, victim):
+    """Replace the *first* occurrence of ``victim`` with a fresh variable."""
+    done = False
+    for row in triples:
+        if not done and victim in row:
+            idx = row.index(victim)
+            row = row[:idx] + (Variable("split_twin"),) + row[idx + 1:]
+            done = True
+        yield row
+
+
+# -- deterministic cases over real SPARQL text ------------------------------
+
+_Q = """
+PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>
+SELECT ?s ?p WHERE {
+    ?s ub:advisor ?p .
+    ?p ub:worksFor ub:Department1 .
+    ?s ub:memberOf ub:Department0 .
+}"""
+
+_Q_RENAMED = """
+PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>
+SELECT ?student ?prof WHERE {
+    ?student ub:memberOf ub:Department0 .
+    ?prof ub:worksFor ub:Department1 .
+    ?student ub:advisor ?prof .
+}"""
+
+_Q_DIFFERENT = """
+PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>
+SELECT ?s ?p WHERE {
+    ?s ub:advisor ?p .
+    ?p ub:worksFor ub:Department0 .
+    ?s ub:memberOf ub:Department1 .
+}"""
+
+
+def test_sparql_text_renaming_and_reordering():
+    assert canonical_form(_Q) == canonical_form(_Q_RENAMED)
+
+
+def test_sparql_text_constant_swap_distinguished():
+    # Same shape, but the two department constants trade places.
+    assert canonical_form(_Q) != canonical_form(_Q_DIFFERENT)
+
+
+def test_canonical_names_are_normalised():
+    form = canonical_form(_Q)
+    assert "?s" not in form.split() and "?student" not in form.split()
+    assert "?_0" in form
+
+
+def test_cache_key_varies_with_k_and_epoch():
+    keys = {cache_key(_Q, k, epoch) for k in (5, 10) for epoch in (0, 1)}
+    assert len(keys) == 4
+    assert cache_key(_Q, 10, 3) == cache_key(_Q_RENAMED, 10, 3)

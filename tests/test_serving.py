@@ -1,0 +1,234 @@
+"""The serving layer: caching, admission control, epoch invalidation.
+
+These run against the in-process :class:`ServingEngine`; the HTTP
+front end has its own end-to-end file (``test_serving_http.py``).
+"""
+
+import threading
+
+import pytest
+
+from repro.engine import SamaEngine
+from repro.index.incremental import IncrementalIndex
+from repro.rdf.terms import Literal, URI, Variable
+from repro.resilience import OverloadedError
+from repro.serving import CachedResult, ResultCache, ServingConfig, ServingEngine
+
+
+def _ranking(answers):
+    return [(round(a.score, 9), str(a)) for a in answers]
+
+
+@pytest.fixture
+def serving(govtrack_engine):
+    """A serving engine over the session GovTrack index (not closed)."""
+    service = ServingEngine(govtrack_engine, ServingConfig(workers=2))
+    yield service
+    service.close(close_engine=False)
+
+
+class TestServingEngine:
+    def test_served_ranking_matches_direct_query(self, serving,
+                                                 govtrack_engine, q1):
+        served = serving.query(q1, k=5)
+        direct = govtrack_engine.query(q1, k=5)
+        assert _ranking(served.answers) == _ranking(direct)
+        assert served.cached is False
+        assert served.complete
+
+    def test_second_request_is_a_cache_hit(self, serving, q1):
+        first = serving.query(q1, k=5)
+        second = serving.query(q1, k=5)
+        assert first.cached is False and second.cached is True
+        assert second.payload == first.payload
+        assert serving.cache.stats.hits == 1
+        assert serving.stats_payload()["cache"]["entries"] == 1
+
+    def test_renamed_reordered_query_hits_same_entry(self, serving, q1):
+        serving.query(q1, k=5)
+        mapping = {v: Variable(f"other_{v.value}") for v in q1.variables()}
+        renamed = type(q1)(name="renamed")
+        for triple in reversed(list(q1.triples())):
+            renamed.add_triple(*(mapping.get(t, t) for t in triple))
+        again = serving.query(renamed, k=5)
+        assert again.cached is True
+
+    def test_different_k_is_a_different_entry(self, serving, q1):
+        serving.query(q1, k=3)
+        other = serving.query(q1, k=5)
+        assert other.cached is False
+        assert len(serving.cache) == 2
+
+    def test_degraded_results_are_not_cached(self, serving, q1):
+        starved = serving.query(q1, k=5, deadline_ms=0.0)
+        assert not starved.complete
+        assert len(serving.cache) == 0
+        again = serving.query(q1, k=5, deadline_ms=0.0)
+        assert again.cached is False
+        assert serving.stats.degraded >= 2
+
+    def test_payload_is_json_shaped(self, serving, q1):
+        payload = serving.query(q1, k=3).payload
+        assert payload["k"] == 3 and payload["complete"] is True
+        assert payload["answers"], "GovTrack Q1 has answers"
+        top = payload["answers"][0]
+        assert top["rank"] == 1 and top["score"] == 2.0
+        assert all(name.startswith("?") for name in top["bindings"])
+
+    def test_cache_can_be_disabled(self, govtrack_engine, q1):
+        service = ServingEngine(govtrack_engine,
+                                ServingConfig(cache_bytes=0))
+        try:
+            assert service.query(q1, k=5).cached is False
+            assert service.query(q1, k=5).cached is False
+            assert len(service.cache) == 0
+        finally:
+            service.close(close_engine=False)
+
+    def test_closed_service_rejects_requests(self, govtrack_engine, q1):
+        service = ServingEngine(govtrack_engine)
+        service.close(close_engine=False)
+        with pytest.raises(RuntimeError):
+            service.submit(q1)
+
+
+class TestAdmissionControl:
+    @pytest.fixture
+    def gated_engine(self, govtrack):
+        """A private engine whose query() blocks until released."""
+        engine = SamaEngine.from_graph(govtrack.copy())
+        gate = threading.Event()
+        inner = engine.query
+
+        def gated_query(query, k=None, **kwargs):
+            assert gate.wait(timeout=30), "test gate never opened"
+            return inner(query, k=k, **kwargs)
+
+        engine.query = gated_query
+        yield engine, gate
+        gate.set()
+        engine.close()
+
+    def test_over_capacity_requests_are_shed(self, gated_engine, q1):
+        engine, gate = gated_engine
+        service = ServingEngine(engine, ServingConfig(
+            workers=1, max_queue=1, cache_bytes=0))
+        try:
+            admitted = [service.submit(q1, k=2) for _ in range(2)]
+            with pytest.raises(OverloadedError) as excinfo:
+                service.submit(q1, k=2)
+            assert excinfo.value.capacity == 2
+            assert service.stats.shed == 1
+            gate.set()
+            for future in admitted:
+                assert future.result(timeout=30).complete
+            assert service.in_flight == 0
+        finally:
+            service.close(close_engine=False)
+
+    def test_cache_hits_are_served_even_at_capacity(self, gated_engine, q1):
+        engine, gate = gated_engine
+        service = ServingEngine(engine, ServingConfig(
+            workers=1, max_queue=0))
+        try:
+            gate.set()
+            service.query(q1, k=2)  # populate the cache
+            gate.clear()
+            blocked = service.submit(q1, k=3)  # occupies the only worker
+            hit = service.query(q1, k=2)  # full capacity, but cached
+            assert hit.cached is True
+            gate.set()
+            blocked.result(timeout=30)
+        finally:
+            service.close(close_engine=False)
+
+    def test_shed_request_releases_no_capacity(self, gated_engine, q1):
+        engine, gate = gated_engine
+        service = ServingEngine(engine, ServingConfig(
+            workers=1, max_queue=0, cache_bytes=0))
+        try:
+            first = service.submit(q1, k=2)
+            for _ in range(3):
+                with pytest.raises(OverloadedError):
+                    service.submit(q1, k=2)
+            gate.set()
+            first.result(timeout=30)
+            # Capacity recovered: the next request is admitted again.
+            assert service.query(q1, k=2).complete
+        finally:
+            service.close(close_engine=False)
+
+
+class TestEpochInvalidation:
+    def test_index_update_invalidates_cached_results(self, tmp_path,
+                                                     govtrack, q1):
+        index = IncrementalIndex(govtrack.copy(), str(tmp_path / "inc"))
+        service = ServingEngine(SamaEngine(index),
+                                ServingConfig(workers=2))
+        try:
+            before = service.query(q1, k=10)
+            assert service.query(q1, k=10).cached is True
+            epoch = service.epoch
+
+            index.add_triples([
+                ("http://example.org/govtrack/NewPerson",
+                 "http://example.org/govtrack/sponsor",
+                 "http://example.org/govtrack/B1432"),
+                ("http://example.org/govtrack/NewPerson",
+                 "http://example.org/govtrack/gender", Literal("Male")),
+            ])
+            assert service.epoch > epoch
+
+            after = service.query(q1, k=10)
+            assert after.cached is False, "stale entry must be unreachable"
+            bound = {row["bindings"].get("?v3", "")
+                     for row in after.payload["answers"]}
+            assert any("NewPerson" in value for value in bound)
+            assert after.payload != before.payload
+            # The stale entry was also physically dropped, not just hidden.
+            assert all(entry.epoch == service.epoch
+                       for entry in service.cache._entries.values())
+        finally:
+            service.close()
+
+    def test_static_index_has_constant_epoch_zero(self, serving, q1):
+        assert serving.epoch == 0
+        serving.query(q1, k=5)
+        assert serving.epoch == 0
+
+
+class TestResultCache:
+    def _entry(self, key, size, epoch=0):
+        return CachedResult(answers=[], payload={"key": key},
+                            size_bytes=size, epoch=epoch, key=key)
+
+    def test_byte_budget_evicts_lru(self):
+        cache = ResultCache(max_bytes=100)
+        cache.put(self._entry("a", 40))
+        cache.put(self._entry("b", 40))
+        cache.get("a")  # freshen a; b is now LRU
+        cache.put(self._entry("c", 40))
+        assert cache.get("b") is None
+        assert cache.get("a") is not None and cache.get("c") is not None
+        assert cache.stats.evictions == 1
+        assert cache.current_bytes <= 100
+
+    def test_oversized_entries_are_rejected(self):
+        cache = ResultCache(max_bytes=100)
+        cache.put(self._entry("huge", 1000))
+        assert len(cache) == 0
+
+    def test_drop_stale_epochs(self):
+        cache = ResultCache(max_bytes=1000)
+        cache.put(self._entry("old", 10, epoch=1))
+        cache.put(self._entry("new", 10, epoch=2))
+        cache.drop_stale_epochs(2)
+        assert cache.get("old") is None and cache.get("new") is not None
+        assert cache.stats.stale_dropped == 1
+
+    def test_replacing_a_key_keeps_accounting_straight(self):
+        cache = ResultCache(max_bytes=100)
+        cache.put(self._entry("a", 60))
+        cache.put(self._entry("a", 30))
+        assert cache.current_bytes == 30
+        assert len(cache) == 1
