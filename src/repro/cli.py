@@ -7,6 +7,7 @@ layer and utilities::
     sama index data.nt ./my-index
     sama index compact ./my-incremental-index
     sama query ./my-index -e 'SELECT ?s WHERE { ?s <http://...> ?o . }'
+    sama profile ./my-index -e 'SELECT ...' --repeat 3
     sama serve ./my-index --port 8080
     sama bench-serve ./my-index --clients 8
     sama inspect ./my-index
@@ -17,7 +18,8 @@ also renders the forest of paths (Fig. 4).  ``sama serve`` keeps one
 hot engine resident behind the JSON/HTTP API of
 :mod:`repro.serving.http`; ``sama bench-serve`` drives it with
 concurrent in-process clients and reports throughput and cache
-effectiveness.
+effectiveness.  ``sama profile`` answers one query under a trace and
+prints the per-stage time/count breakdown (DESIGN.md §9).
 """
 
 from __future__ import annotations
@@ -103,14 +105,16 @@ def _cmd_serve(args) -> int:
         cache_bytes=args.cache_mb * (1 << 20),
         default_k=args.k,
         default_deadline_ms=args.deadline_ms,
-        queue_deadline_ms=args.queue_deadline_ms))
+        queue_deadline_ms=args.queue_deadline_ms,
+        slow_query_ms=args.slow_query_ms,
+        slow_query_log=args.slow_query_log))
     server = serve(serving, host=args.host, port=args.port,
                    verbose=args.verbose)
     print(f"serving {args.index_dir} on {server.url} "
           f"({args.workers} workers, queue {args.max_queue}, "
           f"cache {args.cache_mb} MiB)")
-    print("endpoints: POST /query, GET /healthz, GET /stats  "
-          "(Ctrl-C to stop)")
+    print("endpoints: POST /query, GET /healthz, GET /stats, "
+          "GET /metrics  (Ctrl-C to stop)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -229,6 +233,75 @@ def _cmd_query(args) -> int:
         engine.close()
 
 
+def _cmd_profile(args) -> int:
+    import time as _time
+
+    from .obs import start_trace
+
+    if args.expression:
+        text = args.expression
+    elif args.query_file:
+        with open(args.query_file, encoding="utf-8") as handle:
+            text = handle.read()
+    else:
+        print("error: provide a query file or -e 'SELECT ...'",
+              file=sys.stderr)
+        return 2
+    config = EngineConfig(matcher_level=args.matcher)
+    engine = SamaEngine.open(args.index_dir, config=config)
+    try:
+        io = engine.index.io_stats
+        pool = engine.index.cache_stats
+        reads0, read_s0 = io.page_reads, io.read_seconds
+        hits0, misses0 = pool.hits, pool.misses
+        decodes0 = engine.index.decode_count
+
+        answers = None
+        started = _time.perf_counter()
+        with start_trace() as trace:
+            for _ in range(args.repeat):
+                if args.cold:
+                    engine.cold_cache()
+                answers = engine.query(text, k=args.k,
+                                       deadline_ms=args.deadline_ms)
+        wall = _time.perf_counter() - started
+
+        condition = "cold cache each run" if args.cold else "shared cache"
+        print(f"profiled {args.repeat} run(s) on {args.index_dir} "
+              f"(k={args.k}, {condition})")
+        print()
+        print(f"{'stage':<12} {'calls':>6} {'total ms':>10} "
+              f"{'ms/call':>9} {'% wall':>7}")
+        depths = {}
+        for record in trace.records:
+            depths.setdefault(record.name, record.depth)
+        for name, calls, seconds in trace.breakdown():
+            label = "  " * depths.get(name, 0) + name
+            share = 100.0 * seconds / wall if wall else 0.0
+            print(f"{label:<12} {calls:>6} {seconds * 1000:>10.2f} "
+                  f"{seconds * 1000 / calls:>9.2f} {share:>6.1f}%")
+        accounted = trace.total_seconds
+        print(f"{'(untraced)':<12} {'':>6} "
+              f"{(wall - accounted) * 1000:>10.2f} {'':>9} "
+              f"{100.0 * (wall - accounted) / wall if wall else 0.0:>6.1f}%")
+        print(f"{'wall':<12} {'':>6} {wall * 1000:>10.2f}")
+        print()
+        print(f"storage: {io.page_reads - reads0} page reads "
+              f"({io.read_seconds - read_s0:.4f} s), "
+              f"pool {pool.hits - hits0} hits / "
+              f"{pool.misses - misses0} misses, "
+              f"{engine.index.decode_count - decodes0} records decoded")
+        if answers is not None:
+            best = f", best score {answers[0].score:.3f}" if answers else ""
+            print(f"answers: {len(answers)}{best}")
+            if answers.degraded:
+                for reason in answers.reasons:
+                    print(f"partial: {reason}", file=sys.stderr)
+        return 0
+    finally:
+        engine.close()
+
+
 def _cmd_inspect(args) -> int:
     index = PathIndex.open(args.index_dir)
     try:
@@ -303,6 +376,30 @@ def build_parser() -> argparse.ArgumentParser:
                             "found so far instead of failing")
     query.set_defaults(func=_cmd_query)
 
+    profile = sub.add_parser(
+        "profile", help="answer a query and print the per-stage "
+                        "time/count breakdown")
+    profile.add_argument("index_dir")
+    profile.add_argument("query_file", nargs="?", default=None,
+                         help="file with a SPARQL SELECT query")
+    profile.add_argument("-e", "--expression", default=None,
+                         help="inline SPARQL text")
+    profile.add_argument("-k", type=int, default=10)
+    profile.add_argument("--matcher",
+                         choices=["exact", "lexical", "semantic"],
+                         default="semantic")
+    profile.add_argument("--repeat", type=int, default=1,
+                         help="run the query N times and aggregate "
+                              "(default 1)")
+    profile.add_argument("--cold", action="store_true",
+                         help="clear the buffer pool and decoded-path "
+                              "cache before each run (cold-cache "
+                              "attribution)")
+    profile.add_argument("--deadline-ms", type=_non_negative_ms,
+                         default=None,
+                         help="wall-clock budget for each run in ms")
+    profile.set_defaults(func=_cmd_profile)
+
     serve = sub.add_parser("serve",
                            help="serve an index over JSON/HTTP")
     serve.add_argument("index_dir")
@@ -323,6 +420,12 @@ def build_parser() -> argparse.ArgumentParser:
                        default=None,
                        help="deadline forced onto requests that have to "
                             "wait for a worker (degrade under pressure)")
+    serve.add_argument("--slow-query-ms", type=_non_negative_ms,
+                       default=None,
+                       help="log requests slower than this as JSON lines "
+                            "(with a per-stage breakdown)")
+    serve.add_argument("--slow-query-log", default=None,
+                       help="slow-query log file (default: stderr)")
     serve.add_argument("--matcher", choices=["exact", "lexical", "semantic"],
                        default="semantic")
     serve.add_argument("-v", "--verbose", action="store_true",

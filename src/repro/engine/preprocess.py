@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..obs import span
 from ..paths.extraction import DEFAULT_LIMITS, ExtractionLimits, extract_paths
 from ..paths.intersection import IntersectionGraph
 from ..paths.model import Path
@@ -159,7 +160,8 @@ def prepare_query(query: QueryGraph,
     if budget is not None and budget.out_of_time("prepare"):
         return PreparedQuery(graph=query, paths=[],
                              ig=IntersectionGraph([]))
-    paths = extract_paths(query, limits=limits)
+    with span("extract"):
+        paths = extract_paths(query, limits=limits)
     if budget is not None and budget.out_of_time("prepare"):
         return PreparedQuery(graph=query, paths=[],
                              ig=IntersectionGraph([]))

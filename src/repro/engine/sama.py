@@ -31,6 +31,7 @@ from ..index.builder import IndexStats, build_index
 from ..index.labels import SemanticMatcher
 from ..index.pathindex import PathIndex
 from ..index.thesaurus import Thesaurus, default_thesaurus
+from ..obs import span
 from ..parallel import shared_executor
 from ..paths.alignment import LabelMatcher, exact_match
 from ..paths.extraction import DEFAULT_LIMITS, ExtractionLimits
@@ -141,9 +142,11 @@ class SamaEngine:
         these up front keeps them from surfacing as confusing failures
         deep inside clustering.
         """
-        graph = self._coerce_query(query)
-        validate_query_graph(graph)
-        return prepare_query(graph, limits=self.config.limits, budget=budget)
+        with span("prepare"):
+            graph = self._coerce_query(query)
+            validate_query_graph(graph)
+            return prepare_query(graph, limits=self.config.limits,
+                                 budget=budget)
 
     def clusters(self, prepared: PreparedQuery,
                  budget: "Budget | None" = None) -> list[Cluster]:
@@ -165,15 +168,16 @@ class SamaEngine:
             executor = None
             memo = AlignmentMemo.disabled()
             transcript = True
-        return build_clusters(prepared, self.index,
-                              weights=self.config.weights,
-                              matcher=self.matcher,
-                              semantic_lookup=self.config.semantic_lookup,
-                              max_cluster_size=self.config.max_cluster_size,
-                              budget=budget,
-                              memo=memo,
-                              executor=executor,
-                              transcript=transcript)
+        with span("cluster"):
+            return build_clusters(prepared, self.index,
+                                  weights=self.config.weights,
+                                  matcher=self.matcher,
+                                  semantic_lookup=self.config.semantic_lookup,
+                                  max_cluster_size=self.config.max_cluster_size,
+                                  budget=budget,
+                                  memo=memo,
+                                  executor=executor,
+                                  transcript=transcript)
 
     def query(self, query, k: "int | None" = None, *,
               deadline_ms: "float | None" = None,
@@ -211,8 +215,9 @@ class SamaEngine:
             search_config = replace(search_config, k=k)
         if not self.config.fast_path and search_config.interned:
             search_config = replace(search_config, interned=False)
-        result = top_k(prepared, clusters, weights=self.config.weights,
-                       config=search_config, budget=budget)
+        with span("search"):
+            result = top_k(prepared, clusters, weights=self.config.weights,
+                           config=search_config, budget=budget)
         self.last_result = result
         reasons = budget.reasons if budget is not None else result.degradation
         partial = PartialResult(result.answers, reasons=reasons)
@@ -252,9 +257,10 @@ class SamaEngine:
         """The Fig. 4 forest of paths for ``query`` (diagnostics)."""
         prepared = self.prepare(query, budget=budget)
         clusters = self.clusters(prepared, budget=budget)
-        return PathForest(clusters, prepared.ig,
-                          entries_per_cluster=entries_per_cluster,
-                          budget=budget)
+        with span("forest"):
+            return PathForest(clusters, prepared.ig,
+                              entries_per_cluster=entries_per_cluster,
+                              budget=budget)
 
     def _coerce_query(self, query) -> QueryGraph:
         if isinstance(query, QueryGraph):

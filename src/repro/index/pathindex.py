@@ -77,6 +77,9 @@ class PathIndex:
         self.interner = interner if interner is not None else LabelInterner()
         self._interned_records = interned_records
         self._decoded: dict[int, Path] = {}
+        #: Records decoded from storage (cache misses of ``_decoded``);
+        #: surfaced on ``/metrics`` as ``sama_record_decodes_total``.
+        self.decode_count = 0
         #: Data version for result caching.  A static on-disk index
         #: never changes after build, so its epoch is constant;
         #: :class:`~repro.index.incremental.IncrementalIndex` bumps its
@@ -185,6 +188,7 @@ class PathIndex:
             if cached.label_ids is None:
                 self.interner.intern_path(cached)
             self._decoded[offset] = cached
+            self.decode_count += 1
         return cached
 
     def all_offsets(self) -> list[int]:

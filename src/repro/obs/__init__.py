@@ -1,0 +1,38 @@
+"""Observability: the metrics registry, pipeline spans, slow-query log.
+
+The repo's ROADMAP aims at a production-scale service; this package is
+how that service is *seen*.  Three pieces:
+
+- :mod:`repro.obs.registry` — a process-wide, thread-safe
+  :class:`MetricsRegistry` of counters, gauges and fixed-bucket
+  histograms, rendered in the Prometheus text exposition format
+  (served at ``GET /metrics``).  Hot-path stats objects feed it
+  through scrape-time *collectors*, so instrumentation costs nothing
+  per page read.
+- :mod:`repro.obs.trace` — ``with span("cluster"):`` stage timing
+  threaded through ``SamaEngine.query`` and friends; an explicit
+  :func:`start_trace` captures a per-query breakdown (``sama
+  profile``, the slow-query log).
+- :mod:`repro.obs.slowlog` — a JSON-lines :class:`SlowQueryLog` for
+  requests over a configurable latency threshold.
+
+``SAMA_OBS=off`` disables inline instrumentation process-wide (the
+default registry becomes a no-op :class:`NullRegistry`);
+:func:`configure` toggles the same switch programmatically, which is
+how ``benchmarks/bench_obs_overhead.py`` measures the instrumented
+arm against the dark one in a single process.
+"""
+
+from .registry import (DEFAULT_LATENCY_BUCKETS, Counter, Gauge, Histogram,
+                       MetricsRegistry, NullRegistry, Sample, configure,
+                       enabled, get_registry, parse_prometheus)
+from .slowlog import SlowQueryLog
+from .trace import (STAGE_METRIC, SpanRecord, Trace, current_trace, span,
+                    start_trace)
+
+__all__ = [
+    "Counter", "DEFAULT_LATENCY_BUCKETS", "Gauge", "Histogram",
+    "MetricsRegistry", "NullRegistry", "STAGE_METRIC", "Sample",
+    "SlowQueryLog", "SpanRecord", "Trace", "configure", "current_trace",
+    "enabled", "get_registry", "parse_prometheus", "span", "start_trace",
+]

@@ -1,0 +1,533 @@
+"""The process-wide metrics registry (counters, gauges, histograms).
+
+One :class:`MetricsRegistry` per process is the single sink every
+subsystem reports into: the engine's per-stage latency histograms, the
+serving layer's request counters, the storage layer's buffer-pool and
+decode counters.  Two reporting styles feed it:
+
+- **Inline instruments** — :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` objects obtained from :meth:`MetricsRegistry.
+  counter` etc.  Instruments are memoised by ``(name, labels)``, so
+  call sites can re-request them freely; each carries its own lock and
+  is safe to update from any thread.
+- **Collectors** — callables registered with
+  :meth:`MetricsRegistry.register_collector` that project *existing*
+  lightweight stats objects (``ServingStats``, ``CacheStats``,
+  ``IoStats``) into :class:`Sample` values at scrape time.  Hot paths
+  keep their plain ``+= 1`` dataclass counters; the registry reads
+  them only when ``/metrics`` is scraped, so instrumentation adds
+  nothing to the per-page-read cost.
+
+Rendering follows the Prometheus text exposition format (``# HELP`` /
+``# TYPE`` once per family, cumulative ``_bucket{le=...}`` lines plus
+``_sum``/``_count`` for histograms); :func:`parse_prometheus` is the
+matching strict parser used by the CI smoke gate.
+
+``SAMA_OBS=off`` (or ``0``/``false``) swaps the process default for a
+:class:`NullRegistry` whose instruments discard every update — the
+uninstrumented arm of ``benchmarks/bench_obs_overhead.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import threading
+import weakref
+from bisect import bisect_left
+from typing import Callable, Iterable, NamedTuple
+
+#: Default histogram boundaries, in seconds: 1 ms .. 10 s, roughly
+#: logarithmic — wide enough for a cold-cache cluster stage, fine
+#: enough to separate a cache hit from a miss.
+DEFAULT_LATENCY_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+                           0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+class Sample(NamedTuple):
+    """One scrape-time data point emitted by a collector."""
+
+    name: str
+    kind: str                      # "counter" or "gauge"
+    help: str
+    value: float
+    labels: "tuple[tuple[str, str], ...]" = ()
+
+
+def _labels_key(labels: "dict[str, str] | None") -> "tuple[tuple[str, str], ...]":
+    if not labels:
+        return ()
+    for name in labels:
+        if not _LABEL_RE.match(name):
+            raise ValueError(f"invalid label name {name!r}")
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", r"\\").replace('"', r"\"")
+            .replace("\n", r"\n"))
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float) and value.is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _render_labels(labels: "tuple[tuple[str, str], ...]",
+                   extra: "tuple[tuple[str, str], ...]" = ()) -> str:
+    pairs = labels + extra
+    if not pairs:
+        return ""
+    inner = ",".join(f'{name}="{_escape_label(value)}"'
+                     for name, value in pairs)
+    return "{" + inner + "}"
+
+
+class Counter:
+    """A monotonically increasing value (requests, hits, bytes)."""
+
+    __slots__ = ("name", "help", "labels", "_lock", "_value")
+
+    def __init__(self, name: str, help: str = "",
+                 labels: "tuple[tuple[str, str], ...]" = ()):
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that can go up and down (in-flight requests, epoch)."""
+
+    __slots__ = ("name", "help", "labels", "_lock", "_value")
+
+    def __init__(self, name: str, help: str = "",
+                 labels: "tuple[tuple[str, str], ...]" = ()):
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Observations bucketed under fixed boundaries (latencies).
+
+    Buckets are stored per-interval and rendered cumulatively with the
+    closing ``+Inf`` bucket, ``_sum`` and ``_count`` Prometheus
+    expects.
+    """
+
+    __slots__ = ("name", "help", "labels", "buckets", "_lock", "_counts",
+                 "_sum", "_count")
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: "tuple[float, ...]" = DEFAULT_LATENCY_BUCKETS,
+                 labels: "tuple[tuple[str, str], ...]" = ()):
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError(f"histogram {name} needs at least one bucket")
+        if len(set(bounds)) != len(bounds):
+            raise ValueError(f"histogram {name} has duplicate buckets")
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self.buckets = bounds
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(bounds) + 1)   # last slot = > max bound
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def snapshot(self) -> "tuple[list[int], float, int]":
+        """(cumulative bucket counts incl. +Inf, sum, count) atomically."""
+        with self._lock:
+            counts = list(self._counts)
+            total, count = self._sum, self._count
+        cumulative = []
+        running = 0
+        for bucket_count in counts:
+            running += bucket_count
+            cumulative.append(running)
+        return cumulative, total, count
+
+
+_KINDS = {Counter: "counter", Gauge: "gauge", Histogram: "histogram"}
+
+
+class MetricsRegistry:
+    """Thread-safe home of every instrument plus scrape-time collectors."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._instruments: "dict[tuple[str, tuple], object]" = {}
+        self._families: "dict[str, tuple[type, str]]" = {}
+        self._collectors: "list[tuple[Callable, weakref.ref | None]]" = []
+
+    # -- instruments -------------------------------------------------------
+
+    def counter(self, name: str, help: str = "",
+                labels: "dict[str, str] | None" = None) -> Counter:
+        return self._instrument(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "",
+              labels: "dict[str, str] | None" = None) -> Gauge:
+        return self._instrument(Gauge, name, help, labels)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: "tuple[float, ...]" = DEFAULT_LATENCY_BUCKETS,
+                  labels: "dict[str, str] | None" = None) -> Histogram:
+        return self._instrument(Histogram, name, help, labels,
+                                buckets=buckets)
+
+    def _instrument(self, cls, name, help, labels, **kwargs):
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        key = (name, _labels_key(labels))
+        with self._lock:
+            existing = self._instruments.get(key)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{_KINDS[type(existing)]}, not {_KINDS[cls]}")
+                return existing
+            family = self._families.get(name)
+            if family is not None and family[0] is not cls:
+                raise ValueError(
+                    f"metric family {name!r} already registered as "
+                    f"{_KINDS[family[0]]}, not {_KINDS[cls]}")
+            instrument = cls(name, help=help, labels=key[1], **kwargs)
+            self._instruments[key] = instrument
+            if family is None:
+                self._families[name] = (cls, help)
+            return instrument
+
+    # -- collectors --------------------------------------------------------
+
+    def register_collector(self, collector: "Callable[[], Iterable[Sample]]",
+                           owner: object = None) -> None:
+        """Add a scrape-time sample source.
+
+        ``owner``, when given, ties the collector's lifetime to another
+        object: once the owner is garbage-collected the collector is
+        silently dropped on the next scrape, so a closed-but-never-
+        unregistered engine cannot keep stale samples alive.
+        """
+        ref = weakref.ref(owner) if owner is not None else None
+        with self._lock:
+            self._collectors.append((collector, ref))
+
+    def unregister_collector(self, collector: Callable) -> None:
+        with self._lock:
+            self._collectors = [(fn, ref) for fn, ref in self._collectors
+                                if fn is not collector]
+
+    # -- scraping ----------------------------------------------------------
+
+    def _live_collectors(self) -> "list[Callable]":
+        with self._lock:
+            alive = [(fn, ref) for fn, ref in self._collectors
+                     if ref is None or ref() is not None]
+            self._collectors = alive
+            return [fn for fn, _ref in alive]
+
+    def _collected_samples(self) -> "dict[tuple, Sample]":
+        """Collector output, summed over identical (name, labels) keys.
+
+        Two live serving engines reporting the same counter family
+        yield one process-total series, keeping the exposition free of
+        duplicate sample lines.
+        """
+        merged: "dict[tuple, Sample]" = {}
+        for collector in self._live_collectors():
+            for sample in collector():
+                key = (sample.name, sample.labels)
+                previous = merged.get(key)
+                if previous is None:
+                    merged[key] = sample
+                else:
+                    merged[key] = previous._replace(
+                        value=previous.value + sample.value)
+        return merged
+
+    def snapshot(self) -> "dict[str, float]":
+        """Flat scalar view (``/stats`` merge): histograms as _sum/_count."""
+        flat: "dict[str, float]" = {}
+        with self._lock:
+            instruments = list(self._instruments.values())
+        for instrument in instruments:
+            suffix = _render_labels(instrument.labels)
+            if isinstance(instrument, Histogram):
+                _buckets, total, count = instrument.snapshot()
+                flat[f"{instrument.name}_sum{suffix}"] = total
+                flat[f"{instrument.name}_count{suffix}"] = count
+            else:
+                flat[f"{instrument.name}{suffix}"] = instrument.value
+        for sample in self._collected_samples().values():
+            flat[f"{sample.name}{_render_labels(sample.labels)}"] = sample.value
+        return flat
+
+    def render(self) -> str:
+        """The Prometheus text exposition of everything registered."""
+        with self._lock:
+            instruments = sorted(
+                self._instruments.values(),
+                key=lambda inst: (inst.name, inst.labels))
+        lines: "list[str]" = []
+        seen_families: "set[str]" = set()
+
+        def header(name: str, kind: str, help: str) -> None:
+            if name in seen_families:
+                return
+            seen_families.add(name)
+            if help:
+                lines.append(f"# HELP {name} {_escape_help(help)}")
+            lines.append(f"# TYPE {name} {kind}")
+
+        for instrument in instruments:
+            if isinstance(instrument, Histogram):
+                header(instrument.name, "histogram", instrument.help)
+                cumulative, total, count = instrument.snapshot()
+                bounds = [_format_value(b) for b in instrument.buckets]
+                bounds.append("+Inf")
+                for bound, bucket_count in zip(bounds, cumulative):
+                    label_text = _render_labels(instrument.labels,
+                                                (("le", bound),))
+                    lines.append(f"{instrument.name}_bucket{label_text} "
+                                 f"{bucket_count}")
+                suffix = _render_labels(instrument.labels)
+                lines.append(f"{instrument.name}_sum{suffix} "
+                             f"{_format_value(total)}")
+                lines.append(f"{instrument.name}_count{suffix} {count}")
+            else:
+                header(instrument.name, _KINDS[type(instrument)],
+                       instrument.help)
+                suffix = _render_labels(instrument.labels)
+                lines.append(f"{instrument.name}{suffix} "
+                             f"{_format_value(instrument.value)}")
+
+        collected = sorted(self._collected_samples().values())
+        for sample in collected:
+            header(sample.name, sample.kind, sample.help)
+            suffix = _render_labels(sample.labels)
+            lines.append(f"{sample.name}{suffix} "
+                         f"{_format_value(sample.value)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+class _NullInstrument:
+    """Accepts every update, stores nothing (the ``SAMA_OBS=off`` arm)."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    @property
+    def value(self) -> float:
+        return 0.0
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry:
+    """A registry whose instruments are shared no-ops."""
+
+    def counter(self, name, help="", labels=None):
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name, help="", labels=None):
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name, help="", buckets=DEFAULT_LATENCY_BUCKETS,
+                  labels=None):
+        return _NULL_INSTRUMENT
+
+    def register_collector(self, collector, owner=None):
+        pass
+
+    def unregister_collector(self, collector):
+        pass
+
+    def snapshot(self):
+        return {}
+
+    def render(self):
+        return "# observability disabled (SAMA_OBS=off)\n"
+
+
+# -- process-wide state ------------------------------------------------------
+
+def _env_enabled() -> bool:
+    return os.environ.get("SAMA_OBS", "").strip().lower() not in (
+        "off", "0", "false", "no")
+
+
+_enabled = _env_enabled()
+_default: "MetricsRegistry | NullRegistry" = (
+    MetricsRegistry() if _enabled else NullRegistry())
+_state_lock = threading.Lock()
+
+
+def enabled() -> bool:
+    """Whether inline instrumentation (spans, histograms) is live."""
+    return _enabled
+
+
+def get_registry() -> "MetricsRegistry | NullRegistry":
+    """The process-wide default registry."""
+    return _default
+
+
+def configure(enabled: "bool | None" = None,
+              registry: "MetricsRegistry | NullRegistry | None" = None
+              ) -> "tuple[bool, MetricsRegistry | NullRegistry]":
+    """Swap the process defaults; returns the previous ``(enabled,
+    registry)`` pair so benchmarks and tests can restore them.
+
+    ``configure(enabled=False)`` installs a :class:`NullRegistry`
+    (unless an explicit ``registry`` is also given);
+    ``configure(enabled=True)`` installs a fresh
+    :class:`MetricsRegistry` likewise.
+    """
+    global _enabled, _default
+    with _state_lock:
+        previous = (_enabled, _default)
+        if enabled is not None:
+            _enabled = bool(enabled)
+            if registry is None:
+                registry = (MetricsRegistry() if _enabled
+                            else NullRegistry())
+        if registry is not None:
+            _default = registry
+        return previous
+
+
+# -- exposition-format validation --------------------------------------------
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)(?:\s+(?P<timestamp>-?\d+))?$")
+_LABEL_PAIR_RE = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_prometheus(text: str) -> "dict[str, float]":
+    """Strictly parse Prometheus text exposition; raises ``ValueError``.
+
+    Returns ``{name{labels}: value}`` for every sample line.  Used by
+    the tests and the ``obs-smoke`` CI gate to assert ``/metrics``
+    stays machine-readable.
+    """
+    samples: "dict[str, float]" = {}
+    types: "dict[str, str]" = {}
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) != 4 or parts[3] not in (
+                    "counter", "gauge", "histogram", "summary", "untyped"):
+                raise ValueError(f"line {line_no}: malformed TYPE: {line!r}")
+            if parts[2] in types:
+                raise ValueError(
+                    f"line {line_no}: duplicate TYPE for {parts[2]}")
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("# HELP "):
+            if len(line.split(None, 3)) < 3:
+                raise ValueError(f"line {line_no}: malformed HELP: {line!r}")
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {line_no}: malformed sample: {line!r}")
+        label_text = match.group("labels")
+        if label_text:
+            consumed = _LABEL_PAIR_RE.sub("", label_text)
+            if consumed.strip(", "):
+                raise ValueError(
+                    f"line {line_no}: malformed labels: {label_text!r}")
+        try:
+            value = float(match.group("value"))
+        except ValueError as exc:
+            raise ValueError(
+                f"line {line_no}: bad value {match.group('value')!r}"
+            ) from exc
+        key = match.group("name")
+        if label_text:
+            key += "{" + label_text + "}"
+        if key in samples:
+            raise ValueError(f"line {line_no}: duplicate sample {key!r}")
+        samples[key] = value
+    return samples

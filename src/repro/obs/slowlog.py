@@ -1,0 +1,71 @@
+"""The structured slow-query log: JSON lines above a latency threshold.
+
+One line per offending request, machine-parseable::
+
+    {"ts": 1754500000.123, "latency_ms": 812.4, "query": "...", "k": 10,
+     "epoch": 3, "cached": false, "degraded": false,
+     "stages_ms": {"prepare": 12.1, "cluster": 655.0, "search": 140.2}}
+
+The log is append-only and thread-safe; each line is flushed as it is
+written so an operator tailing the file sees slow queries live.  The
+threshold and destination come from
+:class:`~repro.serving.service.ServingConfig` (``slow_query_ms`` /
+``slow_query_log``); with no path configured, lines go to ``stderr``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+
+
+class SlowQueryLog:
+    """Append-only JSON-lines sink for requests over ``threshold_ms``."""
+
+    def __init__(self, threshold_ms: float, path: "str | None" = None,
+                 stream=None):
+        if threshold_ms < 0:
+            raise ValueError(f"threshold_ms must be >= 0, got {threshold_ms}")
+        self.threshold_ms = threshold_ms
+        self.path = path
+        self._stream = stream
+        self._lock = threading.Lock()
+        self._handle = None
+        self.logged = 0
+
+    def _sink(self):
+        if self._stream is not None:
+            return self._stream
+        if self.path is None:
+            return sys.stderr
+        if self._handle is None:
+            self._handle = open(self.path, "a", encoding="utf-8")
+        return self._handle
+
+    def note(self, *, latency_ms: float, **fields) -> bool:
+        """Log one request if it crossed the threshold; True when logged."""
+        if latency_ms < self.threshold_ms:
+            return False
+        record = {"ts": round(time.time(), 3),
+                  "latency_ms": round(latency_ms, 3)}
+        record.update(fields)
+        line = json.dumps(record, sort_keys=False, default=str)
+        with self._lock:
+            sink = self._sink()
+            sink.write(line + "\n")
+            sink.flush()
+            self.logged += 1
+        return True
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __repr__(self):
+        target = self.path or ("<stream>" if self._stream else "stderr")
+        return (f"<SlowQueryLog: >{self.threshold_ms:g} ms -> {target}, "
+                f"{self.logged} logged>")

@@ -14,7 +14,8 @@ query phase; this package is the online phase grown into a service:
   normalisation behind those keys;
 - :mod:`repro.serving.http` / :mod:`repro.serving.client` — a
   stdlib-only JSON-over-HTTP front end (``POST /query``,
-  ``GET /healthz``, ``GET /stats``) and its client helper.
+  ``GET /healthz``, ``GET /stats``, ``GET /metrics`` in Prometheus
+  text format) and its client helper.
 
 CLI: ``sama serve INDEX_DIR`` and ``sama bench-serve INDEX_DIR``.
 """
@@ -24,11 +25,12 @@ from .canonical import cache_key, canonical_form
 from .client import ServingClient, ServingClientError
 from .http import ServingRequestHandler, ServingServer, serve
 from .service import (ServedResult, ServingConfig, ServingEngine,
-                      ServingStats, answers_payload)
+                      ServingStats, StatsSnapshot, answers_payload)
 
 __all__ = [
     "CachedResult", "ResultCache", "ResultCacheStats", "ServedResult",
     "ServingClient", "ServingClientError", "ServingConfig", "ServingEngine",
     "ServingRequestHandler", "ServingServer", "ServingStats",
-    "answers_payload", "cache_key", "canonical_form", "serve",
+    "StatsSnapshot", "answers_payload", "cache_key", "canonical_form",
+    "serve",
 ]

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any
 
 
@@ -86,10 +86,15 @@ class ResultCache:
             return entry
 
     def put(self, entry: CachedResult) -> bool:
-        """Admit ``entry`` (keyed by ``entry.key``); False if too big."""
+        """Admit ``entry`` (keyed by ``entry.key``); False if too big.
+
+        A zero byte budget means *caching is disabled*: nothing is
+        admitted, not even a zero-byte entry (``size_bytes == 0`` used
+        to slip past the too-big check because ``0 > 0`` is false).
+        """
         if not entry.key:
             raise ValueError("cache entry has no key")
-        if entry.size_bytes > self.max_bytes:
+        if self.max_bytes == 0 or entry.size_bytes > self.max_bytes:
             return False
         with self._lock:
             old = self._entries.pop(entry.key, None)
@@ -121,9 +126,22 @@ class ResultCache:
             return len(stale)
 
     def clear(self) -> None:
+        """Drop every entry *and* reset the counters.
+
+        ``clear()`` starts a fresh measurement window: a hit rate that
+        mixed pre- and post-clear lookups would misstate the behaviour
+        of the current (empty) cache, so the stats reset with the
+        entries.
+        """
         with self._lock:
             self._entries.clear()
             self._bytes = 0
+            self.stats = ResultCacheStats()
+
+    def stats_snapshot(self) -> ResultCacheStats:
+        """A point-in-time copy of the counters, taken under the lock."""
+        with self._lock:
+            return replace(self.stats)
 
     def __repr__(self):
         return (f"<ResultCache: {len(self._entries)} entries, "

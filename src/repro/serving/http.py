@@ -5,6 +5,7 @@ Endpoints::
     POST /query    {"query": "SELECT ...", "k": 10, "deadline_ms": 500}
     GET  /healthz  liveness + index epoch
     GET  /stats    cache hit rate, in-flight, p50/p95 latency, shed count
+    GET  /metrics  Prometheus text exposition (stage histograms, counters)
 
 Errors map onto HTTP the way the typed hierarchy intends: bad queries
 are 400 (with the parser's one-line diagnostic), shed requests are 503
@@ -80,6 +81,14 @@ class ServingRequestHandler(BaseHTTPRequestHandler):
             self._send_json(200, self.serving.health_payload())
         elif self.path == "/stats":
             self._send_json(200, self.serving.stats_payload())
+        elif self.path == "/metrics":
+            body = self.serving.render_metrics().encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type",
+                             "text/plain; version=0.0.4; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
         else:
             self._send_json(404, {"error": "NotFound", "message": self.path})
 

@@ -38,6 +38,7 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
 
 from ..engine.sama import SamaEngine
+from ..obs import Sample, SlowQueryLog, get_registry, start_trace
 from ..resilience.budget import PartialResult
 from ..resilience.errors import OverloadedError
 from .cache import CachedResult, ResultCache
@@ -65,6 +66,11 @@ class ServingConfig:
     #: Deadline forced onto requests admitted while all workers are
     #: busy (load-shedding by degradation); None leaves them untouched.
     queue_deadline_ms: "float | None" = None
+    #: Requests slower than this (ms) are written to the structured
+    #: slow-query log as JSON lines; None disables the log.
+    slow_query_ms: "float | None" = None
+    #: Destination of the slow-query log; None logs to stderr.
+    slow_query_log: "str | None" = None
 
 
 @dataclass
@@ -108,8 +114,39 @@ def answers_payload(answers: PartialResult, k: int, epoch: int) -> dict:
     }
 
 
+@dataclass(frozen=True)
+class StatsSnapshot:
+    """All serving counters plus the latency window, captured atomically.
+
+    Consumers (``/stats``, the registry collector, percentile reads)
+    take one snapshot and derive everything from it, so no reader can
+    observe half-updated counters (``served > requests``) or a latency
+    window from a different moment than the counts.
+    """
+
+    requests: int
+    served: int
+    errors: int
+    shed: int
+    degraded: int
+    latencies: "tuple[float, ...]"
+
+    def percentile(self, fraction: float) -> "float | None":
+        if not self.latencies:
+            return None
+        ordered = sorted(self.latencies)
+        position = min(len(ordered) - 1,
+                       max(0, round(fraction * (len(ordered) - 1))))
+        return ordered[position]
+
+
 class ServingStats:
-    """Thread-safe serving counters + a latency reservoir."""
+    """Thread-safe serving counters + a latency reservoir.
+
+    Every mutation happens under one lock, and :meth:`snapshot` reads
+    all of it under that same lock — readers never mix counters from
+    different instants.
+    """
 
     def __init__(self):
         self._lock = threading.Lock()
@@ -124,6 +161,10 @@ class ServingStats:
         with self._lock:
             self.requests += 1
 
+    def note_shed(self) -> None:
+        with self._lock:
+            self.shed += 1
+
     def record(self, latency_ms: float, *, error: bool = False,
                degraded: bool = False) -> None:
         with self._lock:
@@ -134,14 +175,15 @@ class ServingStats:
                 self.degraded += 1
             self._latencies.append(latency_ms)
 
-    def percentile(self, fraction: float) -> "float | None":
+    def snapshot(self) -> StatsSnapshot:
         with self._lock:
-            if not self._latencies:
-                return None
-            ordered = sorted(self._latencies)
-        position = min(len(ordered) - 1,
-                       max(0, round(fraction * (len(ordered) - 1))))
-        return ordered[position]
+            return StatsSnapshot(
+                requests=self.requests, served=self.served,
+                errors=self.errors, shed=self.shed, degraded=self.degraded,
+                latencies=tuple(self._latencies))
+
+    def percentile(self, fraction: float) -> "float | None":
+        return self.snapshot().percentile(fraction)
 
 
 class ServingEngine:
@@ -171,8 +213,23 @@ class ServingEngine:
         self._admission = threading.Semaphore(self.capacity)
         self._in_flight = 0
         self._flight_lock = threading.Lock()
+        # _seen_epoch is check-and-set under its own lock: two racing
+        # submits must not both observe one epoch bump (double
+        # drop_stale_epochs), and a thread holding an older epoch must
+        # never overwrite a newer one it lost the race to.
+        self._epoch_lock = threading.Lock()
         self._seen_epoch = self.epoch
         self._closed = False
+        self.registry = get_registry()
+        self._latency_hist = self.registry.histogram(
+            "sama_request_seconds",
+            "End-to-end served request latency (cache hits included)")
+        self.slow_log: "SlowQueryLog | None" = None
+        if self.config.slow_query_ms is not None:
+            self.slow_log = SlowQueryLog(self.config.slow_query_ms,
+                                         path=self.config.slow_query_log)
+        self._collector = self._collect_samples
+        self.registry.register_collector(self._collector, owner=self)
 
     # -- data version ------------------------------------------------------
 
@@ -206,10 +263,16 @@ class ServingEngine:
         graph = self.engine._coerce_query(query)
 
         epoch = self.epoch
-        if epoch != self._seen_epoch:
+        with self._epoch_lock:
+            # Monotone check-and-set: only the single thread that
+            # advances _seen_epoch drops stale entries, and a reader
+            # that raced in with an older epoch cannot regress it.
+            advanced = epoch > self._seen_epoch
+            if advanced:
+                self._seen_epoch = epoch
+        if advanced:
             # The data moved under us: eagerly release the bytes held
             # by entries no future request can reach.
-            self._seen_epoch = epoch
             self.cache.drop_stale_epochs(epoch)
 
         key = ""
@@ -219,6 +282,7 @@ class ServingEngine:
             if entry is not None:
                 latency = (time.perf_counter() - started) * 1000.0
                 self.stats.record(latency)
+                self._latency_hist.observe(latency / 1000.0)
                 future: "Future[ServedResult]" = Future()
                 future.set_result(ServedResult(
                     answers=entry.answers, payload=entry.payload,
@@ -226,7 +290,7 @@ class ServingEngine:
                 return future
 
         if not self._admission.acquire(blocking=False):
-            self.stats.shed += 1
+            self.stats.note_shed()
             raise OverloadedError(
                 f"serving capacity exhausted "
                 f"({self._in_flight}/{self.capacity} in flight)",
@@ -256,7 +320,17 @@ class ServingEngine:
     def _serve(self, graph, k: int, deadline_ms: "float | None",
                key: str, epoch: int, started: float) -> ServedResult:
         try:
-            answers = self.engine.query(graph, k=k, deadline_ms=deadline_ms)
+            if self.slow_log is not None:
+                # Capture the per-stage breakdown so a slow line says
+                # where the time went, not just that it went.
+                with start_trace() as trace:
+                    answers = self.engine.query(graph, k=k,
+                                                deadline_ms=deadline_ms)
+                stages_ms = trace.stage_ms()
+            else:
+                answers = self.engine.query(graph, k=k,
+                                            deadline_ms=deadline_ms)
+                stages_ms = None
             payload = answers_payload(answers, k, epoch)
             if key and answers.complete and self.epoch == epoch:
                 # Complete results only: a degraded ranking must not be
@@ -269,6 +343,14 @@ class ServingEngine:
                     epoch=epoch, key=key))
             latency = (time.perf_counter() - started) * 1000.0
             self.stats.record(latency, degraded=answers.degraded)
+            self._latency_hist.observe(latency / 1000.0)
+            if self.slow_log is not None:
+                self.slow_log.note(
+                    latency_ms=latency,
+                    query=key or getattr(graph, "name", "") or "<query>",
+                    k=k, epoch=epoch, cached=False,
+                    degraded=answers.degraded, answers=len(answers),
+                    stages_ms=stages_ms)
             return ServedResult(answers=answers, payload=payload,
                                 cached=False, latency_ms=latency,
                                 epoch=epoch, k=k)
@@ -284,20 +366,28 @@ class ServingEngine:
     # -- introspection ------------------------------------------------------
 
     def stats_payload(self) -> dict:
-        """The ``/stats`` document (all counters, JSON-ready)."""
-        cache = self.cache.stats
+        """The ``/stats`` document (all counters, JSON-ready).
+
+        Serving counters come from one :meth:`ServingStats.snapshot`
+        and cache counters from one locked copy, so the document is
+        internally consistent — it can never report ``served >
+        requests`` mid-update.  The registry's scalar series ride
+        along under ``"obs"``.
+        """
+        snap = self.stats.snapshot()
+        cache = self.cache.stats_snapshot()
         return {
             "epoch": self.epoch,
             "in_flight": self._in_flight,
             "capacity": self.capacity,
             "workers": self.config.workers,
-            "requests": self.stats.requests,
-            "served": self.stats.served,
-            "errors": self.stats.errors,
-            "shed": self.stats.shed,
-            "degraded": self.stats.degraded,
-            "latency_p50_ms": self.stats.percentile(0.50),
-            "latency_p95_ms": self.stats.percentile(0.95),
+            "requests": snap.requests,
+            "served": snap.served,
+            "errors": snap.errors,
+            "shed": snap.shed,
+            "degraded": snap.degraded,
+            "latency_p50_ms": snap.percentile(0.50),
+            "latency_p95_ms": snap.percentile(0.95),
             "cache": {
                 "hits": cache.hits,
                 "misses": cache.misses,
@@ -307,7 +397,81 @@ class ServingEngine:
                 "bytes": self.cache.current_bytes,
                 "max_bytes": self.cache.max_bytes,
             },
+            "obs": self.registry.snapshot(),
         }
+
+    def _collect_samples(self):
+        """Project serving/cache/storage stats into registry samples.
+
+        Runs at scrape time only (``/metrics``), reading the same stats
+        objects the hot paths already maintain — one source of truth,
+        zero additional cost per request or page read.
+        """
+        snap = self.stats.snapshot()
+        for name, value in (("requests", snap.requests),
+                            ("served", snap.served),
+                            ("errors", snap.errors),
+                            ("shed", snap.shed),
+                            ("degraded", snap.degraded)):
+            yield Sample(f"sama_serving_{name}_total", "counter",
+                         f"Requests {name} by the serving engine", value)
+        yield Sample("sama_serving_in_flight", "gauge",
+                     "Requests admitted and not yet answered",
+                     self._in_flight)
+        yield Sample("sama_serving_capacity", "gauge",
+                     "Hard in-flight cap (workers + max_queue)",
+                     self.capacity)
+        yield Sample("sama_index_epoch", "gauge",
+                     "Data epoch of the served index", self.epoch)
+
+        cache = self.cache.stats_snapshot()
+        for result, value in (("hit", cache.hits), ("miss", cache.misses)):
+            yield Sample("sama_result_cache_lookups_total", "counter",
+                         "Result-cache lookups by outcome", value,
+                         (("result", result),))
+        yield Sample("sama_result_cache_insertions_total", "counter",
+                     "Results admitted to the cache", cache.insertions)
+        yield Sample("sama_result_cache_evictions_total", "counter",
+                     "Results evicted by the byte budget", cache.evictions)
+        yield Sample("sama_result_cache_stale_dropped_total", "counter",
+                     "Entries dropped by epoch invalidation",
+                     cache.stale_dropped)
+        yield Sample("sama_result_cache_bytes", "gauge",
+                     "Bytes of wire payload currently cached",
+                     self.cache.current_bytes)
+        yield Sample("sama_result_cache_entries", "gauge",
+                     "Entries currently cached", len(self.cache))
+
+        index = self.engine.index
+        pool = getattr(index, "cache_stats", None)
+        if pool is not None:
+            for result, value in (("hit", pool.hits), ("miss", pool.misses)):
+                yield Sample("sama_buffer_pool_accesses_total", "counter",
+                             "Buffer-pool page accesses by outcome", value,
+                             (("result", result),))
+            yield Sample("sama_buffer_pool_prefetches_total", "counter",
+                         "Pages faulted in by sequential read-ahead",
+                         pool.prefetches)
+            yield Sample("sama_buffer_pool_retries_total", "counter",
+                         "Physical reads retried after transient failure",
+                         pool.retries)
+        io = getattr(index, "io_stats", None)
+        if io is not None:
+            yield Sample("sama_page_reads_total", "counter",
+                         "Physical page reads", io.page_reads)
+            yield Sample("sama_page_writes_total", "counter",
+                         "Physical page writes", io.page_writes)
+            yield Sample("sama_page_read_seconds_total", "counter",
+                         "Seconds spent in physical page reads",
+                         io.read_seconds)
+        decodes = getattr(index, "decode_count", None)
+        if decodes is not None:
+            yield Sample("sama_record_decodes_total", "counter",
+                         "Path records decoded from storage", decodes)
+
+    def render_metrics(self) -> str:
+        """The Prometheus text exposition (``GET /metrics``)."""
+        return self.registry.render()
 
     def health_payload(self) -> dict:
         return {"status": "ok", "epoch": self.epoch,
@@ -321,6 +485,9 @@ class ServingEngine:
             return
         self._closed = True
         self._pool.shutdown(wait=True)
+        self.registry.unregister_collector(self._collector)
+        if self.slow_log is not None:
+            self.slow_log.close()
         if close_engine:
             self.engine.close()
 

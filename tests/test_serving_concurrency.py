@@ -1,0 +1,315 @@
+"""Serving-path races and cache edge cases (regression + stress).
+
+Three regression suites pin the fixes for bugs that were visible in
+the serving path:
+
+- ``ServingEngine.submit`` check-and-set ``_seen_epoch`` without a
+  lock, so two racing threads could both observe one epoch bump and
+  double-run ``drop_stale_epochs`` (or a loser could regress
+  ``_seen_epoch`` backwards);
+- ``ResultCache.put`` admitted zero-byte entries when ``max_bytes ==
+  0`` (``0 > 0`` is false) despite "0 disables caching", and
+  ``clear()`` kept the old hit/miss counters;
+- ``/stats`` read each ``ServingStats`` counter separately, so a
+  reader could see ``served > requests`` mid-update.
+
+The stress section hammers :class:`ResultCache` and
+:class:`ServingStats` from many threads and checks the byte-accounting
+and counter invariants at quiesce; the hypothesis test pins
+percentile monotonicity.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.resilience.budget import PartialResult
+from repro.serving import (CachedResult, ResultCache, ServingConfig,
+                           ServingEngine, ServingStats)
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - CI installs hypothesis
+    HAVE_HYPOTHESIS = False
+
+
+def _entry(key: str, size: int, epoch: int = 0) -> CachedResult:
+    return CachedResult(answers=PartialResult([]), payload={"k": key},
+                        size_bytes=size, epoch=epoch, key=key)
+
+
+# -- satellite 1: the submit() epoch race ------------------------------------
+
+class _BumpableIndex:
+    """Stands in for an IncrementalIndex whose epoch the test bumps."""
+
+    def __init__(self):
+        self.epoch = 0
+        self.path_count = 0
+
+
+class _FakeEngine:
+    """The minimal engine surface ``ServingEngine.submit`` touches."""
+
+    def __init__(self):
+        self.index = _BumpableIndex()
+
+    def _coerce_query(self, query):
+        return query
+
+    def query(self, graph, k=None, deadline_ms=None):
+        return PartialResult([])
+
+    def close(self):
+        pass
+
+
+class _CountingCache(ResultCache):
+    def __init__(self):
+        super().__init__(max_bytes=0)
+        self.drops = 0
+
+    def drop_stale_epochs(self, current_epoch):
+        self.drops += 1
+        return super().drop_stale_epochs(current_epoch)
+
+
+class _SlowSeenEpochEngine(ServingEngine):
+    """Widens the check-and-set window: reading ``_seen_epoch`` sleeps.
+
+    On the pre-fix code two concurrent submits both read the stale
+    value during the overlapping sleeps, both see the bump, and both
+    drop — deterministically.  With the check-and-set under a lock the
+    second reader cannot start until the first has written.
+    """
+
+    READ_DELAY = 0.05
+
+    @property
+    def _seen_epoch(self):
+        value = self.__dict__["_seen_epoch_value"]
+        time.sleep(self.READ_DELAY)
+        return value
+
+    @_seen_epoch.setter
+    def _seen_epoch(self, value):
+        self.__dict__["_seen_epoch_value"] = value
+
+
+class TestSubmitEpochRace:
+    def test_concurrent_submits_drop_stale_epochs_once(self):
+        serving = _SlowSeenEpochEngine(
+            _FakeEngine(), ServingConfig(workers=2, cache_bytes=0))
+        serving.cache = _CountingCache()
+        try:
+            serving.engine.index.epoch = 1
+            barrier = threading.Barrier(2)
+            failures = []
+
+            def submit():
+                barrier.wait()
+                try:
+                    serving.query("q", k=1)
+                except Exception as exc:  # pragma: no cover
+                    failures.append(exc)
+
+            threads = [threading.Thread(target=submit) for _ in range(2)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not failures
+            assert serving.cache.drops == 1, (
+                "both racing submits observed the same epoch bump")
+            assert serving._seen_epoch == 1
+        finally:
+            serving.close()
+
+    def test_older_epoch_reader_cannot_regress_seen_epoch(self):
+        serving = ServingEngine(
+            _FakeEngine(), ServingConfig(workers=1, cache_bytes=0))
+        serving.cache = _CountingCache()
+        try:
+            serving.engine.index.epoch = 5
+            serving.query("q", k=1)
+            assert serving._seen_epoch == 5
+            # A submit that read an older epoch (torn interleaving with
+            # a newer bump) must not win the check-and-set.
+            serving.engine.index.epoch = 3
+            serving.query("q", k=1)
+            assert serving._seen_epoch == 5, "seen epoch went backwards"
+            assert serving.cache.drops == 1
+        finally:
+            serving.close()
+
+
+# -- satellite 2: zero-budget cache admission + clear() ----------------------
+
+class TestResultCacheEdgeCases:
+    def test_zero_budget_cache_admits_nothing(self):
+        cache = ResultCache(max_bytes=0)
+        assert cache.put(_entry("zero", size=0)) is False
+        assert cache.put(_entry("tiny", size=1)) is False
+        assert len(cache) == 0 and cache.current_bytes == 0
+        assert cache.get("zero") is None
+
+    def test_clear_resets_stats_with_entries(self):
+        cache = ResultCache(max_bytes=1024)
+        cache.put(_entry("a", size=10))
+        cache.get("a")
+        cache.get("missing")
+        assert cache.stats.lookups == 2
+        cache.clear()
+        assert len(cache) == 0 and cache.current_bytes == 0
+        assert cache.stats.hits == 0 and cache.stats.misses == 0
+        assert cache.stats.hit_rate == 0.0
+
+    def test_oversized_entry_still_rejected(self):
+        cache = ResultCache(max_bytes=8)
+        assert cache.put(_entry("big", size=9)) is False
+        assert cache.put(_entry("fits", size=8)) is True
+
+
+# -- satellite 3: consistent /stats snapshots --------------------------------
+
+class TestStatsSnapshot:
+    def test_snapshot_is_internally_consistent_under_load(self):
+        stats = ServingStats()
+        stop = threading.Event()
+        violations = []
+        previous_interval = sys.getswitchinterval()
+        sys.setswitchinterval(1e-6)
+        try:
+            def writer():
+                while not stop.is_set():
+                    stats.note_request()
+                    stats.record(1.0, degraded=True)
+
+            def reader():
+                for _ in range(3000):
+                    snap = stats.snapshot()
+                    if snap.served > snap.requests:
+                        violations.append(
+                            (snap.requests, snap.served))
+                    if snap.degraded > snap.served:
+                        violations.append(
+                            ("degraded", snap.degraded, snap.served))
+                stop.set()
+
+            threads = [threading.Thread(target=writer) for _ in range(3)]
+            threads.append(threading.Thread(target=reader))
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        finally:
+            sys.setswitchinterval(previous_interval)
+        assert not violations, f"inconsistent snapshots: {violations[:3]}"
+
+    def test_percentile_comes_from_one_snapshot(self):
+        stats = ServingStats()
+        for latency in (10.0, 20.0, 30.0, 40.0):
+            stats.note_request()
+            stats.record(latency)
+        snap = stats.snapshot()
+        assert snap.percentile(0.0) == 10.0
+        assert snap.percentile(1.0) == 40.0
+        assert stats.percentile(0.5) in (20.0, 30.0)
+        assert stats.percentile(0.5) == snap.percentile(0.5)
+
+    def test_empty_window_has_no_percentile(self):
+        assert ServingStats().percentile(0.5) is None
+
+
+# -- satellite 4: concurrency stress + property tests ------------------------
+
+class TestConcurrencyStress:
+    THREADS = 8
+    OPS = 400
+
+    def test_result_cache_byte_accounting_invariant(self):
+        cache = ResultCache(max_bytes=4096)
+        barrier = threading.Barrier(self.THREADS)
+
+        def worker(worker_id: int):
+            barrier.wait()
+            for op in range(self.OPS):
+                key = f"k{(worker_id * 7 + op) % 64}"
+                if op % 3 == 0:
+                    cache.get(key)
+                else:
+                    cache.put(_entry(key, size=(op % 9) * 16,
+                                     epoch=op % 4))
+                if op % 97 == 0:
+                    cache.drop_stale_epochs(2)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(self.THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        with cache._lock:
+            entries = list(cache._entries.values())
+            current = cache.current_bytes
+        assert current == sum(e.size_bytes for e in entries), (
+            "byte accounting drifted from the entry map")
+        assert current <= cache.max_bytes
+        stats = cache.stats_snapshot()
+        assert stats.lookups == stats.hits + stats.misses
+
+    def test_serving_stats_counters_are_exact_at_quiesce(self):
+        stats = ServingStats()
+
+        def worker():
+            for op in range(self.OPS):
+                stats.note_request()
+                if op % 5 == 0:
+                    stats.note_shed()
+                else:
+                    stats.record(float(op % 50),
+                                 error=op % 7 == 0,
+                                 degraded=op % 3 == 0)
+
+        threads = [threading.Thread(target=worker)
+                   for _ in range(self.THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        snap = stats.snapshot()
+        per_thread_shed = len([op for op in range(self.OPS)
+                               if op % 5 == 0])
+        assert snap.requests == self.THREADS * self.OPS
+        assert snap.shed == self.THREADS * per_thread_shed
+        assert snap.served == snap.requests - snap.shed
+        assert snap.errors <= snap.served
+        assert snap.degraded <= snap.served
+
+
+if HAVE_HYPOTHESIS:
+    @settings(deadline=None, max_examples=60)
+    @given(latencies=st.lists(
+               st.floats(min_value=0.0, max_value=1e6,
+                         allow_nan=False, allow_infinity=False),
+               min_size=1, max_size=64),
+           low=st.floats(min_value=0.0, max_value=1.0),
+           high=st.floats(min_value=0.0, max_value=1.0))
+    def test_percentile_is_monotone_in_fraction(latencies, low, high):
+        stats = ServingStats()
+        for latency in latencies:
+            stats.record(latency)
+        if low > high:
+            low, high = high, low
+        snap = stats.snapshot()
+        assert snap.percentile(low) <= snap.percentile(high)
+        assert snap.percentile(0.0) == min(latencies)
+        assert snap.percentile(1.0) == max(latencies)
