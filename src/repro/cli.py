@@ -4,8 +4,10 @@ The subcommands cover the offline/online split of §5 plus the serving
 layer and utilities::
 
     sama generate lubm data.nt --triples 10000 --seed 1
-    sama index data.nt ./my-index
+    sama index build data.nt ./my-index
+    sama index build data.nt ./my-index --shards 4
     sama index compact ./my-incremental-index
+    sama index reshard ./my-index --shards 8
     sama query ./my-index -e 'SELECT ?s WHERE { ?s <http://...> ?o . }'
     sama profile ./my-index -e 'SELECT ...' --repeat 3
     sama serve ./my-index --port 8080
@@ -14,7 +16,12 @@ layer and utilities::
 
 ``sama query`` accepts SPARQL from a file or inline (``-e``), prints
 the ranked answers with scores and bindings, and with ``--explain``
-also renders the forest of paths (Fig. 4).  ``sama serve`` keeps one
+also renders the forest of paths (Fig. 4).  ``sama index`` groups the
+offline maintenance verbs — ``build`` (``--shards N`` partitions the
+paths across N self-contained shards), ``compact`` (vacuum an
+incremental index) and ``reshard`` (repartition an existing index);
+the historical spelling ``sama index DATA DIR`` still works as an
+alias for ``build``.  ``sama serve`` keeps one
 hot engine resident behind the JSON/HTTP API of
 :mod:`repro.serving.http`; ``sama bench-serve`` drives it with
 concurrent in-process clients and reports throughput and cache
@@ -58,17 +65,19 @@ def _load_graph(path: str, fmt: "str | None") -> DataGraph:
     return DataGraph.from_triples(triples, name=path)
 
 
-def _cmd_index(args) -> int:
-    if args.data == "compact":
-        # ``sama index compact DIR`` — vacuum an incremental index.
-        return _cmd_index_compact(args)
+def _cmd_index_build(args) -> int:
     graph = _load_graph(args.data, args.format)
     print(f"loaded {graph.edge_count()} triples, "
           f"{graph.node_count()} nodes from {args.data}")
     limits = ExtractionLimits(max_length=args.max_length,
                               max_paths=args.max_paths,
                               on_limit="truncate")
-    index, stats = build_index(graph, args.index_dir, limits=limits)
+    index, stats = build_index(graph, args.index_dir, limits=limits,
+                               shards=args.shards)
+    if args.shards > 1:
+        counts = ", ".join(str(shard.path_count) for shard in index.shards)
+        print(f"partitioned into {index.shard_count} shards "
+              f"({counts} paths)")
     index.close()
     print(f"indexed {stats.path_count} paths in "
           f"{format_seconds(stats.build_seconds)} "
@@ -78,6 +87,21 @@ def _cmd_index(args) -> int:
     if stats.truncated:
         print("note: path extraction hit its budget and truncated "
               "(raise --max-paths / --max-length to extract more)")
+    return 0
+
+
+def _cmd_index_reshard(args) -> int:
+    from .index.sharded import reshard
+
+    index = reshard(args.index_dir, args.shards, output=args.output)
+    try:
+        destination = args.output or args.index_dir
+        print(f"resharded {args.index_dir} -> {destination}: "
+              f"{index.shard_count} shard(s), {index.path_count} paths")
+        for shard_no, shard in enumerate(index.shards):
+            print(f"  shard {shard_no:02d}: {shard.path_count} paths")
+    finally:
+        index.close()
     return 0
 
 
@@ -303,13 +327,29 @@ def _cmd_profile(args) -> int:
 
 
 def _cmd_inspect(args) -> int:
-    index = PathIndex.open(args.index_dir)
+    import os
+
+    from .index.sharded import ShardedIndex, is_sharded_dir, shard_dir
+
+    if is_sharded_dir(args.index_dir):
+        index = ShardedIndex.open(args.index_dir)
+    else:
+        index = PathIndex.open(args.index_dir)
     try:
         print(f"index: {args.index_dir}")
         for key, value in sorted(index.metadata.items()):
             print(f"  {key}: {value}")
         print(f"  paths: {index.path_count}")
-        import os
+        if getattr(index, "is_sharded", False):
+            print(f"  shards: {index.shard_count} "
+                  f"(epochs {list(index.epoch_vector)})")
+            for shard_no, shard in enumerate(index.shards):
+                log = os.path.join(shard_dir(args.index_dir, shard_no),
+                                   "paths.log")
+                size = (format_bytes(os.path.getsize(log))
+                        if os.path.exists(log) else "?")
+                print(f"  shard {shard_no:02d}: {shard.path_count} paths, "
+                      f"{size} on disk")
         log_path = os.path.join(args.index_dir, "paths.log")
         if os.path.exists(log_path):
             print(f"  on disk: {format_bytes(os.path.getsize(log_path))}")
@@ -345,16 +385,39 @@ def build_parser() -> argparse.ArgumentParser:
     generate.set_defaults(func=_cmd_generate)
 
     index = sub.add_parser(
-        "index", help="build a path index from RDF data "
-                      "(or: sama index compact DIR)")
-    index.add_argument("data", help="input .nt or .ttl file, or the word "
-                                    "'compact' to vacuum an incremental "
-                                    "index directory")
-    index.add_argument("index_dir", help="directory for the index")
-    index.add_argument("--format", choices=["nt", "ttl"], default=None)
-    index.add_argument("--max-paths", type=int, default=200_000)
-    index.add_argument("--max-length", type=int, default=32)
-    index.set_defaults(func=_cmd_index)
+        "index", help="build and maintain path indexes "
+                      "(build / compact / reshard)")
+    index_sub = index.add_subparsers(dest="index_command", required=True)
+
+    index_build = index_sub.add_parser(
+        "build", help="build a path index from RDF data")
+    index_build.add_argument("data", help="input .nt or .ttl file")
+    index_build.add_argument("index_dir", help="directory for the index")
+    index_build.add_argument("--format", choices=["nt", "ttl"], default=None)
+    index_build.add_argument("--max-paths", type=int, default=200_000)
+    index_build.add_argument("--max-length", type=int, default=32)
+    index_build.add_argument("--shards", type=int, default=1,
+                             help="partition the paths across N "
+                                  "self-contained shards (default 1 = "
+                                  "plain unsharded index)")
+    index_build.set_defaults(func=_cmd_index_build)
+
+    index_compact = index_sub.add_parser(
+        "compact", help="vacuum an incremental index directory")
+    index_compact.add_argument("index_dir")
+    index_compact.set_defaults(func=_cmd_index_compact)
+
+    index_reshard = index_sub.add_parser(
+        "reshard", help="repartition an existing index to a new "
+                        "shard count")
+    index_reshard.add_argument("index_dir",
+                               help="existing index (sharded or plain)")
+    index_reshard.add_argument("--shards", type=int, required=True,
+                               help="target shard count")
+    index_reshard.add_argument("--output", default=None,
+                               help="write the repartitioned index here "
+                                    "instead of replacing in place")
+    index_reshard.set_defaults(func=_cmd_index_reshard)
 
     query = sub.add_parser("query", help="run a SPARQL query on an index")
     query.add_argument("index_dir")
@@ -462,7 +525,19 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: ``sama index`` verbs; anything else in that position is data (the
+#: historical ``sama index DATA DIR`` spelling, kept as a build alias).
+_INDEX_VERBS = frozenset({"build", "compact", "reshard"})
+
+
 def main(argv: "list[str] | None" = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    if (len(argv) >= 2 and argv[0] == "index"
+            and argv[1] not in _INDEX_VERBS
+            and not argv[1].startswith("-")):
+        argv.insert(1, "build")
     args = build_parser().parse_args(argv)
     # Structured errors become one-line diagnostics, never tracebacks:
     # exit 2 for bad input, 4 for a tripped budget, 3 for the rest.

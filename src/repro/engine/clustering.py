@@ -11,6 +11,7 @@ the paper's Fig. 3), which is exactly what happens here.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 
 from ..index.pathindex import PathIndex
@@ -30,6 +31,15 @@ _CHARGE_BLOCK = 64
 #: an executor is available: dispatch overhead beats the win (measured
 #: in ``benchmarks/bench_hotpath.py``).
 PARALLEL_THRESHOLD = 512
+
+#: Minimum candidates before a cluster over a sharded index
+#: scatter-gathers.  Much lower than :data:`PARALLEL_THRESHOLD`:
+#: scatter dispatch is one task per shard (not one per
+#: :data:`_CHUNK`-slice), and the win it buys — overlapping each
+#: shard's physical page reads — already pays at small clusters when
+#: the buffer pool is cold (measured in
+#: ``benchmarks/bench_sharding.py``).
+SCATTER_THRESHOLD = 64
 
 #: Candidates per parallel alignment chunk.
 _CHUNK = 128
@@ -184,6 +194,7 @@ def build_clusters(prepared: PreparedQuery, index: PathIndex,
                    memo: "AlignmentMemo | None" = None,
                    executor=None,
                    parallel_threshold: int = PARALLEL_THRESHOLD,
+                   scatter_threshold: int = SCATTER_THRESHOLD,
                    transcript: bool = False) -> list[Cluster]:
     """Build one cluster per query path of ``prepared``.
 
@@ -201,6 +212,15 @@ def build_clusters(prepared: PreparedQuery, index: PathIndex,
     entries; clusters not yet reached come back empty — the search
     prices them with the missing-path penalty, so a degraded query
     still yields ranked, scored answers.
+
+    A :class:`~repro.index.sharded.ShardedIndex` runs through the same
+    logic over global ids — and when an executor is available and the
+    cluster holds at least ``scatter_threshold`` candidates, cluster
+    retrieval *scatter-gathers*: candidates are charged against the
+    budget in global order, decoded and aligned with one task per
+    shard, and merged back with a deterministic k-way merge on
+    ``(λ, gid)``, so rankings are bit-identical to the single-shard
+    engine at any shard count (``tests/test_sharded.py``).
 
     ``memo`` caches scored alignments per query (one is created when
     not supplied; pass the same instance to a follow-up ``explain`` to
@@ -263,6 +283,47 @@ def build_clusters(prepared: PreparedQuery, index: PathIndex,
                         anchor, semantic=semantic_lookup)
                     if offsets:
                         break
+        # Sharded scatter-gather: when the index is partitioned and an
+        # executor is available, charge the budget up front over the
+        # *global* candidate order (identical trip points for the
+        # deterministic caps), then fan decode + trim + alignment out
+        # with one task per shard — each shard's buffer pool is touched
+        # by exactly one thread, so simulated or real page-read latency
+        # overlaps across shards — and k-way merge the per-shard
+        # results on ``(λ, gid)``.  Global ids ascend in build-walk
+        # order exactly like the unsharded index's byte offsets, so the
+        # merged order is bit-identical to the serial sort below.
+        if (executor is not None and getattr(index, "is_sharded", False)
+                and index.shard_count > 1
+                and len(offsets) >= max(2, scatter_threshold)):
+            kept = offsets
+            for rank in range(0, len(offsets), _CHARGE_BLOCK):
+                if (budget is not None and budget.charge_candidates(
+                        min(_CHARGE_BLOCK, len(offsets) - rank))):
+                    tripped = True
+                    kept = offsets[:rank]
+                    break
+            merged, scatter_tripped = _scatter_gather(
+                index, kept, query_path, trim_to_anchor, anchor, matcher,
+                weights, memo, transcript, budget, executor)
+            tripped = tripped or scatter_tripped
+            entries = []
+            for score, gid, path, alignment in merged:
+                uid_key = (gid, path.length)
+                uid = uid_pool.get(uid_key)
+                if uid is None:
+                    uid = next_uid
+                    uid_pool[uid_key] = uid
+                    next_uid += 1
+                entries.append(ClusterEntry(
+                    offset=gid, path=path, alignment=alignment,
+                    score=score, uid=uid))
+            if max_cluster_size is not None:
+                entries = entries[:max_cluster_size]
+            clusters.append(Cluster(
+                query_path=query_path, entries=entries,
+                missing_penalty=missing_path_penalty(query_path, weights)))
+            continue
         # Stage 1 (serial): charge the budget, decode, and trim.  The
         # storage layer stays single-threaded; only the pure-CPU
         # alignment below ever fans out.
@@ -372,3 +433,76 @@ def _score_candidates(pool_pairs: list[tuple[int, Path]], query_path: Path,
             return results
         results.append(score_one(offset, path))
     return results
+
+
+def _scatter_gather(index, gids: list[int], query_path: Path,
+                    trim_to_anchor: bool, anchor, matcher: LabelMatcher,
+                    weights: ScoringWeights, memo: AlignmentMemo,
+                    transcript: bool, budget: "Budget | None", executor,
+                    ) -> "tuple[list[tuple], bool]":
+    """Fan one cluster's candidates out across shards; merge on (λ, gid).
+
+    One task per non-empty shard decodes, trims and memo-scores its
+    slice of the (already budget-charged) candidate list; each task
+    returns its results sorted by ``(score, gid)`` and the calling
+    thread k-way merges them.  Returns the merged
+    ``(score, gid, path, alignment)`` tuples and whether any task saw
+    the budget deadline trip mid-scoring (its cluster keeps what was
+    scored; later clusters come back empty, the serial contract).
+
+    The memo is shared across tasks on purpose: its table is a dict
+    whose get/put are GIL-atomic, and a racing duplicate alignment is
+    merely redundant work, never a wrong score.
+    """
+    node_mis = weights.node_mismatch
+    node_ins = weights.node_insertion
+    edge_mis = weights.edge_mismatch
+    edge_ins = weights.edge_insertion
+    node_del = weights.node_deletion
+    edge_del = weights.edge_deletion
+
+    def run_shard(shard_no: int, pairs: list[tuple[int, int]]):
+        shard = index.shards[shard_no]
+        results = []
+        tripped = False
+        for rank, (gid, offset) in enumerate(pairs):
+            if (budget is not None and rank and rank % _CHARGE_BLOCK == 0
+                    and budget.poll("cluster")):
+                tripped = True
+                break
+            path = shard.path_at(offset)
+            if trim_to_anchor:
+                path = _prefix_at_anchor(path, anchor, matcher)
+                if path is None:
+                    continue
+            key = (gid, path.length, query_path)
+            found = memo.get(key)
+            if found is not None:
+                alignment, score = found
+            else:
+                alignment = align(path, query_path, matcher,
+                                  transcript=transcript)
+                counts = alignment.counts
+                score = (node_mis * counts.node_mismatches
+                         + node_ins * counts.node_insertions
+                         + edge_mis * counts.edge_mismatches
+                         + edge_ins * counts.edge_insertions
+                         + node_del * counts.node_deletions
+                         + edge_del * counts.edge_deletions)
+                memo.put(key, alignment, score)
+            results.append((score, gid, path, alignment))
+        results.sort(key=lambda item: (item[0], item[1]))
+        return results, tripped
+
+    futures = [executor.submit(run_shard, shard_no, pairs)
+               for shard_no, pairs in enumerate(index.group_by_shard(gids))
+               if pairs]
+    shard_results = []
+    tripped = False
+    for future in futures:
+        results, shard_tripped = future.result()
+        shard_results.append(results)
+        tripped = tripped or shard_tripped
+    merged = list(heapq.merge(*shard_results,
+                              key=lambda item: (item[0], item[1])))
+    return merged, tripped

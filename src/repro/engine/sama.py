@@ -123,11 +123,24 @@ class SamaEngine:
     def open(cls, directory, config: "EngineConfig | None" = None,
              thesaurus: "Thesaurus | None" = None,
              read_latency: float = 0.0) -> "SamaEngine":
-        """Reopen a previously built index directory."""
+        """Reopen a previously built index directory.
+
+        Detects the layout: a directory holding a sharded manifest
+        (built with ``sama index build --shards N`` or
+        :func:`repro.index.sharded.build_sharded_index`) comes back as
+        a :class:`~repro.index.sharded.ShardedIndex`, anything else as
+        a plain :class:`PathIndex`.  The engine runs identically on
+        both — sharding changes wall-clock, never rankings.
+        """
         if thesaurus is None:
             thesaurus = default_thesaurus()
-        index = PathIndex.open(directory, thesaurus=thesaurus,
-                               read_latency=read_latency)
+        from ..index.sharded import ShardedIndex, is_sharded_dir
+        if is_sharded_dir(directory):
+            index = ShardedIndex.open(directory, thesaurus=thesaurus,
+                                      read_latency=read_latency)
+        else:
+            index = PathIndex.open(directory, thesaurus=thesaurus,
+                                   read_latency=read_latency)
         return cls(index, config=config, thesaurus=thesaurus)
 
     # -- query API ----------------------------------------------------------------
@@ -200,6 +213,31 @@ class SamaEngine:
         - ``"raise"``: raise
           :class:`~repro.resilience.errors.QueryTimeout` carrying the
           same reasons and partial answers.
+
+        Example — the paper's Fig. 1 US-Congress graph, asking for
+        male principal sponsors of bills amended by Carla Bunes'
+        Health-Care amendments (Fig. 1(b)'s query ``Q1``; no exact
+        match exists, so the best answers carry an approximation
+        cost):
+
+        >>> from repro.datasets.govtrack import govtrack_graph
+        >>> from repro.engine import SamaEngine
+        >>> engine = SamaEngine.from_graph(govtrack_graph())
+        >>> answers = engine.query('''
+        ...     PREFIX gov: <http://example.org/govtrack/>
+        ...     SELECT ?v1 ?v2 ?v3 WHERE {
+        ...         gov:CarlaBunes gov:sponsor ?v1 .
+        ...         ?v1 gov:aTo ?v2 .
+        ...         ?v2 gov:subject "Health Care" .
+        ...         ?v3 gov:sponsor ?v2 .
+        ...         ?v3 gov:gender "Male" .
+        ...     }''', k=3)
+        >>> answers.complete
+        True
+        >>> round(answers[0].score, 3)
+        2.0
+        >>> sorted(str(v) for v in answers[0].substitution())
+        ['?v1', '?v2', '?v3']
         """
         if on_budget not in ("partial", "raise"):
             raise ValueError(f"on_budget must be 'partial' or 'raise', "

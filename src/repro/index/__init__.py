@@ -13,12 +13,16 @@ from .incremental import (CompactionReport, IncrementalIndex, UpdateStats,
                           compact_directory)
 from .labels import LabelIndex, LabelInterner, SemanticMatcher
 from .pathindex import IndexCorruptError, PathIndex, PathIndexWriter
+from .sharded import (ShardedIndex, build_sharded_index, is_sharded_dir,
+                      reshard, shard_of, signature_hash)
 from .thesaurus import Thesaurus, default_thesaurus, tokenize_label
 
 __all__ = [
     "CompactionReport", "Hypergraph", "INDEXER_LIMITS", "IncrementalIndex",
     "IndexCorruptError", "IndexStats", "LabelIndex", "LabelInterner",
-    "PathIndex", "PathIndexWriter", "SemanticMatcher", "Thesaurus",
-    "UpdateStats", "build_index", "compact_directory", "default_thesaurus",
-    "hypergraph_of", "tokenize_label",
+    "PathIndex", "PathIndexWriter", "SemanticMatcher", "ShardedIndex",
+    "Thesaurus", "UpdateStats", "build_index", "build_sharded_index",
+    "compact_directory", "default_thesaurus", "hypergraph_of",
+    "is_sharded_dir", "reshard", "shard_of", "signature_hash",
+    "tokenize_label",
 ]

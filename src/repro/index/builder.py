@@ -64,7 +64,8 @@ def build_index(graph: DataGraph, directory,
                 use_default_thesaurus: bool = True,
                 page_size: int = 4096,
                 compress: bool = False,
-                intern_records: bool = True) -> tuple[PathIndex, IndexStats]:
+                intern_records: bool = True,
+                shards: int = 1):
     """Build the path index of ``graph`` under ``directory``.
 
     Returns the opened :class:`PathIndex` and its :class:`IndexStats`.
@@ -75,7 +76,23 @@ def build_index(graph: DataGraph, directory,
     are label-interned (compact ids decoded through the persisted
     label dictionary); ``intern_records=False`` writes the original
     inline-term records.
+
+    ``shards > 1`` routes to
+    :func:`repro.index.sharded.build_sharded_index`: the same walk
+    order partitioned across N self-contained shard directories, and a
+    :class:`~repro.index.sharded.ShardedIndex` comes back instead of a
+    :class:`PathIndex` (same lookup surface, bit-identical rankings).
     """
+    if shards > 1:
+        from .sharded import build_sharded_index
+
+        if compress or not intern_records:
+            raise ValueError("sharded indexes use the interned record "
+                             "format; compress/intern_records do not apply")
+        return build_sharded_index(graph, directory, shards,
+                                   limits=limits, thesaurus=thesaurus,
+                                   use_default_thesaurus=use_default_thesaurus,
+                                   page_size=page_size)
     if thesaurus is None and use_default_thesaurus:
         thesaurus = default_thesaurus()
     stats = IndexStats(dataset=graph.name or "<anonymous>")

@@ -48,7 +48,7 @@ from ..storage.pagestore import PageStore
 from ..storage.recordfile import RecordFile
 from ..storage.serializer import decode_path, encode_path
 from .builder import INDEXER_LIMITS
-from .labels import LabelIndex
+from .labels import LabelIndex, LabelInterner
 from .thesaurus import Thesaurus, default_thesaurus
 
 #: Sidecar persisting which records of ``paths.log`` are alive (and
@@ -84,7 +84,10 @@ class IncrementalIndex:
     def __init__(self, graph: DataGraph, directory,
                  limits: ExtractionLimits = INDEXER_LIMITS,
                  thesaurus: "Thesaurus | None" = None,
-                 page_size: int = 4096):
+                 page_size: int = 4096,
+                 shards: int = 1, hash_seed: int = 0):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
         self.graph = graph
         self.directory = directory
         self.limits = limits
@@ -103,12 +106,44 @@ class IncrementalIndex:
         self._offsets_by_root: dict[int, set[int]] = {}
         self._decoded: dict[int, Path] = {}
         self._hub_mode = not graph.sources() and graph.node_count() > 0
-        #: Bumped on every observable change to the index contents —
-        #: effective insertions, deletions, rebuilds, compactions.
-        #: Result caches key on it so stale rankings die with the data
-        #: version that produced them.
-        self.epoch = 0
+        #: Logical shards for epoch accounting: each stored path is
+        #: routed by the same stable label-signature hash the on-disk
+        #: :class:`~repro.index.sharded.ShardedIndex` uses, and an
+        #: update bumps only the epochs of the shards it touched.  The
+        #: serving cache keys on the resulting epoch *vector*, so an
+        #: update invalidates per-shard instead of flushing globally.
+        self.shards = shards
+        self.hash_seed = hash_seed
+        self._epochs = [0] * shards
+        self._shard_by_offset: dict[int, int] = {}
+        self._route_interner = LabelInterner()
+        #: Shards touched by the update round in progress (None when
+        #: no round is open — construction-time extraction bumps
+        #: nothing: epoch 0 is the freshly built index).
+        self._touched: "set[int] | None" = None
         self._extract_roots(self.graph.path_roots())
+
+    @property
+    def epoch(self) -> int:
+        """Scalar data version: the sum of per-shard epochs.
+
+        Bumped on every observable change to the index contents —
+        effective insertions, deletions, rebuilds, compactions.
+        Monotone, so the serving layer's check-and-set logic is
+        unchanged; result caches key on the finer-grained
+        :attr:`epoch_vector` when more than one shard is configured.
+        """
+        return sum(self._epochs)
+
+    @property
+    def epoch_vector(self) -> tuple:
+        """Per-shard epochs, the composite result-cache key part."""
+        return tuple(self._epochs)
+
+    @property
+    def shard_count(self) -> int:
+        """Logical shard count (mirrors ``ShardedIndex.shard_count``)."""
+        return self.shards
 
     # -- construction helpers ------------------------------------------------
 
@@ -130,7 +165,34 @@ class IncrementalIndex:
         for label in set(path.nodes) | set(path.edges):
             self._contains_index.add(label, offset)
         self._decoded[offset] = path
+        owner = 0
+        if self.shards > 1:
+            from .sharded import shard_of
+            owner = shard_of(path, self._route_interner, self.shards,
+                             self.hash_seed)
+        self._shard_by_offset[offset] = owner
+        if self._touched is not None:
+            self._touched.add(owner)
         self.stats.paths_added += 1
+
+    # -- epoch rounds --------------------------------------------------------
+
+    def _begin_round(self) -> None:
+        self._touched = set()
+
+    def _commit_round(self) -> None:
+        """Bump the epochs of every shard the round touched.
+
+        A round that changed the graph without moving any path still
+        bumps all shards (conservative, and vanishingly rare: it means
+        the update was effective yet produced and removed no paths).
+        """
+        touched = self._touched
+        self._touched = None
+        if not touched:
+            touched = set(range(self.shards))
+        for shard in touched:
+            self._epochs[shard] += 1
 
     # -- updates -------------------------------------------------------------------
 
@@ -145,24 +207,27 @@ class IncrementalIndex:
         self.stats.triples_added += 1
         if self.graph.edge_count() == edge_count_before:
             return  # duplicate triple: nothing changed
-        self.epoch += 1
+        self._begin_round()
+        try:
+            if self._hub_mode or not self.graph.sources():
+                # Hub-promoted roots are global; rebuild everything.
+                self._hub_mode = not self.graph.sources()
+                self._full_rebuild()
+                return
 
-        if self._hub_mode or not self.graph.sources():
-            # Hub-promoted roots are global; rebuild everything.
-            self._hub_mode = not self.graph.sources()
-            self._full_rebuild()
-            return
-
-        after_sources = set(self.graph.sources())
-        # Roots that can reach ``src`` in the updated graph...
-        affected = self._roots_reaching(src, after_sources)
-        # ...plus any root that appeared or disappeared with this edge
-        # (``dst`` may have stopped being a source; ``src`` may be new).
-        affected |= (after_sources - before_sources)
-        vanished = before_sources - after_sources
-        for root in vanished | affected:
-            self._invalidate_root(root)
-        self._extract_roots(sorted(affected))
+            after_sources = set(self.graph.sources())
+            # Roots that can reach ``src`` in the updated graph...
+            affected = self._roots_reaching(src, after_sources)
+            # ...plus any root that appeared or disappeared with this
+            # edge (``dst`` may have stopped being a source; ``src``
+            # may be new).
+            affected |= (after_sources - before_sources)
+            vanished = before_sources - after_sources
+            for root in vanished | affected:
+                self._invalidate_root(root)
+            self._extract_roots(sorted(affected))
+        finally:
+            self._commit_round()
 
     def add_triples(self, rows) -> None:
         for row in rows:
@@ -204,22 +269,24 @@ class IncrementalIndex:
             for node, label in old_labels.items()))
         self.graph = rebuilt
         self.stats.triples_added += 1  # counts update rounds
-        self.epoch += 1
+        self._begin_round()
+        try:
+            if not same_ids or self._hub_mode or not self.graph.sources():
+                self._hub_mode = not self.graph.sources() \
+                    and self.graph.node_count() > 0
+                self._full_rebuild()
+                return True
 
-        if not same_ids or self._hub_mode or not self.graph.sources():
-            self._hub_mode = not self.graph.sources() \
-                and self.graph.node_count() > 0
-            self._full_rebuild()
+            after_sources = set(self.graph.sources())
+            affected = self._roots_reaching(old_src, after_sources)
+            affected |= (after_sources - before_sources)
+            vanished = before_sources - after_sources
+            for root in vanished | affected:
+                self._invalidate_root(root)
+            self._extract_roots(sorted(affected))
             return True
-
-        after_sources = set(self.graph.sources())
-        affected = self._roots_reaching(old_src, after_sources)
-        affected |= (after_sources - before_sources)
-        vanished = before_sources - after_sources
-        for root in vanished | affected:
-            self._invalidate_root(root)
-        self._extract_roots(sorted(affected))
-        return True
+        finally:
+            self._commit_round()
 
     def _roots_reaching(self, node: int, sources: set[int]) -> set[int]:
         """Sources with a directed path to ``node`` (reverse BFS)."""
@@ -243,11 +310,17 @@ class IncrementalIndex:
             self._alive.discard(offset)
             self._root_of.pop(offset, None)
             self._decoded.pop(offset, None)
+            owner = self._shard_by_offset.pop(offset, 0)
+            if self._touched is not None:
+                self._touched.add(owner)
             self.stats.paths_invalidated += 1
             self.stats.dead_bytes += self._record_size.pop(offset, 0)
 
     def _full_rebuild(self) -> None:
         self.stats.full_rebuilds += 1
+        if self._touched is not None:
+            # A rebuild rewrites every shard's contents by definition.
+            self._touched.update(range(self.shards))
         for root in list(self._offsets_by_root):
             self._invalidate_root(root)
         self._sink_index = LabelIndex(self.thesaurus)
@@ -308,7 +381,8 @@ class IncrementalIndex:
     @property
     def metadata(self) -> dict:
         return {"dataset": self.graph.name, "incremental": True,
-                "triples": self.graph.edge_count(), "epoch": self.epoch}
+                "triples": self.graph.edge_count(), "epoch": self.epoch,
+                "epochs": list(self._epochs), "shards": self.shards}
 
     def close(self) -> None:
         self._records.store.close()
@@ -345,7 +419,13 @@ class IncrementalIndex:
         fresh._offsets_by_root = {}
         fresh._decoded = {}
         fresh._hub_mode = self._hub_mode
-        fresh.epoch = self.epoch + 1
+        fresh.shards = self.shards
+        fresh.hash_seed = self.hash_seed
+        fresh._shard_by_offset = {}
+        fresh._route_interner = LabelInterner()
+        fresh._touched = None
+        # Compaction renumbers offsets in every shard: all epochs bump.
+        fresh._epochs = [epoch + 1 for epoch in self._epochs]
         for offset in self.all_offsets():
             fresh._store_path(self._root_of[offset], self.path_at(offset))
         fresh.stats = UpdateStats()
@@ -367,6 +447,8 @@ class IncrementalIndex:
         payload = {
             "version": _MANIFEST_VERSION,
             "epoch": self.epoch,
+            "epochs": list(self._epochs),
+            "shards": self.shards,
             "page_size": self._records.store.page_size,
             "dead_bytes": self.stats.dead_bytes,
             "alive": [[offset, self._root_of[offset]]
@@ -443,9 +525,13 @@ def compact_directory(directory, output=None) -> CompactionReport:
     new_log_bytes = fresh_store.size_bytes()
     fresh_store.close()
     store.close()
+    old_epochs = manifest.get("epochs") or [manifest["epoch"]]
+    new_epochs = [epoch + 1 for epoch in old_epochs]
     atomic_write_json(os.path.join(target, MANIFEST_FILE), {
         "version": _MANIFEST_VERSION,
-        "epoch": manifest["epoch"] + 1,
+        "epoch": sum(new_epochs),
+        "epochs": new_epochs,
+        "shards": manifest.get("shards", len(new_epochs)),
         "page_size": manifest["page_size"],
         "dead_bytes": 0,
         "alive": alive,

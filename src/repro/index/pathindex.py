@@ -97,8 +97,15 @@ class PathIndex:
     def open(cls, directory, thesaurus: "Thesaurus | None" = None,
              read_latency: float = 0.0,
              pool_capacity: int = 4096,
-             read_ahead: int = DEFAULT_READ_AHEAD) -> "PathIndex":
-        """Open an index previously persisted under ``directory``."""
+             read_ahead: int = DEFAULT_READ_AHEAD,
+             interner: "LabelInterner | None" = None) -> "PathIndex":
+        """Open an index previously persisted under ``directory``.
+
+        ``interner`` supplies an already-loaded label dictionary
+        instead of reading ``labels.dict`` from disk — the sharded
+        index opens one global dictionary and shares it across every
+        shard so dense label ids agree globally.
+        """
         directory = os.fspath(directory)
         maps_path = os.path.join(directory, _MAPS_FILE)
         try:
@@ -110,7 +117,10 @@ class PathIndex:
             raise IndexCorruptError(
                 f"index format {maps.get('version')!r} unsupported "
                 f"(expected {_FORMAT_VERSION})")
+        # Older maps.json files predate the recorded page size; they
+        # were always written with the 4 KiB default.
         store = PageStore(os.path.join(directory, _PATHS_FILE),
+                          page_size=maps.get("page_size", 4096),
                           read_latency=read_latency)
         pool = BufferPool(store, capacity=pool_capacity,
                           read_ahead=read_ahead)
@@ -127,14 +137,14 @@ class PathIndex:
         if maps.get("compressed"):
             dictionary = TermDictionary.load(
                 os.path.join(directory, _DICT_FILE))
-        interner = None
-        labels_path = os.path.join(directory, _LABELS_FILE)
-        if os.path.exists(labels_path):
-            try:
-                interner = LabelInterner.load(labels_path)
-            except Exception as exc:
-                raise IndexCorruptError(
-                    f"cannot read {labels_path}: {exc}") from exc
+        if interner is None:
+            labels_path = os.path.join(directory, _LABELS_FILE)
+            if os.path.exists(labels_path):
+                try:
+                    interner = LabelInterner.load(labels_path)
+                except Exception as exc:
+                    raise IndexCorruptError(
+                        f"cannot read {labels_path}: {exc}") from exc
         interned_records = bool(maps.get("interned_records"))
         if interned_records and interner is None:
             raise IndexCorruptError(
@@ -249,7 +259,8 @@ class PathIndexWriter:
 
     def __init__(self, directory, thesaurus: "Thesaurus | None" = None,
                  page_size: int = 4096, compress: bool = False,
-                 intern_records: bool = True):
+                 intern_records: bool = True,
+                 interner: "LabelInterner | None" = None):
         self.directory = os.fspath(directory)
         os.makedirs(self.directory, exist_ok=True)
         self._store = PageStore(os.path.join(self.directory, _PATHS_FILE),
@@ -257,7 +268,10 @@ class PathIndexWriter:
         self._records = RecordFile(self._store)
         self._thesaurus = thesaurus
         self._dictionary = TermDictionary() if compress else None
-        self._interner = LabelInterner()
+        # ``interner`` lets several writers share one global label
+        # dictionary (the sharded build); each writer still persists
+        # the full dictionary so its directory stays self-contained.
+        self._interner = interner if interner is not None else LabelInterner()
         # Interned records are the default format: compact like the §7
         # dictionary compression AND decodable without constructing
         # fresh Terms.  ``compress`` (the explicit §7 codec) takes
@@ -295,6 +309,7 @@ class PathIndexWriter:
         maps = {
             "version": _FORMAT_VERSION,
             "metadata": metadata or {},
+            "page_size": self._store.page_size,
             "compressed": self._dictionary is not None,
             "interned_records": self._intern_records,
             "offsets": self._offsets,

@@ -36,6 +36,29 @@ def psi(query_a: Path, query_b: Path, data_a: Path, data_b: Path,
 
     Returns 0 for query pairs that do not intersect (they impose no
     conformity constraint, so they contribute nothing to Ψ).
+
+    Example — Fig. 1's Q1 chain next to a second query path reusing
+    both of its variables.  When the data paths share both junction
+    nodes (``A0056`` and ``B1432``) conformity is perfect and ψ equals
+    the weight ``e = 1``; when they share only the bill, the pair
+    conforms half-way (Fig. 4 would label the forest edge ``0.5``) and
+    the distance doubles:
+
+    >>> from repro.paths.model import Path
+    >>> gov = "http://example.org/govtrack/"
+    >>> q_chain = Path([gov + "CarlaBunes", "?v1", "?v2"],
+    ...                [gov + "sponsor", gov + "aTo"])
+    >>> q_pair = Path(["?v1", "?v2"], [gov + "aTo"])
+    >>> p_chain = Path([gov + "CarlaBunes", gov + "A0056", gov + "B1432"],
+    ...                [gov + "sponsor", gov + "aTo"])
+    >>> p_good = Path([gov + "A0056", gov + "B1432"], [gov + "aTo"])
+    >>> psi(q_chain, q_pair, p_chain, p_good)
+    1.0
+    >>> p_half = Path([gov + "A0930", gov + "B1432"], [gov + "aTo"])
+    >>> psi(q_chain, q_pair, p_chain, p_half)
+    2.0
+    >>> conformity_degree(q_chain, q_pair, p_chain, p_half)
+    0.5
     """
     query_common = len(chi(query_a, query_b))
     if query_common == 0:

@@ -19,7 +19,30 @@ from .weights import PAPER_WEIGHTS, ScoringWeights
 
 def lambda_cost(counts: "AlignmentCounts | Alignment",
                 weights: ScoringWeights = PAPER_WEIGHTS) -> float:
-    """The λ of Equation 1 for one aligned path pair."""
+    """The λ of Equation 1 for one aligned path pair.
+
+    Accepts either raw :class:`AlignmentCounts` or a full
+    :class:`Alignment` (its counts are used).
+
+    Example — Fig. 1's amendment chain.  Binding the query's variables
+    to Carla Bunes' concrete amendment and bill is pure substitution,
+    which Definition 4 prices at zero; swapping the ``aTo`` edge for a
+    different label pays the edge-mismatch weight ``c = 2``:
+
+    >>> from repro.paths.alignment import align
+    >>> from repro.paths.model import Path
+    >>> gov = "http://example.org/govtrack/"
+    >>> query = Path([gov + "CarlaBunes", "?v1", "?v2"],
+    ...              [gov + "sponsor", gov + "aTo"])
+    >>> data = Path([gov + "CarlaBunes", gov + "A0056", gov + "B1432"],
+    ...             [gov + "sponsor", gov + "aTo"])
+    >>> lambda_cost(align(data, query))
+    0.0
+    >>> detour = Path([gov + "CarlaBunes", gov + "A0056", gov + "B1432"],
+    ...               [gov + "sponsor", gov + "proposedTo"])
+    >>> lambda_cost(align(detour, query))
+    2.0
+    """
     if isinstance(counts, Alignment):
         counts = counts.counts
     return (weights.node_mismatch * counts.node_mismatches

@@ -52,6 +52,25 @@ def score_paths(data_paths: Sequence[Path], query_paths: Sequence[Path],
     λ costs and Ψ sums ψ over the intersecting query path pairs.  The
     caller can pass a precomputed ``query_ig`` (the engine reuses one
     per query) or let this function build it.
+
+    Example — Fig. 1's Q1 chain plus a second query path reusing its
+    variables, answered by data paths that substitute cleanly (Λ = 0)
+    but share only the bill node, so half the required intersection is
+    missing and Ψ pays double the perfect-conformity weight:
+
+    >>> from repro.paths.model import Path
+    >>> gov = "http://example.org/govtrack/"
+    >>> q_chain = Path([gov + "CarlaBunes", "?v1", "?v2"],
+    ...                [gov + "sponsor", gov + "aTo"])
+    >>> q_pair = Path(["?v1", "?v2"], [gov + "aTo"])
+    >>> p_chain = Path([gov + "CarlaBunes", gov + "A0056", gov + "B1432"],
+    ...                [gov + "sponsor", gov + "aTo"])
+    >>> p_half = Path([gov + "A0930", gov + "B1432"], [gov + "aTo"])
+    >>> breakdown = score_paths([p_chain, p_half], [q_chain, q_pair])
+    >>> print(breakdown)
+    score=2.000 (Λ=0.000, Ψ=2.000)
+    >>> breakdown.total
+    2.0
     """
     if len(data_paths) != len(query_paths):
         raise ValueError(f"need one data path per query path: "
@@ -70,5 +89,13 @@ def score_paths(data_paths: Sequence[Path], query_paths: Sequence[Path],
 def score_value(data_paths: Sequence[Path], query_paths: Sequence[Path],
                 weights: ScoringWeights = PAPER_WEIGHTS,
                 matcher: LabelMatcher = exact_match) -> float:
-    """Just the scalar score(a, Q) — convenience over :func:`score_paths`."""
+    """Just the scalar score(a, Q) — convenience over :func:`score_paths`.
+
+    >>> from repro.paths.model import Path
+    >>> gov = "http://example.org/govtrack/"
+    >>> q = Path([gov + "CarlaBunes", "?v1"], [gov + "sponsor"])
+    >>> p = Path([gov + "CarlaBunes", gov + "A0056"], [gov + "sponsor"])
+    >>> score_value([p], [q])
+    0.0
+    """
     return score_paths(data_paths, query_paths, weights, matcher).total

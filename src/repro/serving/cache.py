@@ -8,6 +8,20 @@ invalidates every affected entry *by construction*: post-update
 lookups carry the new epoch and miss, while the stale entries age out
 of the LRU (or are dropped eagerly via :meth:`drop_stale_epochs`).
 
+**Composite epochs.**  Over a sharded index the epoch in the key is
+not a scalar but the *per-shard epoch vector* — e.g.
+``epoch=(3, 0, 1, 0)|k=10|<canonical form>`` — taken from the index's
+``epoch_vector``.  An update bumps only the epochs of the shards it
+touched, so the key (and therefore the set of invalidated entries)
+tracks exactly which partitions moved; the serving engine's monotone
+freshness check still uses the scalar sum, which only ever grows.
+Because query execution fans out to *all* shards, any component
+differing from the current vector makes an entry unreachable — vector
+entries are stale under :meth:`drop_stale_epochs` exactly when they
+differ from the current vector (components never decrease, so a
+differing vector can never become current again).  Single-shard and
+static indexes keep the plain integer epoch key unchanged.
+
 The budget is in bytes of wire payload, not entry count, so one huge
 k=1000 ranking cannot pin the cache while hundreds of small results
 are evicted around it.
@@ -19,6 +33,18 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import Any
+
+
+def _is_stale(entry_epoch: "int | tuple", current: "int | tuple") -> bool:
+    """True when an entry keyed at ``entry_epoch`` can never hit again.
+
+    Mixed types (an integer entry surviving a reshard to a vector
+    epoch, or vice versa) are trivially stale: the key format changed,
+    so the entry is unreachable.
+    """
+    if isinstance(entry_epoch, tuple) or isinstance(current, tuple):
+        return entry_epoch != current
+    return entry_epoch < current
 
 
 @dataclass
@@ -47,7 +73,7 @@ class CachedResult:
     answers: Any               # PartialResult — returned verbatim on a hit
     payload: dict              # JSON-ready wire form
     size_bytes: int
-    epoch: int
+    epoch: "int | tuple"       # scalar epoch, or per-shard vector (sharded)
     key: str = field(repr=False, default="")
 
 
@@ -109,16 +135,21 @@ class ResultCache:
                 self.stats.evictions += 1
             return True
 
-    def drop_stale_epochs(self, current_epoch: int) -> int:
+    def drop_stale_epochs(self, current_epoch: "int | tuple") -> int:
         """Eagerly drop entries from epochs before ``current_epoch``.
 
         Purely a byte-budget optimisation: stale entries can never be
         *returned* (their keys embed the old epoch), but until evicted
         they occupy budget that live results could use.
+
+        Scalar epochs are ordered, so "stale" means ``<``.  Composite
+        (per-shard vector) epochs are compared for *inequality*: shard
+        epochs never decrease, so any entry whose vector differs from
+        the current one can never be looked up again.
         """
         with self._lock:
             stale = [key for key, entry in self._entries.items()
-                     if entry.epoch < current_epoch]
+                     if _is_stale(entry.epoch, current_epoch)]
             for key in stale:
                 entry = self._entries.pop(key)
                 self._bytes -= entry.size_bytes

@@ -31,7 +31,27 @@ class ServingClientError(ReproError, RuntimeError):
 
 
 class ServingClient:
-    """Blocking JSON client for one serving endpoint."""
+    """Blocking JSON client for one serving endpoint.
+
+    Fig. 1(b)'s Q1 against a server indexing the GovTrack graph (the
+    examples are ``+SKIP`` because they need a running server; see
+    docs/OPERATIONS.md for starting one with ``sama serve``):
+
+    >>> client = ServingClient("http://127.0.0.1:8080")
+    >>> result = client.query(
+    ...     "SELECT ?v3 WHERE {"
+    ...     " <http://example.org/govtrack/CarlaBunes>"
+    ...     " <http://example.org/govtrack/sponsor> ?v1 ."
+    ...     " ?v1 <http://example.org/govtrack/aTo> ?v2 ."
+    ...     " ?v2 <http://example.org/govtrack/subject> 'Health Care' ."
+    ...     " ?v3 <http://example.org/govtrack/sponsor> ?v2 ."
+    ...     " ?v3 <http://example.org/govtrack/gender> 'Male' . }",
+    ...     k=3)                                     # doctest: +SKIP
+    >>> round(result["answers"][0]["score"], 3)      # doctest: +SKIP
+    2.0
+    >>> client.stats()["shards"]                     # doctest: +SKIP
+    4
+    """
 
     def __init__(self, base_url: str, timeout: float = 30.0):
         self.base_url = base_url.rstrip("/")

@@ -235,8 +235,36 @@ class ServingEngine:
 
     @property
     def epoch(self) -> int:
-        """The index's current data epoch (0 for static indexes)."""
+        """The index's current data epoch (0 for static indexes).
+
+        Over a sharded index this is the *sum* of the per-shard epochs
+        — still monotone, which is all the check-and-set in
+        :meth:`submit` needs.
+        """
         return getattr(self.engine.index, "epoch", 0)
+
+    @property
+    def epoch_vector(self) -> "tuple[int, ...]":
+        """Per-shard data epochs; a one-tuple for unsharded indexes."""
+        vector = getattr(self.engine.index, "epoch_vector", None)
+        if vector is None:
+            return (self.epoch,)
+        return tuple(vector)
+
+    @property
+    def epoch_key(self) -> "int | tuple":
+        """The epoch component of cache keys.
+
+        A plain integer for unsharded indexes (keys stay byte-identical
+        to pre-sharding deployments); the full per-shard epoch vector
+        when the index has more than one shard, so an update
+        invalidates exactly the entries whose shards moved (see
+        :mod:`repro.serving.cache`).
+        """
+        vector = self.epoch_vector
+        if len(vector) <= 1:
+            return self.epoch
+        return vector
 
     @property
     def in_flight(self) -> int:
@@ -262,22 +290,24 @@ class ServingEngine:
             deadline_ms = self.config.default_deadline_ms
         graph = self.engine._coerce_query(query)
 
-        epoch = self.epoch
+        epoch_key = self.epoch_key
+        epoch = epoch_key if isinstance(epoch_key, int) else sum(epoch_key)
         with self._epoch_lock:
             # Monotone check-and-set: only the single thread that
             # advances _seen_epoch drops stale entries, and a reader
             # that raced in with an older epoch cannot regress it.
+            # Sharded epochs reduce to their (monotone) sum here.
             advanced = epoch > self._seen_epoch
             if advanced:
                 self._seen_epoch = epoch
         if advanced:
             # The data moved under us: eagerly release the bytes held
             # by entries no future request can reach.
-            self.cache.drop_stale_epochs(epoch)
+            self.cache.drop_stale_epochs(epoch_key)
 
         key = ""
         if self.cache.max_bytes:
-            key = cache_key(graph, k, epoch)
+            key = cache_key(graph, k, epoch_key)
             entry = self.cache.get(key)
             if entry is not None:
                 latency = (time.perf_counter() - started) * 1000.0
@@ -305,7 +335,7 @@ class ServingEngine:
                 deadline_ms = min(deadline_ms, self.config.queue_deadline_ms)
         try:
             return self._pool.submit(self._serve, graph, k, deadline_ms,
-                                     key, epoch, started)
+                                     key, epoch, epoch_key, started)
         except BaseException:
             with self._flight_lock:
                 self._in_flight -= 1
@@ -318,7 +348,8 @@ class ServingEngine:
         return self.submit(query, k, deadline_ms=deadline_ms).result()
 
     def _serve(self, graph, k: int, deadline_ms: "float | None",
-               key: str, epoch: int, started: float) -> ServedResult:
+               key: str, epoch: int, epoch_key: "int | tuple",
+               started: float) -> ServedResult:
         try:
             if self.slow_log is not None:
                 # Capture the per-stage breakdown so a slow line says
@@ -332,7 +363,7 @@ class ServingEngine:
                                             deadline_ms=deadline_ms)
                 stages_ms = None
             payload = answers_payload(answers, k, epoch)
-            if key and answers.complete and self.epoch == epoch:
+            if key and answers.complete and self.epoch_key == epoch_key:
                 # Complete results only: a degraded ranking must not be
                 # replayed to callers with healthier budgets.  The
                 # epoch re-check keeps a result computed during an
@@ -340,7 +371,7 @@ class ServingEngine:
                 size = len(json.dumps(payload).encode("utf-8"))
                 self.cache.put(CachedResult(
                     answers=answers, payload=payload, size_bytes=size,
-                    epoch=epoch, key=key))
+                    epoch=epoch_key, key=key))
             latency = (time.perf_counter() - started) * 1000.0
             self.stats.record(latency, degraded=answers.degraded)
             self._latency_hist.observe(latency / 1000.0)
@@ -378,6 +409,8 @@ class ServingEngine:
         cache = self.cache.stats_snapshot()
         return {
             "epoch": self.epoch,
+            "shards": getattr(self.engine.index, "shard_count", 1),
+            "epochs": list(self.epoch_vector),
             "in_flight": self._in_flight,
             "capacity": self.capacity,
             "workers": self.config.workers,
@@ -423,6 +456,12 @@ class ServingEngine:
                      self.capacity)
         yield Sample("sama_index_epoch", "gauge",
                      "Data epoch of the served index", self.epoch)
+        vector = self.epoch_vector
+        if len(vector) > 1:
+            for shard_no, shard_epoch in enumerate(vector):
+                yield Sample("sama_index_shard_epoch", "gauge",
+                             "Data epoch of one index shard", shard_epoch,
+                             (("shard", str(shard_no)),))
 
         cache = self.cache.stats_snapshot()
         for result, value in (("hit", cache.hits), ("miss", cache.misses)):
@@ -468,6 +507,35 @@ class ServingEngine:
         if decodes is not None:
             yield Sample("sama_record_decodes_total", "counter",
                          "Path records decoded from storage", decodes)
+
+        # Per-shard breakdowns when the served index is a ShardedIndex:
+        # same series shapes as the aggregates above, with a ``shard``
+        # label, so a hot or slow partition is visible at a glance.
+        shards = getattr(index, "shards", None)
+        if getattr(index, "is_sharded", False) and shards:
+            for shard_no, shard in enumerate(shards):
+                label = (("shard", str(shard_no)),)
+                shard_io = getattr(shard, "io_stats", None)
+                if shard_io is not None:
+                    yield Sample("sama_shard_page_reads_total", "counter",
+                                 "Physical page reads per shard",
+                                 shard_io.page_reads, label)
+                    yield Sample("sama_shard_page_read_seconds_total",
+                                 "counter",
+                                 "Seconds in physical page reads per shard",
+                                 shard_io.read_seconds, label)
+                shard_pool = getattr(shard, "cache_stats", None)
+                if shard_pool is not None:
+                    for result, value in (("hit", shard_pool.hits),
+                                          ("miss", shard_pool.misses)):
+                        yield Sample(
+                            "sama_shard_buffer_pool_accesses_total",
+                            "counter",
+                            "Buffer-pool accesses per shard by outcome",
+                            value, label + (("result", result),))
+                yield Sample("sama_shard_record_decodes_total", "counter",
+                             "Path records decoded per shard",
+                             shard.decode_count, label)
 
     def render_metrics(self) -> str:
         """The Prometheus text exposition (``GET /metrics``)."""

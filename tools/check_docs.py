@@ -1,0 +1,162 @@
+"""Doc-drift gate: every documented ``sama ...`` command must parse.
+
+Scans the prose docs for CLI examples — both fenced code blocks and
+inline code spans — and validates each against the real argparse tree
+from ``repro.cli.build_parser()``:
+
+- the subcommand (and ``index`` verb) must exist;
+- every ``--flag``/``-x`` must be an option of that subcommand;
+- the legacy positional form ``sama index DATA DIR`` is flagged: the
+  runtime keeps it working through a compatibility shim, but docs must
+  show the current ``sama index build`` spelling.
+
+Placeholders are tolerated: ``...``/``…`` tokens, ALL-CAPS words like
+``DIR``, and quoted SPARQL strings are not validated.  Run from the
+repo root (CI's ``docs`` job does)::
+
+    PYTHONPATH=src python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import shlex
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+DOC_FILES = ["README.md", "EXPERIMENTS.md", "DESIGN.md",
+             "docs/OPERATIONS.md"]
+
+#: Tokens that stand in for user-supplied values, not literal syntax.
+_PLACEHOLDER = re.compile(r"^(\.\.\.|…|[A-Z][A-Z0-9_-]*)$")
+
+
+def extract_commands(text: str) -> "list[tuple[int, str]]":
+    """All ``sama ...`` example commands with their line numbers."""
+    commands = []
+    # Fenced code blocks: any line whose first word is `sama`, honouring
+    # trailing-backslash continuations.
+    in_fence = False
+    pending = None  # (lineno, partial command)
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if stripped.startswith("```"):
+            in_fence = not in_fence
+            pending = None
+            continue
+        if not in_fence:
+            continue
+        if pending is not None:
+            start, partial = pending
+            joined = partial + " " + stripped.rstrip("\\").strip()
+            if stripped.endswith("\\"):
+                pending = (start, joined)
+            else:
+                commands.append((start, joined))
+                pending = None
+            continue
+        if stripped.startswith("$ "):
+            stripped = stripped[2:]
+        if re.match(r"^sama\s", stripped):
+            body = stripped.rstrip("\\").strip()
+            if stripped.endswith("\\"):
+                pending = (lineno, body)
+            else:
+                commands.append((lineno, body))
+    # Inline code spans: `sama serve DIR` and friends (may wrap lines).
+    for match in re.finditer(r"`(sama\s[^`]+)`", text):
+        lineno = text.count("\n", 0, match.start()) + 1
+        commands.append((lineno, " ".join(match.group(1).split())))
+    return commands
+
+
+def _subparser_map(parser: argparse.ArgumentParser) -> dict:
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return dict(action.choices)
+    return {}
+
+
+def _options_of(parser: argparse.ArgumentParser) -> "set[str]":
+    return {option for action in parser._actions
+            for option in action.option_strings}
+
+
+def check_command(command: str, toplevel: dict) -> "list[str]":
+    """Validate one documented command; returns human-readable errors."""
+    # Inline comments in shell examples are not part of the command.
+    command = command.split("  #")[0].strip()
+    try:
+        tokens = shlex.split(command)
+    except ValueError as exc:
+        return [f"unparseable shell syntax: {exc}"]
+    tokens = tokens[1:]  # drop "sama"
+    if not tokens:
+        return []
+    name = tokens[0]
+    if name not in toplevel:
+        return [f"unknown subcommand {name!r} (have: "
+                f"{', '.join(sorted(toplevel))})"]
+    parser = toplevel[name]
+    tokens = tokens[1:]
+    verbs = _subparser_map(parser)
+    if verbs:
+        if not tokens:
+            return [f"'sama {name}' needs a verb "
+                    f"({', '.join(sorted(verbs))})"]
+        if tokens[0] in verbs:
+            parser = verbs[tokens[0]]
+            tokens = tokens[1:]
+        elif not tokens[0].startswith("-") \
+                and not _PLACEHOLDER.match(tokens[0]):
+            return [f"legacy 'sama {name} {tokens[0]} ...' form — "
+                    f"document 'sama {name} build' instead"]
+        elif _PLACEHOLDER.match(tokens[0]):
+            # `sama index VERB ...` style placeholder: nothing to check.
+            return []
+        else:
+            parser = None  # flags on the bare group: fall through
+    errors = []
+    if parser is not None:
+        options = _options_of(parser)
+        for token in tokens:
+            if not token.startswith("-"):
+                continue
+            flag = token.split("=")[0]
+            if _PLACEHOLDER.match(flag.lstrip("-")) and flag.startswith("--"):
+                continue
+            if flag not in options:
+                errors.append(f"flag {flag!r} is not accepted by "
+                              f"'sama {name}'")
+    return errors
+
+
+def main() -> int:
+    from repro.cli import build_parser
+
+    toplevel = _subparser_map(build_parser())
+    failures = 0
+    checked = 0
+    for relative in DOC_FILES:
+        path = REPO_ROOT / relative
+        if not path.exists():
+            print(f"check-docs: FAIL {relative}: file missing")
+            failures += 1
+            continue
+        for lineno, command in extract_commands(path.read_text()):
+            checked += 1
+            for error in check_command(command, toplevel):
+                print(f"check-docs: FAIL {relative}:{lineno}: "
+                      f"{command!r}: {error}")
+                failures += 1
+    print(f"check-docs: {checked} documented sama command(s) checked, "
+          f"{failures} problem(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
