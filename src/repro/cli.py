@@ -118,11 +118,24 @@ def _cmd_index_compact(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    import signal
+    import threading
+
     from .serving import ServingConfig, ServingEngine
     from .serving.http import serve
 
-    config = EngineConfig(matcher_level=args.matcher)
-    engine = SamaEngine.open(args.index_dir, config=config)
+    config = EngineConfig(matcher_level=args.matcher,
+                          hedge_ms=args.hedge_ms)
+    # recover=True: a sharded index with damaged shards opens anyway,
+    # the damage quarantined on the health board — the server answers
+    # degraded from the surviving shards instead of refusing to start.
+    engine = SamaEngine.open(args.index_dir, config=config, recover=True)
+    health = getattr(engine.index, "health", None)
+    if health is not None and health.degraded:
+        quarantined = health.failed_shards()
+        print(f"warning: serving degraded — shard(s) "
+              f"{','.join(str(s) for s in quarantined)} quarantined by the "
+              f"recovery scan (see /healthz and /stats)", file=sys.stderr)
     serving = ServingEngine(engine, ServingConfig(
         workers=args.workers,
         max_queue=args.max_queue,
@@ -138,13 +151,39 @@ def _cmd_serve(args) -> int:
           f"({args.workers} workers, queue {args.max_queue}, "
           f"cache {args.cache_mb} MiB)")
     print("endpoints: POST /query, GET /healthz, GET /stats, "
-          "GET /metrics  (Ctrl-C to stop)")
+          "GET /metrics  (Ctrl-C to stop, SIGTERM to drain)")
+
+    drain_s = (args.drain_deadline_ms / 1000.0
+               if args.drain_deadline_ms is not None else None)
+    state: dict = {"drainer": None}
+
+    def _drain_and_stop(signum, frame):
+        # The handler must return promptly (it runs on the main thread,
+        # which serve_forever needs back to exit its accept loop), so
+        # the drain runs on a helper thread: admission flips to 503
+        # immediately, in-flight requests get drain_s to finish, then
+        # the listener stops and serve_forever returns below.
+        if state["drainer"] is not None:
+            return
+        print(f"\nSIGTERM: draining (deadline "
+              f"{drain_s:g}s)" if drain_s is not None
+              else "\nSIGTERM: draining", file=sys.stderr)
+        state["drainer"] = threading.Thread(
+            target=lambda: server.graceful_shutdown(drain_s),
+            name="sama-drain", daemon=True)
+        state["drainer"].start()
+
+    previous = signal.signal(signal.SIGTERM, _drain_and_stop)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("\nshutting down")
     finally:
-        server.shutdown()
+        signal.signal(signal.SIGTERM, previous)
+        if state["drainer"] is not None:
+            state["drainer"].join(timeout=30)
+        else:
+            server.shutdown()
     return 0
 
 
@@ -491,6 +530,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="slow-query log file (default: stderr)")
     serve.add_argument("--matcher", choices=["exact", "lexical", "semantic"],
                        default="semantic")
+    serve.add_argument("--hedge-ms", type=_non_negative_ms, default=None,
+                       help="duplicate a straggling shard task after this "
+                            "many ms; first result wins (sharded indexes "
+                            "only)")
+    serve.add_argument("--drain-deadline-ms", type=_non_negative_ms,
+                       default=10_000.0,
+                       help="on SIGTERM, seconds*1000 granted to in-flight "
+                            "requests before the listener stops "
+                            "(default 10000)")
     serve.add_argument("-v", "--verbose", action="store_true",
                        help="log each HTTP request")
     serve.set_defaults(func=_cmd_serve)

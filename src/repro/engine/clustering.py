@@ -12,16 +12,34 @@ the paper's Fig. 3), which is exactly what happens here.
 from __future__ import annotations
 
 import heapq
+from concurrent.futures import FIRST_COMPLETED
+from concurrent.futures import TimeoutError as FutureTimeout
+from concurrent.futures import wait as wait_futures
 from dataclasses import dataclass
 
 from ..index.pathindex import PathIndex
 from ..parallel import chunked
 from ..paths.alignment import Alignment, LabelMatcher, align, exact_match
 from ..paths.model import Path
-from ..resilience.budget import Budget
+from ..resilience.budget import Budget, DegradationCause
+from ..resilience.errors import IndexCorruptError, StorageError
 from ..scoring.quality import lambda_cost
 from ..scoring.weights import PAPER_WEIGHTS, ScoringWeights
 from .preprocess import PreparedQuery
+
+#: Exception types treated as "this shard failed" rather than "this
+#: query failed" when they escape a per-shard task or a per-candidate
+#: decode over a sharded index.  Everything the storage stack raises
+#: deliberately (ShardUnavailableError, TransientStorageError after
+#: retries, checksum failures) plus raw OS-level trouble.
+_SHARD_FAULTS = (StorageError, IndexCorruptError, OSError)
+
+#: Extra seconds granted beyond the budget's remaining deadline before
+#: a dispatched shard task is declared overrun and its partial dropped.
+#: Not a tuning knob for straggler latency (that is ``hedge_ms``) —
+#: just the slack that separates "cooperatively degraded inside the
+#: task" from "the task itself is wedged".
+_SHARD_DEADLINE_GRACE_S = 0.25
 
 #: Candidates charged to the budget per call (granularity of the
 #: ``max_candidates`` cap inside one cluster).
@@ -195,6 +213,7 @@ def build_clusters(prepared: PreparedQuery, index: PathIndex,
                    executor=None,
                    parallel_threshold: int = PARALLEL_THRESHOLD,
                    scatter_threshold: int = SCATTER_THRESHOLD,
+                   hedge_ms: "float | None" = None,
                    transcript: bool = False) -> list[Cluster]:
     """Build one cluster per query path of ``prepared``.
 
@@ -234,12 +253,37 @@ def build_clusters(prepared: PreparedQuery, index: PathIndex,
     re-enables the :class:`~repro.paths.alignment.EditOp` transcript on
     entry alignments (off by default: clustering reads only counts and
     substitutions, and skipping the transcript is a large win).
+
+    **Fault isolation** (sharded indexes only): a shard that raises a
+    storage-level error, is quarantined or circuit-open on the index's
+    health board, or overruns the per-shard deadline contributes an
+    *empty* partial — the surviving shards' candidates still merge, and
+    the loss is recorded on the budget as a ``SHARD_FAILED``
+    degradation reason naming the lost shards.  ``hedge_ms`` arms
+    straggler hedging on the scatter path: a shard task still running
+    after that many milliseconds gets a duplicate dispatch and the
+    first result wins (both compute the same ``(λ, gid)``-sorted list,
+    so hedging never changes a ranking).  Over a single-directory
+    :class:`PathIndex` there is no shard to blame, so storage failures
+    propagate exactly as before.
     """
     clusters = []
     next_uid = 0
     tripped = False
     if memo is None:
         memo = AlignmentMemo()
+    sharded = getattr(index, "is_sharded", False)
+    health = getattr(index, "health", None) if sharded else None
+    # Shards found dead during *this query* (shard -> first error).
+    # Checked before every decode so one dead shard costs one failure,
+    # not one per candidate; noted once on the budget at the end.
+    # Quarantined shards are lost before the query even starts — their
+    # candidates cannot be served, so the result must say SHARD_FAILED
+    # even though no lookup will ever touch them.
+    dead_shards: dict[int, str] = {}
+    if health is not None:
+        for shard_no, reason in health.quarantined_shards():
+            dead_shards[shard_no] = reason or "quarantined"
     # Prefix-trimmed candidates of the same stored path must share a
     # uid only when the prefix matches; key the uid pool accordingly.
     uid_pool: dict[tuple[int, int], int] = {}
@@ -293,7 +337,7 @@ def build_clusters(prepared: PreparedQuery, index: PathIndex,
         # results on ``(λ, gid)``.  Global ids ascend in build-walk
         # order exactly like the unsharded index's byte offsets, so the
         # merged order is bit-identical to the serial sort below.
-        if (executor is not None and getattr(index, "is_sharded", False)
+        if (executor is not None and sharded
                 and index.shard_count > 1
                 and len(offsets) >= max(2, scatter_threshold)):
             kept = offsets
@@ -305,7 +349,8 @@ def build_clusters(prepared: PreparedQuery, index: PathIndex,
                     break
             merged, scatter_tripped = _scatter_gather(
                 index, kept, query_path, trim_to_anchor, anchor, matcher,
-                weights, memo, transcript, budget, executor)
+                weights, memo, transcript, budget, executor,
+                hedge_ms=hedge_ms, dead_shards=dead_shards)
             tripped = tripped or scatter_tripped
             entries = []
             for score, gid, path, alignment in merged:
@@ -338,7 +383,19 @@ def build_clusters(prepared: PreparedQuery, index: PathIndex,
                         min(_CHARGE_BLOCK, len(offsets) - rank))):
                 tripped = True
                 break
-            path = index.path_at(offset)
+            if sharded and dead_shards \
+                    and index.locate(offset)[0] in dead_shards:
+                continue
+            try:
+                path = index.path_at(offset)
+            except _SHARD_FAULTS as exc:
+                if not sharded:
+                    raise      # one directory, no shard to isolate
+                shard_no = index.locate(offset)[0]
+                dead_shards.setdefault(shard_no, str(exc))
+                if health is not None:
+                    health.record_failure(shard_no, exc)
+                continue
             if trim_to_anchor:
                 path = _prefix_at_anchor(path, anchor, matcher)
                 if path is None:
@@ -372,6 +429,11 @@ def build_clusters(prepared: PreparedQuery, index: PathIndex,
         clusters.append(Cluster(
             query_path=query_path, entries=entries,
             missing_penalty=missing_path_penalty(query_path, weights)))
+    if dead_shards and budget is not None:
+        lost = ",".join(str(shard) for shard in sorted(dead_shards))
+        first_error = dead_shards[min(dead_shards)]
+        budget.note(DegradationCause.SHARD_FAILED, "cluster",
+                    f"shards={lost}: {first_error}")
     return clusters
 
 
@@ -439,6 +501,8 @@ def _scatter_gather(index, gids: list[int], query_path: Path,
                     trim_to_anchor: bool, anchor, matcher: LabelMatcher,
                     weights: ScoringWeights, memo: AlignmentMemo,
                     transcript: bool, budget: "Budget | None", executor,
+                    hedge_ms: "float | None" = None,
+                    dead_shards: "dict[int, str] | None" = None,
                     ) -> "tuple[list[tuple], bool]":
     """Fan one cluster's candidates out across shards; merge on (λ, gid).
 
@@ -449,6 +513,16 @@ def _scatter_gather(index, gids: list[int], query_path: Path,
     ``(score, gid, path, alignment)`` tuples and whether any task saw
     the budget deadline trip mid-scoring (its cluster keeps what was
     scored; later clusters come back empty, the serial contract).
+
+    Each shard task is *isolated*: a storage-level error escaping it, a
+    circuit-open verdict from the index's health board, or an overrun
+    of the per-shard deadline (budget remaining plus a small grace)
+    drops that one shard's partial — recorded in ``dead_shards`` and on
+    the health board — while every surviving shard still merges.  When
+    ``hedge_ms`` is set, a task still running after that long gets a
+    duplicate submission and the first completed result wins; the merge
+    key is unchanged, so a hedge can only change *when* the answer
+    arrives, never what it ranks.
 
     The memo is shared across tasks on purpose: its table is a dict
     whose get/put are GIL-atomic, and a racing duplicate alignment is
@@ -494,15 +568,88 @@ def _scatter_gather(index, gids: list[int], query_path: Path,
         results.sort(key=lambda item: (item[0], item[1]))
         return results, tripped
 
-    futures = [executor.submit(run_shard, shard_no, pairs)
-               for shard_no, pairs in enumerate(index.group_by_shard(gids))
-               if pairs]
+    if dead_shards is None:
+        dead_shards = {}
+    health = getattr(index, "health", None)
+
+    def deadline_cap() -> "float | None":
+        """Seconds a gather may still wait before a task is overrun."""
+        if budget is None:
+            return None
+        remaining = budget.remaining_ms()
+        if remaining is None:
+            return None
+        return remaining / 1000.0 + _SHARD_DEADLINE_GRACE_S
+
+    tasks = []
+    for shard_no, pairs in enumerate(index.group_by_shard(gids)):
+        if not pairs:
+            continue
+        if shard_no in dead_shards:
+            continue           # already failed earlier in this query
+        if health is not None and not health.allow(shard_no):
+            dead_shards.setdefault(shard_no, "circuit open")
+            continue
+        tasks.append((shard_no, pairs,
+                      executor.submit(run_shard, shard_no, pairs)))
+
     shard_results = []
     tripped = False
-    for future in futures:
-        results, shard_tripped = future.result()
+    for shard_no, pairs, future in tasks:
+        try:
+            if hedge_ms is not None:
+                try:
+                    results, shard_tripped = future.result(
+                        timeout=hedge_ms / 1000.0)
+                except FutureTimeout:
+                    # Straggler: duplicate the task, first result wins.
+                    if health is not None:
+                        health.note_hedge(shard_no)
+                    hedge = executor.submit(run_shard, shard_no, pairs)
+                    results, shard_tripped = _first_of(
+                        future, hedge, deadline_cap())
+            else:
+                results, shard_tripped = future.result(
+                    timeout=deadline_cap())
+        except FutureTimeout:
+            dead_shards.setdefault(shard_no, "per-shard deadline overrun")
+            if health is not None:
+                health.record_failure(shard_no, "deadline overrun")
+            continue
+        except _SHARD_FAULTS as exc:
+            dead_shards.setdefault(shard_no, str(exc))
+            if health is not None:
+                health.record_failure(shard_no, exc)
+            continue
+        if health is not None:
+            health.record_success(shard_no)
         shard_results.append(results)
         tripped = tripped or shard_tripped
     merged = list(heapq.merge(*shard_results,
                               key=lambda item: (item[0], item[1])))
     return merged, tripped
+
+
+def _first_of(primary, hedge, cap: "float | None"):
+    """The first successful result of two racing shard tasks.
+
+    Waits for whichever future completes first (bounded by ``cap``
+    seconds when given); a completed future that *failed* defers to the
+    other one, and only when both have failed does the first error
+    propagate.  Both compute the same pure function over the same
+    pairs, so whichever wins returns the same sorted list.
+    """
+    pending = {primary, hedge}
+    first_error = None
+    while pending:
+        done, pending = wait_futures(pending, timeout=cap,
+                                     return_when=FIRST_COMPLETED)
+        if not done:
+            raise FutureTimeout()
+        for finished in done:
+            try:
+                return finished.result()
+            except _SHARD_FAULTS as exc:
+                if first_error is None:
+                    first_error = exc
+    raise first_error

@@ -77,6 +77,16 @@ class EngineConfig:
     search: SearchConfig = field(default_factory=SearchConfig)
     workers: "int | None" = None
     fast_path: bool = True
+    #: Straggler hedging over sharded indexes: a scatter-gather shard
+    #: task still running after this many milliseconds is dispatched a
+    #: second time and the first result wins.  ``None`` disables
+    #: hedging.  Rankings are unaffected either way.
+    hedge_ms: "float | None" = None
+    #: Minimum candidates before a cluster over a sharded index
+    #: scatter-gathers (see ``repro.engine.clustering.SCATTER_THRESHOLD``).
+    #: Exposed mainly so tests and small benchmarks can engage the
+    #: scatter path on graphs below the production default.
+    scatter_threshold: "int | None" = None
 
 
 class SamaEngine:
@@ -122,7 +132,8 @@ class SamaEngine:
     @classmethod
     def open(cls, directory, config: "EngineConfig | None" = None,
              thesaurus: "Thesaurus | None" = None,
-             read_latency: float = 0.0) -> "SamaEngine":
+             read_latency: float = 0.0,
+             recover: bool = False) -> "SamaEngine":
         """Reopen a previously built index directory.
 
         Detects the layout: a directory holding a sharded manifest
@@ -131,13 +142,21 @@ class SamaEngine:
         a :class:`~repro.index.sharded.ShardedIndex`, anything else as
         a plain :class:`PathIndex`.  The engine runs identically on
         both — sharding changes wall-clock, never rankings.
+
+        ``recover=True`` (sharded indexes only) runs the startup
+        recovery scan and opens *around* damaged shards — each one is
+        quarantined on the index's health board and queries degrade
+        with ``SHARD_FAILED`` instead of the open failing.  This is
+        what ``sama serve`` uses; offline tools keep the strict
+        default, where damage is a hard error.
         """
         if thesaurus is None:
             thesaurus = default_thesaurus()
         from ..index.sharded import ShardedIndex, is_sharded_dir
         if is_sharded_dir(directory):
-            index = ShardedIndex.open(directory, thesaurus=thesaurus,
-                                      read_latency=read_latency)
+            index = ShardedIndex.open(
+                directory, thesaurus=thesaurus, read_latency=read_latency,
+                on_damage="quarantine" if recover else "raise")
         else:
             index = PathIndex.open(directory, thesaurus=thesaurus,
                                    read_latency=read_latency)
@@ -181,6 +200,10 @@ class SamaEngine:
             executor = None
             memo = AlignmentMemo.disabled()
             transcript = True
+        from .clustering import SCATTER_THRESHOLD
+        scatter_threshold = (self.config.scatter_threshold
+                             if self.config.scatter_threshold is not None
+                             else SCATTER_THRESHOLD)
         with span("cluster"):
             return build_clusters(prepared, self.index,
                                   weights=self.config.weights,
@@ -190,6 +213,8 @@ class SamaEngine:
                                   budget=budget,
                                   memo=memo,
                                   executor=executor,
+                                  scatter_threshold=scatter_threshold,
+                                  hedge_ms=self.config.hedge_ms,
                                   transcript=transcript)
 
     def query(self, query, k: "int | None" = None, *,
@@ -246,6 +271,11 @@ class SamaEngine:
             if budget is not None:
                 raise ValueError("pass either deadline_ms or budget, not both")
             budget = Budget(deadline_ms=deadline_ms)
+        if budget is None:
+            # An unlimited budget: no limit can trip, but fault-time
+            # degradation (a failed shard's SHARD_FAILED) still has a
+            # place to be recorded and flows to the PartialResult.
+            budget = Budget()
         prepared = self.prepare(query, budget=budget)
         clusters = self.clusters(prepared, budget=budget)
         search_config = self.config.search

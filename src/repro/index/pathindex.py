@@ -28,7 +28,7 @@ from ..paths.model import Path
 from ..rdf.ntriples import parse_term
 from ..rdf.terms import Term
 from ..resilience.errors import IndexCorruptError, StorageError
-from ..storage.atomic import atomic_write_json
+from ..storage.atomic import atomic_write_json, sweep_tmp_debris
 from ..storage.bufferpool import BufferPool
 from ..storage.dictionary import (TermDictionary, decode_path_ids,
                                   encode_path_ids)
@@ -107,6 +107,9 @@ class PathIndex:
         shard so dense label ids agree globally.
         """
         directory = os.fspath(directory)
+        # A crash mid-atomic-write strands a *.tmp sibling; the real
+        # files are intact, so just clean the debris on the way in.
+        sweep_tmp_debris(directory)
         maps_path = os.path.join(directory, _MAPS_FILE)
         try:
             with open(maps_path, encoding="utf-8") as handle:

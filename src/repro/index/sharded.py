@@ -63,8 +63,10 @@ from ..paths.extraction import ExtractionLimits, _Budget, _walk_from
 from ..paths.model import Path
 from ..rdf.graph import DataGraph
 from ..rdf.terms import Term
-from ..resilience.errors import IndexCorruptError
-from ..storage.atomic import atomic_write_json
+from ..resilience.errors import (IndexCorruptError, ShardUnavailableError,
+                                 StorageError)
+from ..resilience.health import BreakerConfig, ShardHealth
+from ..storage.atomic import atomic_write_json, sweep_tmp_debris
 from .builder import INDEXER_LIMITS, IndexStats
 from .labels import LabelInterner
 from .pathindex import (DEFAULT_READ_AHEAD, PathIndex, PathIndexWriter,
@@ -123,15 +125,27 @@ def shard_dir(directory, shard: int) -> str:
 
 
 def is_sharded_dir(directory) -> bool:
-    """True when ``directory`` holds a sharded-index manifest."""
+    """True when ``directory`` holds a sharded-index manifest.
+
+    Only a genuinely *absent* manifest means "not sharded".  A manifest
+    that exists but cannot be read or parsed is diagnosed as
+    :class:`IndexCorruptError` — silently answering ``False`` here used
+    to make dispatch code fall through to :class:`PathIndex`, which
+    then failed on the missing ``maps.json`` with an error pointing at
+    entirely the wrong file.
+    """
     path = os.path.join(os.fspath(directory), MANIFEST_FILE)
     if not os.path.exists(path):
         return False
     try:
         with open(path, encoding="utf-8") as handle:
             manifest = json.load(handle)
-    except (OSError, json.JSONDecodeError):
-        return False
+    except FileNotFoundError:
+        return False          # raced away between exists() and open()
+    except (OSError, json.JSONDecodeError) as exc:
+        raise IndexCorruptError(
+            f"shard manifest {path} exists but is unreadable: {exc} "
+            f"— restore it from a replica or rebuild the index") from exc
     return manifest.get("kind") == _MANIFEST_KIND
 
 
@@ -214,6 +228,96 @@ class _AggregateCache:
         return sum(s.cache_stats.retries for s in self._shards)
 
 
+class _ZeroShardStats:
+    """Stats stand-in for a quarantined shard (all counters zero)."""
+
+    page_reads = 0
+    page_writes = 0
+    read_seconds = 0.0
+    hits = 0
+    misses = 0
+    prefetches = 0
+    retries = 0
+
+
+class QuarantinedShard:
+    """Placeholder occupying a damaged shard's slot in the shard list.
+
+    Produced by ``ShardedIndex.open(..., on_damage="quarantine")`` when
+    the startup recovery scan finds a shard it cannot serve (unreadable
+    ``maps.json``, record count disagreeing with the manifest, first
+    record failing to decode).  It keeps the shard *numbering* intact —
+    gid routing, the epoch vector and the health board all index by
+    shard number — while answering like a shard that has nothing:
+    lookups return no candidates, and any attempt to actually decode a
+    record raises :class:`ShardUnavailableError` so the scatter-gather
+    layer degrades the query with ``SHARD_FAILED`` instead of serving
+    silently wrong bytes.
+    """
+
+    quarantined = True
+    page_store = None
+    decode_count = 0
+    path_count = 0
+
+    def __init__(self, directory, shard_no: int, reason: str):
+        self.directory = os.fspath(directory)
+        self.shard_no = shard_no
+        self.reason = reason
+        self._stats = _ZeroShardStats()
+
+    def all_offsets(self) -> list:
+        return []
+
+    def offsets_with_sink(self, label, semantic: bool = True) -> list:
+        return []
+
+    def offsets_containing(self, label, semantic: bool = True) -> list:
+        return []
+
+    def path_at(self, offset: int):
+        raise ShardUnavailableError(
+            f"shard {self.shard_no} ({self.directory}) is quarantined: "
+            f"{self.reason}", shard=self.shard_no)
+
+    def close(self) -> None:
+        pass
+
+    def clear_cache(self) -> None:
+        pass
+
+    def warm_up(self) -> None:
+        pass
+
+    @property
+    def io_stats(self):
+        return self._stats
+
+    @property
+    def cache_stats(self):
+        return self._stats
+
+    def __repr__(self):
+        return (f"<QuarantinedShard {self.shard_no} "
+                f"({self.directory!r}): {self.reason}>")
+
+
+def _probe_shard(shard: PathIndex, expected_records: int) -> str:
+    """Recovery-scan validation of one opened shard; "" when healthy."""
+    try:
+        offsets = shard.all_offsets()
+        if len(offsets) != expected_records:
+            return (f"holds {len(offsets)} records but the manifest "
+                    f"maps {expected_records} gids")
+        if offsets:
+            # Decode one record end-to-end (page read, checksum,
+            # deserialise) so a torn log fails here, not mid-query.
+            shard.path_at(offsets[0])
+    except (StorageError, IndexCorruptError, OSError) as exc:
+        return f"probe read failed: {exc}"
+    return ""
+
+
 class ShardedIndex:
     """N :class:`PathIndex` shards behind the one-index lookup surface.
 
@@ -233,7 +337,8 @@ class ShardedIndex:
     def __init__(self, directory, shards: list[PathIndex],
                  interner: LabelInterner, hash_seed: int,
                  epochs: list[int], gids: list[list[int]],
-                 metadata: "dict | None" = None):
+                 metadata: "dict | None" = None,
+                 health: "ShardHealth | None" = None):
         self.directory = os.fspath(directory)
         self.shards = shards
         self.interner = interner
@@ -245,19 +350,34 @@ class ShardedIndex:
         self._locate: list[tuple[int, int]] = [(-1, -1)] * total
         self._gid_of: list[dict[int, int]] = []
         for shard_no, (shard, shard_gids) in enumerate(zip(shards, gids)):
+            mapping: dict = {}
+            if getattr(shard, "quarantined", False):
+                # The records are unreadable, so local offsets are
+                # unknown; the gids still route here (offset -1) so a
+                # candidate that lands on this shard raises
+                # ShardUnavailableError instead of silently vanishing.
+                for gid in shard_gids:
+                    self._locate[gid] = (shard_no, -1)
+                self._gid_of.append(mapping)
+                continue
             offsets = shard.all_offsets()
             if len(offsets) != len(shard_gids):
                 raise IndexCorruptError(
                     f"shard {shard_no} of {self.directory} holds "
                     f"{len(offsets)} records but the manifest maps "
                     f"{len(shard_gids)} gids")
-            mapping = {}
             for offset, gid in zip(offsets, shard_gids):
                 mapping[offset] = gid
                 self._locate[gid] = (shard_no, offset)
             self._gid_of.append(mapping)
         self._io = _AggregateIO(shards)
         self._cache = _AggregateCache(shards)
+        #: Per-shard circuit breakers; the scatter-gather layer consults
+        #: this board before dispatch and reports outcomes back to it.
+        self.health = health or ShardHealth(len(shards))
+        for shard_no, shard in enumerate(shards):
+            if getattr(shard, "quarantined", False):
+                self.health.quarantine(shard_no, shard.reason)
 
     # -- opening ---------------------------------------------------------------
 
@@ -265,29 +385,74 @@ class ShardedIndex:
     def open(cls, directory, thesaurus: "Thesaurus | None" = None,
              read_latency: float = 0.0,
              pool_capacity: int = 4096,
-             read_ahead: int = DEFAULT_READ_AHEAD) -> "ShardedIndex":
+             read_ahead: int = DEFAULT_READ_AHEAD,
+             on_damage: str = "raise",
+             breaker_config: "BreakerConfig | None" = None
+             ) -> "ShardedIndex":
         """Open a sharded index previously persisted under ``directory``.
 
-        The global label dictionary is loaded once (every shard
-        persisted an identical copy) and shared across all shards, so
-        dense ids agree globally.
+        The global label dictionary is loaded from the first healthy
+        shard (every shard persisted an identical copy) and shared
+        across all shards, so dense ids agree globally.
+
+        ``on_damage`` picks the recovery policy when a shard is found
+        damaged (unreadable metadata, record count disagreeing with the
+        manifest, first record failing a probe decode):
+
+        - ``"raise"`` (default): propagate the corruption error — the
+          index does not open.  Right for builds and offline tools,
+          where partial data is a bug.
+        - ``"quarantine"``: substitute a :class:`QuarantinedShard`,
+          mark it quarantined on the :class:`ShardHealth` board, and
+          open anyway — the serving path, where answering from the
+          surviving shards beats refusing to start.  The sharded-level
+          manifest itself has no fallback: without it there is no gid
+          routing, so a damaged top-level manifest always raises.
         """
+        if on_damage not in ("raise", "quarantine"):
+            raise ValueError(f"on_damage must be 'raise' or 'quarantine', "
+                             f"got {on_damage!r}")
         directory = os.fspath(directory)
+        sweep_tmp_debris(directory)
         manifest = _read_manifest(directory)
         shard_count = manifest["shards"]
-        interner = LabelInterner.load(
-            os.path.join(shard_dir(directory, 0), _LABELS_FILE))
-        shards = []
+        gid_lists = manifest["gids"]
+        quarantining = on_damage == "quarantine"
+        interner: "LabelInterner | None" = None
+        shards: list = []
         for shard_no in range(shard_count):
-            shards.append(PathIndex.open(
-                shard_dir(directory, shard_no), thesaurus=thesaurus,
-                read_latency=read_latency, pool_capacity=pool_capacity,
-                read_ahead=read_ahead, interner=interner))
+            location = shard_dir(directory, shard_no)
+            try:
+                shard = PathIndex.open(
+                    location, thesaurus=thesaurus,
+                    read_latency=read_latency, pool_capacity=pool_capacity,
+                    read_ahead=read_ahead, interner=interner)
+            except (IndexCorruptError, StorageError, OSError) as exc:
+                if not quarantining:
+                    raise
+                shards.append(QuarantinedShard(location, shard_no, str(exc)))
+                continue
+            if quarantining:
+                problem = _probe_shard(shard, len(gid_lists[shard_no]))
+                if problem:
+                    shard.close()
+                    shards.append(QuarantinedShard(location, shard_no,
+                                                   problem))
+                    continue
+            if interner is None:
+                # First healthy shard: its labels.dict becomes the
+                # shared global dictionary (all copies are identical).
+                interner = shard.interner
+            shards.append(shard)
+        if interner is None:
+            raise IndexCorruptError(
+                f"every shard of {directory} is damaged; nothing to serve")
         return cls(directory, shards, interner,
                    hash_seed=manifest.get("hash_seed", 0),
                    epochs=manifest.get("epochs", [0] * shard_count),
-                   gids=manifest["gids"],
-                   metadata=manifest.get("metadata", {}))
+                   gids=gid_lists,
+                   metadata=manifest.get("metadata", {}),
+                   health=ShardHealth(shard_count, breaker_config))
 
     def close(self) -> None:
         for shard in self.shards:

@@ -10,26 +10,34 @@ with an unstructured traceback.  This package supplies the pieces:
   degradation (:mod:`repro.resilience.budget`);
 - the :class:`ReproError` exception hierarchy every deliberate error
   derives from (:mod:`repro.resilience.errors`);
-- bounded retry-with-backoff for transient storage faults
-  (:mod:`repro.resilience.retry`);
+- bounded retry-with-backoff for transient storage faults, with an
+  optional seeded full-jitter mode (:mod:`repro.resilience.retry`);
+- per-shard circuit breakers and quarantine for sharded indexes
+  (:mod:`repro.resilience.health`), so a dead partition degrades the
+  answer instead of failing the query;
 - a deterministic, seeded fault-injection harness
   (:mod:`repro.resilience.faults`) proving the above under storage
-  failures, page corruption, and clock skew.
+  failures, page corruption, clock skew, and shard-scoped chaos plans.
 """
 
 from .budget import (Budget, DegradationCause, DegradationReason,
                      PartialResult)
 from .errors import (IndexCorruptError, InvalidQueryError, OverloadedError,
                      PageCorruptError, ParseError, QueryTimeout, ReproError,
-                     StorageError, TransientStorageError)
-from .faults import FaultInjector, FaultPlan, install, uninstall
-from .retry import DEFAULT_RETRY, NO_RETRY, RetryPolicy, retry_call
+                     ShardUnavailableError, StorageError,
+                     TransientStorageError)
+from .faults import (FaultInjector, FaultPlan, ShardFaultSet, install,
+                     uninstall)
+from .health import BreakerConfig, ShardBreaker, ShardHealth
+from .retry import (DEFAULT_RETRY, JITTERED_RETRY, NO_RETRY, RetryPolicy,
+                    retry_call)
 
 __all__ = [
-    "Budget", "DEFAULT_RETRY", "DegradationCause", "DegradationReason",
-    "FaultInjector", "FaultPlan", "IndexCorruptError", "InvalidQueryError",
-    "NO_RETRY", "OverloadedError", "PageCorruptError", "ParseError",
-    "PartialResult",
-    "QueryTimeout", "ReproError", "RetryPolicy", "StorageError",
+    "BreakerConfig", "Budget", "DEFAULT_RETRY", "DegradationCause",
+    "DegradationReason", "FaultInjector", "FaultPlan", "IndexCorruptError",
+    "InvalidQueryError", "JITTERED_RETRY", "NO_RETRY", "OverloadedError",
+    "PageCorruptError", "ParseError", "PartialResult", "QueryTimeout",
+    "ReproError", "RetryPolicy", "ShardBreaker", "ShardFaultSet",
+    "ShardHealth", "ShardUnavailableError", "StorageError",
     "TransientStorageError", "install", "retry_call", "uninstall",
 ]

@@ -33,6 +33,9 @@ class DegradationCause(enum.Enum):
     CLUSTER_TRUNCATION = "cluster_truncation"
     #: The search stopped after ``max_expansions`` frontier pops.
     EXPANSION_CAP = "expansion_cap"
+    #: One or more index shards failed mid-query; their candidates are
+    #: missing from the answer (the healthy shards' results survive).
+    SHARD_FAILED = "shard_failed"
 
     def __str__(self):
         return self.value

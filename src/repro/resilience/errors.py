@@ -110,5 +110,22 @@ class PageCorruptError(StorageError):
     """A page's content does not match its recorded checksum."""
 
 
+class ShardUnavailableError(StorageError):
+    """A shard of a sharded index cannot serve reads right now.
+
+    Raised when a lookup touches a shard that the recovery scan
+    quarantined at open time (damaged manifest, unreadable log) or that
+    the health board has taken out of rotation.  The scatter-gather
+    layer treats it like any other per-shard storage failure: the
+    shard's partial comes back empty and the query degrades with
+    :data:`~repro.resilience.budget.DegradationCause.SHARD_FAILED`
+    instead of failing outright.
+    """
+
+    def __init__(self, message: str, shard: "int | None" = None):
+        super().__init__(message)
+        self.shard = shard
+
+
 class IndexCorruptError(ReproError, RuntimeError):
     """The on-disk index is unreadable or internally inconsistent."""

@@ -51,10 +51,40 @@ class FaultPlan:
     corrupt_pages: tuple = ()
     max_failures: "int | None" = None
     clock_skew_ms: float = 0.0
+    #: Shard-scoped faults (chaos harness): shards in ``fail_shards``
+    #: hard-fail every physical read; ``shard_fail_rate`` additionally
+    #: hard-fails each shard with that probability (one seeded draw per
+    #: shard, so the set of dead shards is a deterministic function of
+    #: the plan); shards in ``slow_shards`` sleep ``slow_shard_ms``
+    #: per physical read (stragglers for hedging tests).  Shard faults
+    #: are persistent by design — they model a dead or wedged
+    #: partition, not a blip — so ``max_failures`` does not arm them.
+    fail_shards: tuple = ()
+    shard_fail_rate: float = 0.0
+    slow_shards: tuple = ()
+    slow_shard_ms: float = 0.0
 
-    def injector(self) -> "FaultInjector":
-        """A fresh live injector for this plan (one per store)."""
-        return FaultInjector(self)
+    def injector(self, shard: "int | None" = None) -> "FaultInjector":
+        """A fresh live injector for this plan (one per store).
+
+        ``shard`` scopes the injector to one shard of a sharded index
+        so the shard-level faults above know whether they apply.
+        """
+        return FaultInjector(self, shard=shard)
+
+    def shard_is_failed(self, shard: int) -> bool:
+        """Whether ``shard`` is hard-failed under this plan (seeded)."""
+        if shard in self.fail_shards:
+            return True
+        if self.shard_fail_rate:
+            draw = random.Random((self.seed << 8) ^ (shard * 0x9E3779B9))
+            return draw.random() < self.shard_fail_rate
+        return False
+
+    def failed_shards(self, shard_count: int) -> "tuple[int, ...]":
+        """All shards of ``shard_count`` this plan hard-fails."""
+        return tuple(shard for shard in range(shard_count)
+                     if self.shard_is_failed(shard))
 
     def clock(self):
         """A monotonic clock that jumps forward per this plan's skew."""
@@ -78,12 +108,21 @@ class FaultInjector:
     fired.
     """
 
-    def __init__(self, plan: FaultPlan):
+    def __init__(self, plan: FaultPlan, shard: "int | None" = None,
+                 sleep=time.sleep):
         self.plan = plan
+        self.shard = shard
+        self._sleep = sleep
         self._rng = random.Random(plan.seed)
         self.reads = 0
         self.failures_injected = 0
         self.corruptions_injected = 0
+        self.slow_reads_injected = 0
+        self._shard_failed = (shard is not None
+                              and plan.shard_is_failed(shard))
+        self._shard_slow = (shard is not None and plan.slow_shard_ms > 0
+                            and (not plan.slow_shards
+                                 or shard in plan.slow_shards))
 
     def _armed(self) -> bool:
         if self.plan.max_failures is None:
@@ -99,6 +138,16 @@ class FaultInjector:
         # stays aligned with the read ordinal regardless of outcomes.
         fail_draw = self._rng.random()
         corrupt_draw = self._rng.random()
+        if self._shard_failed:
+            # A dead partition: every read fails, retries included, and
+            # max_failures does not heal it.
+            self.failures_injected += 1
+            raise TransientStorageError(
+                f"injected shard failure (shard {self.shard}, "
+                f"read #{ordinal}, page {page_id}, seed {self.plan.seed})")
+        if self._shard_slow:
+            self.slow_reads_injected += 1
+            self._sleep(self.plan.slow_shard_ms / 1000.0)
         if not self._armed():
             return data
         if ordinal in self.plan.fail_reads \
@@ -114,7 +163,9 @@ class FaultInjector:
         return data
 
     def __repr__(self):
-        return (f"<FaultInjector seed={self.plan.seed}: {self.reads} reads, "
+        scope = f" shard={self.shard}" if self.shard is not None else ""
+        return (f"<FaultInjector seed={self.plan.seed}{scope}: "
+                f"{self.reads} reads, "
                 f"{self.failures_injected} failures, "
                 f"{self.corruptions_injected} corruptions>")
 
@@ -130,14 +181,68 @@ def _damage(data: bytes, rng: random.Random) -> bytes:
     return bytes(damaged)
 
 
-def install(target, plan: FaultPlan) -> FaultInjector:
+class ShardFaultSet:
+    """The per-shard injectors installed on one sharded index.
+
+    Indexable by shard number (``fault_set[2].failures_injected``) with
+    aggregate counters summing over every live shard, so assertions
+    written against one :class:`FaultInjector` read the same either way.
+    """
+
+    def __init__(self, injectors: "list[FaultInjector | None]"):
+        self._injectors = injectors
+
+    def __getitem__(self, shard: int) -> "FaultInjector | None":
+        return self._injectors[shard]
+
+    def __iter__(self):
+        return iter(self._injectors)
+
+    def __len__(self) -> int:
+        return len(self._injectors)
+
+    @property
+    def reads(self) -> int:
+        return sum(i.reads for i in self._injectors if i is not None)
+
+    @property
+    def failures_injected(self) -> int:
+        return sum(i.failures_injected for i in self._injectors
+                   if i is not None)
+
+    @property
+    def corruptions_injected(self) -> int:
+        return sum(i.corruptions_injected for i in self._injectors
+                   if i is not None)
+
+    def __repr__(self):
+        return (f"<ShardFaultSet over {len(self._injectors)} shards: "
+                f"{self.reads} reads, {self.failures_injected} failures>")
+
+
+def install(target, plan: FaultPlan):
     """Install ``plan`` on a store, index, or engine; returns the injector.
 
     Accepts anything exposing a page store: a ``PageStore`` itself, a
     ``PathIndex`` (via ``.page_store``), or a ``SamaEngine`` (via
-    ``.index.page_store``).  Pass ``plan=None``?  No — to remove
-    injection set ``store.fault_injector = None`` directly.
+    ``.index.page_store``).  A ``ShardedIndex`` (direct or behind an
+    engine) gets one shard-scoped injector per live shard — that is how
+    the plan's ``fail_shards`` / ``shard_fail_rate`` / ``slow_shards``
+    know which shard they are watching — returned as a
+    :class:`ShardFaultSet`.  To remove injection use :func:`uninstall`.
     """
+    sharded = _resolve_sharded(target)
+    if sharded is not None:
+        injectors: "list[FaultInjector | None]" = []
+        for shard_no, shard in enumerate(sharded.shards):
+            store = getattr(shard, "page_store", None)
+            if store is None:          # quarantined placeholder
+                injectors.append(None)
+                continue
+            injector = plan.injector(shard=shard_no)
+            store.fault_injector = injector
+            injectors.append(injector)
+        return ShardFaultSet(injectors)
     store = _resolve_store(target)
     injector = plan.injector()
     store.fault_injector = injector
@@ -145,8 +250,24 @@ def install(target, plan: FaultPlan) -> FaultInjector:
 
 
 def uninstall(target) -> None:
-    """Remove any installed injector from ``target``'s page store."""
+    """Remove any installed injector from ``target``'s page store(s)."""
+    sharded = _resolve_sharded(target)
+    if sharded is not None:
+        for shard in sharded.shards:
+            store = getattr(shard, "page_store", None)
+            if store is not None:
+                store.fault_injector = None
+        return
     _resolve_store(target).fault_injector = None
+
+
+def _resolve_sharded(target):
+    if getattr(target, "is_sharded", False):
+        return target
+    index = getattr(target, "index", None)
+    if index is not None and getattr(index, "is_sharded", False):
+        return index
+    return None
 
 
 def _resolve_store(target):

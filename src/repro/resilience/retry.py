@@ -14,6 +14,7 @@ retry without actually waiting.
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass, field
 
@@ -29,6 +30,14 @@ class RetryPolicy:
     a re-read genuinely can clear a torn or in-flight-damaged read,
     and persistent corruption just exhausts the (cheap) attempts and
     then surfaces as the same typed error.
+
+    With ``jitter=True`` each backoff is drawn uniformly from
+    ``[0, exponential cap]`` ("full jitter"), which decorrelates the
+    retry storms of many workers hitting the same failing shard.  The
+    draws come from a :class:`random.Random` seeded with ``seed`` per
+    :func:`retry_call` invocation, so a given call site retries with
+    the exact same delays on every run — fault-injection tests stay
+    replayable.
     """
 
     max_attempts: int = 3
@@ -37,16 +46,31 @@ class RetryPolicy:
     max_delay: float = 0.05
     retry_on: tuple = (TransientStorageError, PageCorruptError)
     sleep: "object" = field(default=time.sleep, repr=False)
+    jitter: bool = False
+    seed: int = 0
 
     def __post_init__(self):
         if self.max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, "
                              f"got {self.max_attempts}")
 
-    def delay_for(self, attempt: int) -> float:
-        """Backoff before retry number ``attempt`` (1-based)."""
-        return min(self.base_delay * self.multiplier ** (attempt - 1),
-                   self.max_delay)
+    def delay_for(self, attempt: int,
+                  rng: "random.Random | None" = None) -> float:
+        """Backoff before retry number ``attempt`` (1-based).
+
+        Without jitter (or without an ``rng``) this is the deterministic
+        exponential schedule capped at ``max_delay``; with both, a full-
+        jitter draw over ``[0, cap]``.
+        """
+        cap = min(self.base_delay * self.multiplier ** (attempt - 1),
+                  self.max_delay)
+        if self.jitter and rng is not None:
+            return rng.uniform(0.0, cap)
+        return cap
+
+    def rng(self) -> "random.Random | None":
+        """A fresh seeded jitter stream (``None`` when jitter is off)."""
+        return random.Random(self.seed) if self.jitter else None
 
 
 #: Used by the buffer pool unless a caller passes its own policy.
@@ -54,6 +78,10 @@ DEFAULT_RETRY = RetryPolicy()
 
 #: Never retry (a policy, not ``None``, so call sites stay uniform).
 NO_RETRY = RetryPolicy(max_attempts=1)
+
+#: Full-jitter variant for fan-out callers (many workers retrying the
+#: same shard must not back off in lockstep).
+JITTERED_RETRY = RetryPolicy(jitter=True)
 
 
 def retry_call(fn, *args, policy: RetryPolicy = DEFAULT_RETRY,
@@ -65,6 +93,7 @@ def retry_call(fn, *args, policy: RetryPolicy = DEFAULT_RETRY,
     retries in its stats.
     """
     attempt = 1
+    rng = policy.rng()
     while True:
         try:
             return fn(*args, **kwargs)
@@ -73,5 +102,5 @@ def retry_call(fn, *args, policy: RetryPolicy = DEFAULT_RETRY,
                 raise
             if on_retry is not None:
                 on_retry(attempt, exc)
-            policy.sleep(policy.delay_for(attempt))
+            policy.sleep(policy.delay_for(attempt, rng))
             attempt += 1

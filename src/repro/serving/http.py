@@ -78,7 +78,13 @@ class ServingRequestHandler(BaseHTTPRequestHandler):
 
     def do_GET(self):  # noqa: N802 - stdlib naming
         if self.path == "/healthz":
-            self._send_json(200, self.serving.health_payload())
+            payload = self.serving.health_payload()
+            # "draining" is 503 so load balancers stop routing here;
+            # "degraded" stays 200 — the surviving shards still answer,
+            # and pulling the instance would turn partial loss into
+            # total loss.
+            status = 503 if payload["status"] == "draining" else 200
+            self._send_json(status, payload)
         elif self.path == "/stats":
             self._send_json(200, self.serving.stats_payload())
         elif self.path == "/metrics":
@@ -116,10 +122,12 @@ class ServingRequestHandler(BaseHTTPRequestHandler):
         try:
             result = self.serving.query(query, k=k, deadline_ms=deadline_ms)
         except OverloadedError as exc:
+            draining = self.serving.draining
             self._send_json(503, {
                 "error": "OverloadedError", "message": str(exc),
                 "in_flight": exc.in_flight, "capacity": exc.capacity,
-            }, headers={"Retry-After": "1"})
+                "draining": draining,
+            }, headers={"Retry-After": "5" if draining else "1"})
             return
         except (ParseError, InvalidQueryError) as exc:
             message = (exc.one_line() if isinstance(exc, ParseError)
@@ -189,6 +197,21 @@ class ServingServer:
             self._thread.join(timeout=10)
             self._thread = None
         self.serving.close(close_engine=close_engine)
+
+    def graceful_shutdown(self, drain_deadline_s: "float | None" = None,
+                          close_engine: bool = True) -> bool:
+        """SIGTERM path: drain, then stop the listener and close.
+
+        New requests are refused with 503 + ``Retry-After`` the moment
+        the drain starts (the listener stays up so those refusals — and
+        ``/healthz`` flipping to 503 — are actually observable by load
+        balancers); in-flight requests get ``drain_deadline_s`` to
+        finish, and only then does the accept loop stop.  Returns
+        whether the drain completed inside the deadline.
+        """
+        drained = self.serving.drain(drain_deadline_s)
+        self.shutdown(close_engine=close_engine)
+        return drained
 
     def __enter__(self):
         return self

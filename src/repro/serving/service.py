@@ -129,6 +129,7 @@ class StatsSnapshot:
     errors: int
     shed: int
     degraded: int
+    drain_rejected: int
     latencies: "tuple[float, ...]"
 
     def percentile(self, fraction: float) -> "float | None":
@@ -155,6 +156,7 @@ class ServingStats:
         self.errors = 0
         self.shed = 0
         self.degraded = 0
+        self.drain_rejected = 0
         self._latencies: deque[float] = deque(maxlen=LATENCY_WINDOW)
 
     def note_request(self) -> None:
@@ -164,6 +166,10 @@ class ServingStats:
     def note_shed(self) -> None:
         with self._lock:
             self.shed += 1
+
+    def note_drain_rejected(self) -> None:
+        with self._lock:
+            self.drain_rejected += 1
 
     def record(self, latency_ms: float, *, error: bool = False,
                degraded: bool = False) -> None:
@@ -180,6 +186,7 @@ class ServingStats:
             return StatsSnapshot(
                 requests=self.requests, served=self.served,
                 errors=self.errors, shed=self.shed, degraded=self.degraded,
+                drain_rejected=self.drain_rejected,
                 latencies=tuple(self._latencies))
 
     def percentile(self, fraction: float) -> "float | None":
@@ -220,6 +227,7 @@ class ServingEngine:
         self._epoch_lock = threading.Lock()
         self._seen_epoch = self.epoch
         self._closed = False
+        self._draining = False
         self.registry = get_registry()
         self._latency_hist = self.registry.histogram(
             "sama_request_seconds",
@@ -283,6 +291,14 @@ class ServingEngine:
         """
         if self._closed:
             raise RuntimeError("serving engine is closed")
+        if self._draining:
+            # Draining refuses *before* the cache: a drain exists to
+            # move traffic elsewhere, and answering hits here would
+            # keep load-balancer health checks believing we serve.
+            self.stats.note_drain_rejected()
+            raise OverloadedError(
+                "service is draining (restart or shutdown in progress)",
+                in_flight=self._in_flight, capacity=self.capacity)
         started = time.perf_counter()
         self.stats.note_request()
         k = self.config.default_k if k is None else k
@@ -407,6 +423,7 @@ class ServingEngine:
         """
         snap = self.stats.snapshot()
         cache = self.cache.stats_snapshot()
+        health = getattr(self.engine.index, "health", None)
         return {
             "epoch": self.epoch,
             "shards": getattr(self.engine.index, "shard_count", 1),
@@ -414,11 +431,15 @@ class ServingEngine:
             "in_flight": self._in_flight,
             "capacity": self.capacity,
             "workers": self.config.workers,
+            "draining": self._draining,
             "requests": snap.requests,
             "served": snap.served,
             "errors": snap.errors,
             "shed": snap.shed,
             "degraded": snap.degraded,
+            "drain_rejected": snap.drain_rejected,
+            "shard_health": (health.snapshot()
+                             if health is not None else None),
             "latency_p50_ms": snap.percentile(0.50),
             "latency_p95_ms": snap.percentile(0.95),
             "cache": {
@@ -536,22 +557,92 @@ class ServingEngine:
                 yield Sample("sama_shard_record_decodes_total", "counter",
                              "Path records decoded per shard",
                              shard.decode_count, label)
+            health = getattr(index, "health", None)
+            if health is not None:
+                for row in health.snapshot():
+                    label = (("shard", str(row["shard"])),)
+                    yield Sample("sama_shard_healthy", "gauge",
+                                 "1 when the shard's circuit breaker is "
+                                 "closed, 0 otherwise",
+                                 1.0 if row["state"] == "closed" else 0.0,
+                                 label)
+                    yield Sample("sama_shard_failures_total", "counter",
+                                 "Dispatch failures recorded against the "
+                                 "shard", row["failures"], label)
+                    yield Sample("sama_shard_breaker_trips_total", "counter",
+                                 "Times the shard's circuit opened",
+                                 row["trips"], label)
+                    yield Sample("sama_shard_probes_total", "counter",
+                                 "Half-open probe dispatches admitted",
+                                 row["probes"], label)
+                    yield Sample("sama_shard_hedges_total", "counter",
+                                 "Hedged (duplicated) dispatches sent to "
+                                 "the shard", row["hedges"], label)
 
     def render_metrics(self) -> str:
         """The Prometheus text exposition (``GET /metrics``)."""
         return self.registry.render()
 
     def health_payload(self) -> dict:
-        return {"status": "ok", "epoch": self.epoch,
-                "paths": self.engine.index.path_count}
+        """The ``/healthz`` document.
+
+        ``status`` is ``"draining"`` while a graceful shutdown is in
+        progress (the HTTP layer maps it to 503 so load balancers pull
+        this instance), ``"degraded"`` when any shard of a sharded
+        index is quarantined or circuit-open (still 200: the surviving
+        shards answer, degraded beats dead), and ``"ok"`` otherwise.
+        """
+        status = "ok"
+        health = getattr(self.engine.index, "health", None)
+        failed: "list[int]" = []
+        if health is not None:
+            failed = health.failed_shards()
+            if health.degraded:
+                status = "degraded"
+        if self._draining:
+            status = "draining"
+        payload = {"status": status, "epoch": self.epoch,
+                   "paths": self.engine.index.path_count}
+        if health is not None:
+            payload["shards"] = health.shard_count
+            payload["failed_shards"] = failed
+        return payload
 
     # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def start_drain(self) -> None:
+        """Stop admitting requests; in-flight work keeps running."""
+        self._draining = True
+
+    def drain(self, deadline_s: "float | None" = None,
+              poll_s: float = 0.02) -> bool:
+        """Gracefully quiesce: refuse new work, wait out the in-flight.
+
+        Returns True when the last in-flight request finished inside
+        ``deadline_s`` (``None`` waits indefinitely); False when the
+        deadline expired with requests still running — the caller
+        decides whether to close anyway (``close()`` then still waits
+        for the pool, but every admitted request got its chance).
+        """
+        self.start_drain()
+        deadline = (None if deadline_s is None
+                    else time.monotonic() + deadline_s)
+        while self._in_flight > 0:
+            if deadline is not None and time.monotonic() >= deadline:
+                return False
+            time.sleep(poll_s)
+        return True
 
     def close(self, close_engine: bool = True) -> None:
         """Drain the worker pool; optionally close the engine under it."""
         if self._closed:
             return
         self._closed = True
+        self._draining = True
         self._pool.shutdown(wait=True)
         self.registry.unregister_collector(self._collector)
         if self.slow_log is not None:

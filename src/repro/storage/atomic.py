@@ -54,3 +54,33 @@ def atomic_write_text(path, text: str, encoding: str = "utf-8") -> int:
 def atomic_write_json(path, payload) -> int:
     """Atomically replace ``path`` with ``payload`` rendered as JSON."""
     return atomic_write_text(path, json.dumps(payload))
+
+
+def sweep_tmp_debris(directory) -> "list[str]":
+    """Delete leftover ``*.tmp`` staging files under ``directory``.
+
+    A crash between :func:`atomic_write_bytes`'s ``mkstemp`` and its
+    ``os.replace`` strands the staging file; the target is untouched
+    (that is the whole contract), so the debris is pure garbage.  Index
+    ``open`` paths call this so a recovered server does not accumulate
+    one orphan per crash forever.  Returns the paths removed; files
+    that vanish concurrently or cannot be removed are skipped silently
+    (the sweep is best-effort hygiene, not correctness).
+    """
+    directory = os.fspath(directory)
+    removed = []
+    try:
+        entries = os.listdir(directory)
+    except OSError:
+        return removed
+    for name in entries:
+        if not name.endswith(".tmp"):
+            continue
+        path = os.path.join(directory, name)
+        try:
+            if os.path.isfile(path):
+                os.unlink(path)
+                removed.append(path)
+        except OSError:
+            pass
+    return removed
