@@ -1,0 +1,273 @@
+"""Multi-process scatter-gather benchmark: serial vs threads vs procs.
+
+Times the Fig. 6 LUBM workload end-to-end over the *same* sharded
+index under the engine's three execution modes
+(``EngineConfig.worker_mode`` plus a ``workers=1`` serial baseline):
+
+* ``serial``  — ``workers=1``: no scatter-gather, one coordinator
+  thread decodes and aligns every candidate.
+* ``threads`` — shard fan-out on the shared thread pool (the PR-5
+  engine).  Pure-Python alignment is GIL-bound, so with an in-memory
+  store this mostly measures dispatch overhead.
+* ``procs``   — long-lived worker processes score their shard against
+  a columnar view (``repro.index.columnar``) in their own interpreter,
+  shipping back compact ``(score, gid, plen)`` rows.
+
+All mode x shard-count combinations must produce bit-identical
+rankings and scores — the run aborts otherwise; that guarantee is the
+point of the deterministic ``(λ, gid)`` merge in
+``repro.engine.clustering``.
+
+Unlike ``bench_sharding.py`` this is an **in-memory** condition
+(``read_latency=0``): there are no page-read stalls to overlap, so the
+workload is exactly the CPU-bound path the GIL serialises.  The
+serial/threads arms pay a cold cache every round; the procs arm's
+workers keep their columnar views across ``cold_cache()`` — building
+the columns once per worker lifetime instead of decoding paths per
+query is the architecture, not a benchmarking artefact.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_multiproc.py            # full run
+    PYTHONPATH=src python benchmarks/bench_multiproc.py --smoke    # CI gate
+
+Results land in ``BENCH_multiproc.json`` (committed, machine-readable)
+and ``results/multiproc.txt``.  The full run fails (exit 1) when the
+4-shard procs-vs-serial speedup is below the 2.5x acceptance floor;
+``--smoke`` runs a reduced workload and fails when rankings diverge,
+when the measured 4-shard procs speedup drops below the 1.3x smoke
+floor, or when it falls more than ``--tolerance`` below the committed
+full-run ratio.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.datasets import dataset, lubm_queries  # noqa: E402
+from repro.engine import EngineConfig, SamaEngine  # noqa: E402
+
+#: Same workload subset as ``bench_fig6_response_time.py``.
+QUERY_IDS = ["Q1", "Q2", "Q3", "Q5", "Q7"]
+SHARD_COUNTS = (1, 2, 4)
+MODES = ("serial", "threads", "procs")
+
+PAGE_SIZE = 1024
+WORKERS = 4
+
+#: The committed full run must clear this procs-vs-serial end-to-end
+#: speedup at 4 shards (the ISSUE's acceptance floor) ...
+SPEEDUP_FLOOR = 2.5
+#: ... and a smoke run on the reduced dataset must clear this one.
+SMOKE_FLOOR = 1.3
+
+JSON_PATH = REPO_ROOT / "BENCH_multiproc.json"
+TXT_PATH = REPO_ROOT / "results" / "multiproc.txt"
+
+
+def _mode_config(mode: str) -> EngineConfig:
+    if mode == "serial":
+        return EngineConfig(workers=1, worker_mode="threads")
+    return EngineConfig(workers=WORKERS, worker_mode=mode)
+
+
+def run_bench(triples: int, rounds: int, k: int, seed: int = 0) -> dict:
+    from repro.index.sharded import build_sharded_index
+    from repro.index.thesaurus import default_thesaurus
+
+    graph = dataset("lubm").build(triples, seed=seed)
+    queries = [spec for spec in lubm_queries() if spec.qid in QUERY_IDS]
+    thesaurus = default_thesaurus()
+
+    per_query: dict[str, dict] = {spec.qid: {} for spec in queries}
+    totals: dict[str, float] = {}
+    reference: dict[str, list] = {}
+    with tempfile.TemporaryDirectory(prefix="sama-multiproc-") as directory:
+        for shards in SHARD_COUNTS:
+            shard_path = os.path.join(directory, f"shards{shards}")
+            index, _ = build_sharded_index(graph, shard_path, shards,
+                                           thesaurus=thesaurus,
+                                           page_size=PAGE_SIZE)
+            index.close()
+            engines = {
+                mode: SamaEngine.open(shard_path, config=_mode_config(mode))
+                for mode in MODES}
+            engines["procs"].warm_workers()
+            try:
+                for spec in queries:
+                    for mode, engine in engines.items():
+                        arm = f"shards{shards}-{mode}"
+                        samples = []
+                        for _ in range(rounds):
+                            engine.cold_cache()
+                            started = time.perf_counter()
+                            result = engine.query(spec.graph, k=k)
+                            samples.append(time.perf_counter() - started)
+                        ranking = [(round(answer.score, 9), str(answer))
+                                   for answer in result]
+                        if spec.qid not in reference:
+                            reference[spec.qid] = ranking
+                        elif ranking != reference[spec.qid]:
+                            raise SystemExit(
+                                f"FATAL: {arm} ranking diverges on "
+                                f"{spec.qid} — execution mode changed "
+                                f"the answer")
+                        best = min(samples)
+                        per_query[spec.qid][arm] = round(best * 1000, 3)
+                        totals[arm] = totals.get(arm, 0.0) + best
+            finally:
+                for engine in engines.values():
+                    engine.close()
+
+    summary: dict[str, dict] = {}
+    for shards in SHARD_COUNTS:
+        base_ms = totals[f"shards{shards}-serial"] * 1000
+        block = {}
+        for mode in MODES:
+            mode_ms = totals[f"shards{shards}-{mode}"] * 1000
+            block[mode] = {
+                "total_ms": round(mode_ms, 3),
+                "speedup": round(base_ms / mode_ms, 3) if mode_ms else None,
+            }
+        summary[f"shards{shards}"] = block
+    return {
+        "meta": {
+            "triples": triples,
+            "rounds": rounds,
+            "k": k,
+            "queries": QUERY_IDS,
+            "workers": WORKERS,
+            "page_size": PAGE_SIZE,
+            "read_latency_s": 0.0,
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+        "shards": summary,
+        "per_query": per_query,
+        "rankings_identical": True,
+    }
+
+
+def render_report(report: dict) -> str:
+    lines = []
+    meta = report["meta"]
+    lines.append("Multi-process scatter-gather benchmark "
+                 "(serial vs threads vs procs, in-memory, "
+                 "end-to-end cold-cache wall clock)")
+    lines.append(f"LUBM {meta['triples']} triples, queries "
+                 f"{', '.join(meta['queries'])}, k={meta['k']}, best of "
+                 f"{meta['rounds']} rounds, {meta['workers']} workers, "
+                 f"Python {meta['python']}, {meta['cpu_count']} CPUs")
+    lines.append("")
+    lines.append(f"{'arm':<16} {'total ms':>10} {'speedup':>9}")
+    for shards in SHARD_COUNTS:
+        for mode in MODES:
+            row = report["shards"][f"shards{shards}"][mode]
+            lines.append(f"{f'shards{shards}-{mode}':<16} "
+                         f"{row['total_ms']:>10.1f} "
+                         f"{row['speedup']:>8.2f}x")
+    lines.append("")
+    arms = [f"shards{n}-{m}" for n in SHARD_COUNTS for m in MODES]
+    lines.append(f"{'query':<8}" + "".join(f" {arm:>16}" for arm in arms))
+    for qid, rows in report["per_query"].items():
+        lines.append(f"{qid:<8}" + "".join(
+            f" {rows[arm]:>16.1f}" for arm in arms))
+    lines.append("")
+    lines.append("Rankings and scores identical across every mode and "
+                 f"shard count: {report['rankings_identical']}")
+    return "\n".join(lines)
+
+
+def smoke_check(current: dict, committed_path: Path,
+                tolerance: float) -> int:
+    """Gate the measured 4-shard procs speedup against the committed run.
+
+    Ratios, not wall-clock, are compared, so the tolerance part of the
+    gate is machine-independent; the committed (full-size) run must
+    itself clear :data:`SPEEDUP_FLOOR` and the smoke measurement must
+    clear the absolute :data:`SMOKE_FLOOR`.
+    """
+    failures = []
+    got = current["shards"]["shards4"]["procs"]["speedup"]
+    status = "ok" if got >= SMOKE_FLOOR else "BELOW FLOOR"
+    print(f"smoke: shards4-procs measured {got:.2f}x, absolute floor "
+          f"{SMOKE_FLOOR:.1f}x  [{status}]")
+    if got < SMOKE_FLOOR:
+        failures.append("smoke-floor")
+    if committed_path.exists():
+        committed = json.loads(committed_path.read_text())
+        want = committed["shards"]["shards4"]["procs"]["speedup"]
+        if want < SPEEDUP_FLOOR:
+            print(f"smoke: committed full-run 4-shard procs speedup "
+                  f"{want:.2f}x is below the {SPEEDUP_FLOOR:.1f}x floor")
+            failures.append("committed-floor")
+        floor = want * (1.0 - tolerance)
+        status = "ok" if got >= floor else "REGRESSED"
+        print(f"smoke: shards4-procs committed {want:.2f}x, measured "
+              f"{got:.2f}x, floor {floor:.2f}x  [{status}]")
+        if got < floor:
+            failures.append("shards4-procs")
+    else:
+        print(f"smoke: no committed baseline at {committed_path}; "
+              "gating on the absolute floor only")
+    if failures:
+        print(f"smoke: FAIL — {', '.join(failures)}")
+        return 1
+    print("smoke: PASS — rankings identical across all modes and shard "
+          "counts, procs speedup above floor")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--triples", type=int, default=None,
+                        help="LUBM scale (default 8000; 2000 under --smoke "
+                             "— below ~1500 triples clusters are too small "
+                             "for scatter-gather to engage, so a smaller "
+                             "smoke would not exercise the fast path)")
+    parser.add_argument("--rounds", type=int, default=None,
+                        help="cold rounds per query/arm, best-of "
+                             "(default 3; 1 under --smoke)")
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced run; gate the procs speedup against "
+                             "the smoke floor and the committed "
+                             "BENCH_multiproc.json instead of rewriting it")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed relative speedup regression in smoke "
+                             "mode (default 0.30)")
+    args = parser.parse_args(argv)
+
+    triples = args.triples or (2000 if args.smoke else 8000)
+    rounds = args.rounds or (1 if args.smoke else 3)
+
+    report = run_bench(triples, rounds, args.k)
+    print(render_report(report))
+
+    if args.smoke:
+        return smoke_check(report, JSON_PATH, args.tolerance)
+
+    measured = report["shards"]["shards4"]["procs"]["speedup"]
+    if measured < SPEEDUP_FLOOR:
+        print(f"\nFAIL: 4-shard procs end-to-end speedup {measured:.2f}x "
+              f"is below the {SPEEDUP_FLOOR:.1f}x floor")
+        return 1
+    JSON_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    TXT_PATH.parent.mkdir(exist_ok=True)
+    TXT_PATH.write_text(render_report(report) + "\n")
+    print(f"\nwrote {JSON_PATH} and {TXT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -117,6 +117,25 @@ def _cmd_index_compact(args) -> int:
     return 0
 
 
+def _parse_workers(raw: str) -> "tuple[int, str | None]":
+    """Decode ``serve --workers``: a count, ``"threads"``, or ``"procs"``.
+
+    Returns ``(serving_workers, worker_mode)``.  A bare integer keeps
+    the historical meaning (concurrent query workers, thread-mode shard
+    execution); a mode name keeps the default serving concurrency and
+    selects the shard execution mode (``sama serve --workers=procs``).
+    """
+    value = raw.strip().lower()
+    if value in ("threads", "procs"):
+        return 4, value
+    try:
+        return int(value), None
+    except ValueError:
+        raise SystemExit(
+            f"error: --workers must be an integer, 'threads', or 'procs'; "
+            f"got {raw!r}")
+
+
 def _cmd_serve(args) -> int:
     import signal
     import threading
@@ -124,12 +143,17 @@ def _cmd_serve(args) -> int:
     from .serving import ServingConfig, ServingEngine
     from .serving.http import serve
 
+    serving_workers, worker_mode = _parse_workers(args.workers)
     config = EngineConfig(matcher_level=args.matcher,
-                          hedge_ms=args.hedge_ms)
+                          hedge_ms=args.hedge_ms,
+                          worker_mode=worker_mode)
     # recover=True: a sharded index with damaged shards opens anyway,
     # the damage quarantined on the health board — the server answers
     # degraded from the surviving shards instead of refusing to start.
     engine = SamaEngine.open(args.index_dir, config=config, recover=True)
+    # Procs mode: pay worker spawn + columnar build at startup, not on
+    # the first query a client sends.
+    engine.warm_workers()
     health = getattr(engine.index, "health", None)
     if health is not None and health.degraded:
         quarantined = health.failed_shards()
@@ -137,7 +161,7 @@ def _cmd_serve(args) -> int:
               f"{','.join(str(s) for s in quarantined)} quarantined by the "
               f"recovery scan (see /healthz and /stats)", file=sys.stderr)
     serving = ServingEngine(engine, ServingConfig(
-        workers=args.workers,
+        workers=serving_workers,
         max_queue=args.max_queue,
         cache_bytes=args.cache_mb * (1 << 20),
         default_k=args.k,
@@ -147,8 +171,9 @@ def _cmd_serve(args) -> int:
         slow_query_log=args.slow_query_log))
     server = serve(serving, host=args.host, port=args.port,
                    verbose=args.verbose)
+    mode_note = f", shard workers: {worker_mode}" if worker_mode else ""
     print(f"serving {args.index_dir} on {server.url} "
-          f"({args.workers} workers, queue {args.max_queue}, "
+          f"({serving_workers} workers{mode_note}, queue {args.max_queue}, "
           f"cache {args.cache_mb} MiB)")
     print("endpoints: POST /query, GET /healthz, GET /stats, "
           "GET /metrics  (Ctrl-C to stop, SIGTERM to drain)")
@@ -507,8 +532,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("index_dir")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8080)
-    serve.add_argument("--workers", type=int, default=4,
-                       help="concurrent query workers (default 4)")
+    serve.add_argument("--workers", default="4", metavar="N|threads|procs",
+                       help="concurrent query workers (default 4), or a "
+                            "shard execution mode: 'procs' scores shards "
+                            "in worker processes, 'threads' (default mode) "
+                            "on the shared thread pool; SAMA_WORKER_MODE "
+                            "sets the mode when a count is given")
     serve.add_argument("--max-queue", type=int, default=8,
                        help="admitted requests allowed to wait beyond the "
                             "busy workers; anything more is shed (503)")

@@ -12,10 +12,12 @@ the paper's Fig. 3), which is exactly what happens here.
 from __future__ import annotations
 
 import heapq
+import time
 from concurrent.futures import FIRST_COMPLETED
 from concurrent.futures import TimeoutError as FutureTimeout
 from concurrent.futures import wait as wait_futures
 from dataclasses import dataclass
+from functools import partial
 
 from ..index.pathindex import PathIndex
 from ..parallel import chunked
@@ -84,6 +86,170 @@ class ClusterEntry:
     @property
     def cache_key(self) -> tuple[int, int]:
         return (self.offset, self.path.length)
+
+    # The search reads paths through these entry-level accessors (never
+    # ``entry.path.X`` directly), so a LazyClusterEntry can answer from
+    # its shipped id column without decoding the path.
+
+    @property
+    def path_length(self) -> int:
+        return self.path.length
+
+    def node_label_id_set(self) -> "frozenset[int] | None":
+        return self.path.node_label_id_set()
+
+    def node_label_set(self) -> frozenset:
+        return self.path.node_label_set()
+
+    def bucket_labels(self, interned: bool) -> list:
+        """Deduplicated ``(bucket key, lexical name)`` pairs, in node
+        order — what the search's inverted candidate index files this
+        entry under."""
+        path = self.path
+        label_ids = path.label_ids if interned else None
+        if label_ids is not None:
+            return _id_bucket_labels(label_ids, path.nodes)
+        return [(label, str(label)) for label in path.node_label_set()]
+
+    def __str__(self):
+        return f"{self.path} [{self.score:g}]"
+
+
+def _id_bucket_labels(label_ids, names_source) -> list:
+    """Dedup (label id, name) pairs keeping first-seen node order.
+
+    ``names_source`` yields one printable label per id — the path's
+    nodes, or interner lookups when only ids crossed the process
+    boundary.  Both spell the same Term, so bucket tie-breaks agree
+    across execution modes.
+    """
+    out = []
+    seen = set()
+    for label_id, node in zip(label_ids, names_source):
+        if label_id not in seen:
+            seen.add(label_id)
+            out.append((label_id, str(node)))
+    return out
+
+
+class _EntryContext:
+    """What a :class:`LazyClusterEntry` needs to materialize on demand.
+
+    One per scatter-gathered cluster, shared by all of its entries:
+    the index (to decode), the query path + matcher (to re-align), and
+    the per-query memo (so a threads-mode entry whose alignment was
+    already computed inside its shard task finds it instead of paying
+    a second greedy scan).
+    """
+
+    __slots__ = ("index", "query_path", "matcher", "memo", "transcript",
+                 "interner")
+
+    def __init__(self, index, query_path, matcher, memo, transcript):
+        self.index = index
+        self.query_path = query_path
+        self.matcher = matcher
+        self.memo = memo
+        self.transcript = transcript
+        self.interner = getattr(index, "interner", None)
+
+
+class LazyClusterEntry:
+    """A cluster entry materialized from a compact scatter result.
+
+    Scatter tasks — thread or process — ship back ``(λ, gid, prefix
+    length, node label ids)`` rows, not ``Path``/``Alignment`` objects:
+    the row is what ranking needs, it crosses a process boundary as a
+    few machine words, and most entries of a large cluster are never
+    looked at again.  The id column answers everything the top-k
+    search asks in bulk — χ operands, candidate buckets, path length —
+    so whole clusters are joined without touching the page store; the
+    path is decoded (and the alignment recomputed) lazily only for the
+    entries that become answers, explain output, or pool selections.
+
+    Duck-types :class:`ClusterEntry`: same attributes, same
+    ``cache_key``, same entry-level accessors, lazily the same
+    ``path``/``alignment``.
+    """
+
+    __slots__ = ("offset", "score", "uid", "_plen", "_context", "_path",
+                 "_alignment", "_node_ids", "_id_set")
+
+    def __init__(self, context: _EntryContext, gid: int, plen: int,
+                 score: float, uid: int = -1, node_ids=None):
+        self.offset = gid
+        self.score = score
+        self.uid = uid
+        self._plen = plen
+        self._context = context
+        self._path = None
+        self._alignment = None
+        self._node_ids = node_ids
+        self._id_set = None
+
+    @property
+    def path(self) -> Path:
+        path = self._path
+        if path is None:
+            path = self._context.index.path_at(self.offset)
+            if path.length != self._plen:
+                path = path.prefix(self._plen)
+            self._path = path
+        return path
+
+    @property
+    def alignment(self) -> Alignment:
+        alignment = self._alignment
+        if alignment is None:
+            context = self._context
+            key = (self.offset, self._plen, context.query_path)
+            found = context.memo.get(key)
+            if found is not None:
+                alignment = found[0]
+            else:
+                alignment = align(self.path, context.query_path,
+                                  context.matcher,
+                                  transcript=context.transcript)
+                context.memo.put(key, alignment, self.score)
+            self._alignment = alignment
+        return alignment
+
+    @property
+    def cache_key(self) -> tuple[int, int]:
+        return (self.offset, self._plen)
+
+    @property
+    def path_length(self) -> int:
+        return self._plen
+
+    def node_label_id_set(self) -> "frozenset[int] | None":
+        id_set = self._id_set
+        if id_set is None:
+            if self._node_ids is not None:
+                id_set = frozenset(self._node_ids)
+            else:
+                id_set = self.path.node_label_id_set()
+            self._id_set = id_set
+        return id_set
+
+    def node_label_set(self) -> frozenset:
+        interner = self._context.interner
+        if self._node_ids is not None and interner is not None:
+            return frozenset(interner.lookup(label_id)
+                             for label_id in self._node_ids)
+        return self.path.node_label_set()
+
+    def bucket_labels(self, interned: bool) -> list:
+        interner = self._context.interner
+        if interned and self._node_ids is not None and interner is not None:
+            return _id_bucket_labels(
+                self._node_ids,
+                (interner.lookup(label_id) for label_id in self._node_ids))
+        path = self.path
+        label_ids = path.label_ids if interned else None
+        if label_ids is not None:
+            return _id_bucket_labels(label_ids, path.nodes)
+        return [(label, str(label)) for label in path.node_label_set()]
 
     def __str__(self):
         return f"{self.path} [{self.score:g}]"
@@ -214,6 +380,7 @@ def build_clusters(prepared: PreparedQuery, index: PathIndex,
                    parallel_threshold: int = PARALLEL_THRESHOLD,
                    scatter_threshold: int = SCATTER_THRESHOLD,
                    hedge_ms: "float | None" = None,
+                   proc_pool=None,
                    transcript: bool = False) -> list[Cluster]:
     """Build one cluster per query path of ``prepared``.
 
@@ -266,6 +433,20 @@ def build_clusters(prepared: PreparedQuery, index: PathIndex,
     so hedging never changes a ranking).  Over a single-directory
     :class:`PathIndex` there is no shard to blame, so storage failures
     propagate exactly as before.
+
+    ``proc_pool`` (a :class:`~repro.parallel.ProcessShardPool`) routes
+    shard tasks to per-shard worker processes — the
+    ``worker_mode="procs"`` execution mode.  Workers score candidates
+    in the columnar id space (``repro.index.columnar``) and ship back
+    the same ``(λ, gid, prefix length, node label ids)`` rows the
+    thread tasks produce, so the merge — and therefore every ranking —
+    is
+    bit-identical across serial, threads, and procs.  Hedge dispatches
+    and shards with an armed fault injector score in-process (a
+    duplicate task to a wedged worker would wait in the same queue, and
+    injected faults must keep their exact chaos-harness semantics); a
+    crashed or overrun worker surfaces as a per-shard storage fault on
+    the usual ``SHARD_FAILED`` + breaker path.
     """
     clusters = []
     next_uid = 0
@@ -337,7 +518,7 @@ def build_clusters(prepared: PreparedQuery, index: PathIndex,
         # results on ``(λ, gid)``.  Global ids ascend in build-walk
         # order exactly like the unsharded index's byte offsets, so the
         # merged order is bit-identical to the serial sort below.
-        if (executor is not None and sharded
+        if ((executor is not None or proc_pool is not None) and sharded
                 and index.shard_count > 1
                 and len(offsets) >= max(2, scatter_threshold)):
             kept = offsets
@@ -347,22 +528,29 @@ def build_clusters(prepared: PreparedQuery, index: PathIndex,
                     tripped = True
                     kept = offsets[:rank]
                     break
+            # Procs mode dispatches through the pool's own threads so
+            # blocked IPC waits never starve the shared executor.
+            dispatch_executor = (proc_pool.executor if proc_pool is not None
+                                 else executor)
             merged, scatter_tripped = _scatter_gather(
                 index, kept, query_path, trim_to_anchor, anchor, matcher,
-                weights, memo, transcript, budget, executor,
-                hedge_ms=hedge_ms, dead_shards=dead_shards)
+                weights, memo, transcript, budget, dispatch_executor,
+                hedge_ms=hedge_ms, dead_shards=dead_shards,
+                proc_pool=proc_pool)
             tripped = tripped or scatter_tripped
+            context = _EntryContext(index, query_path, matcher, memo,
+                                    transcript)
             entries = []
-            for score, gid, path, alignment in merged:
-                uid_key = (gid, path.length)
+            for score, gid, plen, node_ids in merged:
+                uid_key = (gid, plen)
                 uid = uid_pool.get(uid_key)
                 if uid is None:
                     uid = next_uid
                     uid_pool[uid_key] = uid
                     next_uid += 1
-                entries.append(ClusterEntry(
-                    offset=gid, path=path, alignment=alignment,
-                    score=score, uid=uid))
+                entries.append(LazyClusterEntry(context, gid, plen,
+                                                score, uid,
+                                                node_ids=node_ids))
             if max_cluster_size is not None:
                 entries = entries[:max_cluster_size]
             clusters.append(Cluster(
@@ -503,6 +691,7 @@ def _scatter_gather(index, gids: list[int], query_path: Path,
                     transcript: bool, budget: "Budget | None", executor,
                     hedge_ms: "float | None" = None,
                     dead_shards: "dict[int, str] | None" = None,
+                    proc_pool=None,
                     ) -> "tuple[list[tuple], bool]":
     """Fan one cluster's candidates out across shards; merge on (λ, gid).
 
@@ -510,9 +699,18 @@ def _scatter_gather(index, gids: list[int], query_path: Path,
     slice of the (already budget-charged) candidate list; each task
     returns its results sorted by ``(score, gid)`` and the calling
     thread k-way merges them.  Returns the merged
-    ``(score, gid, path, alignment)`` tuples and whether any task saw
-    the budget deadline trip mid-scoring (its cluster keeps what was
-    scored; later clusters come back empty, the serial contract).
+    ``(score, gid, prefix length, node label ids)`` rows — the id
+    column rides along so the top-k search can join whole clusters
+    without decoding paths — and whether any task saw the budget
+    deadline trip mid-scoring (its cluster keeps what was scored;
+    later clusters come back empty, the serial contract).
+
+    With ``proc_pool``, eligible shards are scored inside their worker
+    processes instead (same triples, same sort key); a shard whose
+    coordinator-side page store has a fault injector armed stays
+    in-process so injected chaos keeps its exact semantics, and hedge
+    dispatches always run in-process because a duplicate envelope to a
+    wedged worker would queue behind the very task being hedged.
 
     Each shard task is *isolated*: a storage-level error escaping it, a
     circuit-open verdict from the index's health board, or an overrun
@@ -552,7 +750,7 @@ def _scatter_gather(index, gids: list[int], query_path: Path,
             key = (gid, path.length, query_path)
             found = memo.get(key)
             if found is not None:
-                alignment, score = found
+                score = found[1]
             else:
                 alignment = align(path, query_path, matcher,
                                   transcript=transcript)
@@ -564,7 +762,7 @@ def _scatter_gather(index, gids: list[int], query_path: Path,
                          + node_del * counts.node_deletions
                          + edge_del * counts.edge_deletions)
                 memo.put(key, alignment, score)
-            results.append((score, gid, path, alignment))
+            results.append((score, gid, path.length, path.label_ids))
         results.sort(key=lambda item: (item[0], item[1]))
         return results, tripped
 
@@ -590,8 +788,15 @@ def _scatter_gather(index, gids: list[int], query_path: Path,
         if health is not None and not health.allow(shard_no):
             dead_shards.setdefault(shard_no, "circuit open")
             continue
-        tasks.append((shard_no, pairs,
-                      executor.submit(run_shard, shard_no, pairs)))
+        if proc_pool is not None and _pool_eligible(index, shard_no):
+            remaining = budget.remaining_ms() if budget is not None else None
+            task = partial(proc_pool.run_shard, shard_no, pairs,
+                           query_path, anchor if trim_to_anchor else None,
+                           weights, remaining)
+            future = executor.submit(task)
+        else:
+            future = executor.submit(run_shard, shard_no, pairs)
+        tasks.append((shard_no, pairs, future))
 
     shard_results = []
     tripped = False
@@ -625,9 +830,32 @@ def _scatter_gather(index, gids: list[int], query_path: Path,
             health.record_success(shard_no)
         shard_results.append(results)
         tripped = tripped or shard_tripped
+    if tripped and budget is not None:
+        # A worker trips on its own clock against its budget slice; the
+        # coordinator's budget must still record the deadline so the
+        # degradation reason reaches the PartialResult.  (In threads
+        # mode this is a no-op: the task's own poll already noted it.)
+        budget.out_of_time("cluster")
+    merge_started = time.monotonic() if proc_pool is not None else 0.0
     merged = list(heapq.merge(*shard_results,
                               key=lambda item: (item[0], item[1])))
+    if proc_pool is not None:
+        proc_pool.observe_merge(time.monotonic() - merge_started)
     return merged, tripped
+
+
+def _pool_eligible(index, shard_no: int) -> bool:
+    """Whether a shard task may run in a worker process.
+
+    A shard whose coordinator-side page store carries an armed fault
+    injector must score in-process: the injector cannot fire inside a
+    worker (workers open their own stores), and chaos-harness fault
+    plans rely on its exact semantics.  Quarantined shards (no open
+    page store at all) are never dispatched anyway.
+    """
+    shard = index.shards[shard_no]
+    store = getattr(shard, "page_store", None)
+    return store is not None and getattr(store, "fault_injector", None) is None
 
 
 def _first_of(primary, hedge, cap: "float | None"):

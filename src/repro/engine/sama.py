@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import os
 import tempfile
+import threading
 from dataclasses import dataclass, field, replace
 
 from ..index.builder import IndexStats, build_index
@@ -32,7 +33,8 @@ from ..index.labels import SemanticMatcher
 from ..index.pathindex import PathIndex
 from ..index.thesaurus import Thesaurus, default_thesaurus
 from ..obs import span
-from ..parallel import shared_executor
+from ..parallel import ProcessShardPool, shared_executor
+from ..parallel import worker_mode as resolve_worker_mode
 from ..paths.alignment import LabelMatcher, exact_match
 from ..paths.extraction import DEFAULT_LIMITS, ExtractionLimits
 from ..rdf.graph import DataGraph, QueryGraph
@@ -87,6 +89,15 @@ class EngineConfig:
     #: Exposed mainly so tests and small benchmarks can engage the
     #: scatter path on graphs below the production default.
     scatter_threshold: "int | None" = None
+    #: Shard execution mode for scatter-gather over a sharded index:
+    #: ``"threads"`` keeps shard tasks on the shared thread pool (best
+    #: when page reads dominate), ``"procs"`` scores each shard inside
+    #: a long-lived worker process with a columnar view of its paths —
+    #: the CPU-bound λ loop escapes the GIL and skips per-query decode
+    #: (best for in-memory data; see DESIGN.md §11).  ``None`` defers
+    #: to ``SAMA_WORKER_MODE``, default ``"threads"``.  Rankings are
+    #: bit-identical across modes.
+    worker_mode: "str | None" = None
 
 
 class SamaEngine:
@@ -101,6 +112,8 @@ class SamaEngine:
         self.matcher = self._build_matcher()
         self.last_result: "SearchResult | None" = None
         self.index_stats: "IndexStats | None" = None
+        self._proc_pool: "ProcessShardPool | None" = None
+        self._pool_lock = threading.Lock()
 
     def _build_matcher(self) -> LabelMatcher:
         level = self.config.matcher_level
@@ -204,6 +217,7 @@ class SamaEngine:
         scatter_threshold = (self.config.scatter_threshold
                              if self.config.scatter_threshold is not None
                              else SCATTER_THRESHOLD)
+        proc_pool = self.shard_pool() if self.config.fast_path else None
         with span("cluster"):
             return build_clusters(prepared, self.index,
                                   weights=self.config.weights,
@@ -215,6 +229,7 @@ class SamaEngine:
                                   executor=executor,
                                   scatter_threshold=scatter_threshold,
                                   hedge_ms=self.config.hedge_ms,
+                                  proc_pool=proc_pool,
                                   transcript=transcript)
 
     def query(self, query, k: "int | None" = None, *,
@@ -344,6 +359,44 @@ class SamaEngine:
             return parse_select(query).graph()
         raise TypeError(f"cannot interpret {type(query).__name__} as a query")
 
+    # -- execution mode --------------------------------------------------------
+
+    def shard_pool(self) -> "ProcessShardPool | None":
+        """The per-shard worker pool, or ``None`` outside procs mode.
+
+        Created once per engine, on first use, when the effective
+        worker mode (``config.worker_mode``, else ``SAMA_WORKER_MODE``,
+        else threads) is ``"procs"`` and the index is sharded across
+        more than one shard — a single shard has nothing to fan out.
+        The pool survives ``cold_cache()`` on purpose: workers hold
+        their columnar views for the life of the engine, which is the
+        point of the execution mode.
+        """
+        if self._proc_pool is not None:
+            return self._proc_pool
+        if resolve_worker_mode(self.config.worker_mode) != "procs":
+            return None
+        index = self.index
+        if not getattr(index, "is_sharded", False) or index.shard_count < 2:
+            return None
+        with self._pool_lock:
+            if self._proc_pool is None:
+                self._proc_pool = ProcessShardPool(
+                    index.directory, index.shard_count,
+                    thesaurus=self.thesaurus,
+                    matcher_level=self.config.matcher_level)
+        return self._proc_pool
+
+    def warm_workers(self) -> None:
+        """Spawn procs-mode shard workers now and wait until ready.
+
+        Concentrates worker startup (process spawn + columnar build) at
+        open time instead of the first query; a no-op in threads mode.
+        """
+        pool = self.shard_pool()
+        if pool is not None:
+            pool.warm()
+
     # -- cache control (cold / warm experiments) --------------------------------------
 
     def cold_cache(self) -> None:
@@ -357,6 +410,9 @@ class SamaEngine:
         self.index.warm_up()
 
     def close(self) -> None:
+        pool, self._proc_pool = self._proc_pool, None
+        if pool is not None:
+            pool.close()
         self.index.close()
 
     def __enter__(self):

@@ -150,13 +150,13 @@ class _JoinSpace:
             # to nothing and overstate the floor).
             sets_i = sets_j = None
             if interned:
-                sets_i = [e.path.node_label_id_set() for e in sample_i]
-                sets_j = [e.path.node_label_id_set() for e in sample_j]
+                sets_i = [e.node_label_id_set() for e in sample_i]
+                sets_j = [e.node_label_id_set() for e in sample_j]
                 if None in sets_i or None in sets_j:
                     sets_i = sets_j = None
             if sets_i is None:
-                sets_i = [e.path.node_label_set() for e in sample_i]
-                sets_j = [e.path.node_label_set() for e in sample_j]
+                sets_i = [e.node_label_set() for e in sample_i]
+                sets_j = [e.node_label_set() for e in sample_j]
             for labels_i in sets_i:
                 for labels_j in sets_j:
                     common = len(labels_i & labels_j)
@@ -210,27 +210,16 @@ class _JoinSpace:
             buckets: dict = {}
             names: dict = {}
             for rank, entry in enumerate(self.clusters[cluster_index].entries):
-                path = entry.path
-                label_ids = path.label_ids if self.interned else None
-                if label_ids is not None:
-                    seen = set()
-                    for label_id, node in zip(label_ids, path.nodes):
-                        if label_id in seen:
-                            continue
-                        seen.add(label_id)
-                        buckets.setdefault(label_id, []).append(rank)
-                        names.setdefault(label_id, str(node))
-                else:
-                    for label in path.node_label_set():
-                        buckets.setdefault(label, []).append(rank)
-                        names.setdefault(label, str(label))
+                for key, name in entry.bucket_labels(self.interned):
+                    buckets.setdefault(key, []).append(rank)
+                    names.setdefault(key, name)
             cached = (buckets, names)
             self._buckets[cluster_index] = cached
         return cached
 
     def _longest(self, cluster_index: int) -> int:
         entries = self.clusters[cluster_index].entries
-        return max((entry.path.length for entry in entries), default=0)
+        return max((entry.path_length for entry in entries), default=0)
 
     def _tail_estimates(self) -> list[float]:
         depth_count = len(self.order)
@@ -257,15 +246,19 @@ class _JoinSpace:
             else uid_b * self._uid_stride + uid_a
         cached = self._pair_cache.get(key)
         if cached is None:
-            labels_a, labels_b = self.chi_operands(entry_a.path, entry_b.path)
+            labels_a, labels_b = self.chi_operands(entry_a, entry_b)
             cached = len(labels_a & labels_b)
             self._pair_cache[key] = cached
         return cached
 
-    def chi_operands(self, path_a, path_b) -> tuple[frozenset, frozenset]:
+    def chi_operands(self, entry_a, entry_b) -> tuple[frozenset, frozenset]:
         if self.interned:
-            return _chi_operands(path_a, path_b)
-        return path_a.node_label_set(), path_b.node_label_set()
+            ids_a = entry_a.node_label_id_set()
+            if ids_a is not None:
+                ids_b = entry_b.node_label_id_set()
+                if ids_b is not None:
+                    return ids_a, ids_b
+        return entry_a.node_label_set(), entry_b.node_label_set()
 
     def psi_of_pair(self, entry: "ClusterEntry | None",
                     other: "ClusterEntry | None",
@@ -277,19 +270,6 @@ class _JoinSpace:
         if common == 0:
             return penalty, True
         return penalty / common, False
-
-
-def _chi_operands(path_a, path_b) -> tuple[frozenset, frozenset]:
-    """The two node-label sets |χ| intersects, in the fastest shared
-    key space: interned int-sets when *both* paths carry ids (interning
-    is injective, so the intersection cardinality is identical), Term
-    sets otherwise."""
-    ids_a = path_a.node_label_id_set()
-    if ids_a is not None:
-        ids_b = path_b.node_label_id_set()
-        if ids_b is not None:
-            return ids_a, ids_b
-    return path_a.node_label_set(), path_b.node_label_set()
 
 
 def _join_order(prepared: PreparedQuery, clusters: list[Cluster]) -> list[int]:
@@ -534,7 +514,7 @@ def _candidates_of(space: _JoinSpace, state: _PartialState,
                 if other_entry is None:
                     anchor_sets.append((None, penalty))
                     continue
-                ids = other_entry.path.node_label_id_set()
+                ids = other_entry.node_label_id_set()
                 if ids is None:
                     anchor_sets = None
                     break
@@ -543,7 +523,7 @@ def _candidates_of(space: _JoinSpace, state: _PartialState,
         if anchor_sets is not None:
             for rank in ranks:
                 entry = entries[rank]
-                ids = entry.path.node_label_id_set()
+                ids = entry.node_label_id_set()
                 if ids is None:
                     cost, broken = increments(entry, entry.score)
                     scored.append((cost, broken, rank))
@@ -600,9 +580,9 @@ def _evaluation_pool(space: _JoinSpace, cluster_index: int,
     anchor_labels = set()
     for entry, _penalty in anchors:
         if entry is not None:
-            ids = entry.path.node_label_id_set() if space.interned else None
+            ids = entry.node_label_id_set() if space.interned else None
             anchor_labels |= ids if ids is not None \
-                else entry.path.node_label_set()
+                else entry.node_label_set()
     # Rarest labels first: a label shared with few entries pinpoints
     # the genuinely related candidates (specific entities), while a
     # label shared with thousands (class nodes) carries no signal.

@@ -1,0 +1,295 @@
+"""Columnar shard scoring: the λ inner loop over contiguous id arrays.
+
+``worker_mode="procs"`` moves each shard's candidate scoring into a
+long-lived worker process (``repro.parallel.ProcessShardPool``).  That
+only pays if the worker-side loop is cheap: decoding a ``Path`` object
+per candidate per query — tuples of :class:`~repro.rdf.terms.Term`
+objects, a greedy scan over them — costs far more than the comparison
+work itself.  So at worker startup each shard is projected **once**
+into a columnar layout:
+
+.. code-block:: text
+
+    node_ids   [ p0n0 p0n1 p0n2 | p1n0 p1n1 | p2n0 p2n1 p2n2 p2n3 | ...]
+    edge_ids   [ p0e0 p0e1      | p1e0      | p2e0 p2e1 p2e2      | ...]
+    node_offs  [ 0, 3, 5, 9, ...]        # row r spans node_offs[r]:[r+1]
+
+Every label is its :class:`~repro.index.labels.LabelInterner` id, so
+per-candidate work is slicing two ``array('i')`` ranges and comparing
+small ints.  A path of *n* nodes always carries *n − 1* edges, so the
+edge column needs no offsets of its own: row ``r``'s edges start at
+``node_offs[r] - r``.
+
+:func:`score_pairs` replays :func:`repro.paths.alignment.align`'s
+sink-anchored greedy scan *exactly* — same traversal order, same
+insertion-budget rule, same variable-binding semantics, and the same
+float summation order for the weighted λ — so the scores it produces
+are bit-identical to the coordinator's (asserted over every candidate
+in ``tests/test_multiproc.py``).  Two facts make id-space comparison
+sound:
+
+- interning is injective (one id per distinct term), so id equality
+  *is* term equality;
+- when ids differ, the label matcher decides — looked up through the
+  interner and memoised per id pair by :func:`make_id_matcher`.
+
+Query variables cannot be interned (they are not data labels); they are
+encoded as negative ids, ``-(slot + 1)`` into a per-query binding
+table, mirroring the scanner's binding dict.
+"""
+
+from __future__ import annotations
+
+import time
+from array import array
+
+from ..paths.model import Path
+from ..rdf.terms import Variable
+from ..scoring.weights import ScoringWeights
+
+#: Candidates scored between deadline checks inside :func:`score_pairs`
+#: — the same stride the coordinator's shard tasks use for
+#: ``Budget.poll`` so procs mode is no less responsive to deadlines.
+CHECK_STRIDE = 64
+
+
+class ColumnarView:
+    """One shard's paths as flat label-id columns (see module docs).
+
+    Built once per worker process from an open
+    :class:`~repro.index.pathindex.PathIndex`; after the build the
+    index's decode cache can be dropped — scoring never touches
+    ``Path`` objects again.
+    """
+
+    __slots__ = ("node_ids", "node_offs", "edge_ids", "row_of")
+
+    def __init__(self, node_ids: array, node_offs: array,
+                 edge_ids: array, row_of: "dict[int, int]"):
+        self.node_ids = node_ids
+        self.node_offs = node_offs
+        self.edge_ids = edge_ids
+        #: Storage offset -> row number, in build-walk order.  Shard
+        #: tasks address candidates by their shard-local offsets.
+        self.row_of = row_of
+
+    def __len__(self) -> int:
+        return len(self.node_offs) - 1
+
+    @classmethod
+    def build(cls, index) -> "ColumnarView":
+        """Project every stored path of ``index`` into columns."""
+        interner = index.interner
+        intern = interner.intern
+        node_ids = array("i")
+        edge_ids = array("i")
+        node_offs = array("l", [0])
+        row_of: "dict[int, int]" = {}
+        for row, offset in enumerate(index.all_offsets()):
+            path = index.path_at(offset)
+            ids = path.label_ids
+            if ids is not None:
+                node_ids.extend(ids)
+            else:
+                # Pre-interning records: derive ids the slow way once.
+                node_ids.extend(intern(node) for node in path.nodes)
+            edge_ids.extend(intern(edge) for edge in path.edges)
+            node_offs.append(len(node_ids))
+            row_of[offset] = row
+        return cls(node_ids, node_offs, edge_ids, row_of)
+
+
+class EncodedQuery:
+    """A query path in id space: constants interned, variables negative."""
+
+    __slots__ = ("nodes", "edges", "var_count", "anchor_id")
+
+    def __init__(self, nodes: "list[int]", edges: "list[int]",
+                 var_count: int, anchor_id: "int | None" = None):
+        self.nodes = nodes
+        self.edges = edges
+        self.var_count = var_count
+        #: Interned trim anchor, or ``None`` when candidates are taken
+        #: whole (sink lookups and non-sink anchors).
+        self.anchor_id = anchor_id
+
+
+def encode_query(query_path: Path, interner, anchor=None) -> EncodedQuery:
+    """Encode ``query_path`` against ``interner`` (see module docs).
+
+    Node and edge variables share one binding table, exactly like the
+    scanner's single binding dict — ``?v`` used as both a node and an
+    edge label is one variable.  Interning a query constant the data
+    never mentions assigns it a fresh id no data label carries, so id
+    equality stays exact and the matcher fallback still runs.
+    """
+    slots: "dict[Variable, int]" = {}
+
+    def encode(term) -> int:
+        if isinstance(term, Variable):
+            slot = slots.get(term)
+            if slot is None:
+                slot = slots[term] = len(slots)
+            return -(slot + 1)
+        return interner.intern(term)
+
+    nodes = [encode(node) for node in query_path.nodes]
+    edges = [encode(edge) for edge in query_path.edges]
+    anchor_id = None if anchor is None else interner.intern(anchor)
+    return EncodedQuery(nodes, edges, len(slots), anchor_id)
+
+
+def make_id_matcher(interner, matcher):
+    """An id-space label comparison: equality, else the memoised matcher.
+
+    The returned callable outlives queries on purpose — matcher verdicts
+    depend only on the two labels, so the memo is valid for the life of
+    the interner and amortises thesaurus lookups across every query a
+    worker serves.
+    """
+    lookup = interner.lookup
+    cache: "dict[tuple[int, int], bool]" = {}
+
+    def ids_match(data_id: int, query_id: int) -> bool:
+        if data_id == query_id:
+            return True
+        key = (data_id, query_id)
+        verdict = cache.get(key)
+        if verdict is None:
+            verdict = cache[key] = bool(matcher(lookup(data_id),
+                                                lookup(query_id)))
+        return verdict
+
+    return ids_match
+
+
+def score_pairs(view: ColumnarView, pairs, query: EncodedQuery,
+                weights: ScoringWeights, ids_match, *,
+                remaining_ms: "float | None" = None,
+                clock=time.monotonic, with_starts: bool = False):
+    """λ-score ``pairs`` (``(gid, offset)`` tuples) against ``query``.
+
+    Returns ``(results, tripped)`` where ``results`` is a list of
+    ``(score, gid, prefix_length)`` triples sorted by ``(score, gid)``
+    — the deterministic scatter-gather merge key — and ``tripped``
+    reports a deadline expiry mid-scan (the results so far are kept,
+    matching the coordinator's cooperative-degradation contract).
+    ``with_starts=True`` appends each kept candidate's node-column
+    start as a fourth element, so the caller can slice the trimmed
+    node ids back out of ``view.node_ids`` (the worker ships them to
+    the coordinator, which joins on ids without decoding paths).
+
+    When ``query.anchor_id`` is set, each candidate is first cut at its
+    last node matching the anchor (the sink-anchored §4.3 trim); a
+    candidate with no matching node is dropped, exactly like
+    ``_prefix_at_anchor`` returning ``None``.
+    """
+    node_mis = weights.node_mismatch
+    node_ins = weights.node_insertion
+    edge_mis = weights.edge_mismatch
+    edge_ins = weights.edge_insertion
+    node_del = weights.node_deletion
+    edge_del = weights.edge_deletion
+    query_nodes = query.nodes
+    query_edges = query.edges
+    var_count = query.var_count
+    anchor_id = query.anchor_id
+    sink_label = query_nodes[-1]
+    node_ids = view.node_ids
+    node_offs = view.node_offs
+    edge_ids = view.edge_ids
+    row_of = view.row_of
+
+    deadline_at = None
+    if remaining_ms is not None:
+        deadline_at = clock() + remaining_ms / 1000.0
+
+    results: "list[tuple[float, int, int]]" = []
+    tripped = False
+    for rank, (gid, offset) in enumerate(pairs):
+        if (deadline_at is not None and rank and rank % CHECK_STRIDE == 0
+                and clock() >= deadline_at):
+            tripped = True
+            break
+        row = row_of[offset]
+        start = node_offs[row]
+        stored_len = node_offs[row + 1] - start
+        if anchor_id is None:
+            plen = stored_len
+        else:
+            plen = 0
+            for position in range(stored_len - 1, -1, -1):
+                if ids_match(node_ids[start + position], anchor_id):
+                    plen = position + 1
+                    break
+            if not plen:
+                continue
+        path_nodes = node_ids[start:start + plen]
+        edge_start = start - row
+        path_edges = edge_ids[edge_start:edge_start + plen - 1]
+        bindings = [None] * var_count if var_count else None
+        node_mismatches = node_insertions = node_deletions = 0
+        edge_mismatches = edge_insertions = edge_deletions = 0
+        # Sink nodes first (the alignment is sink-anchored) ...
+        data_label = path_nodes[-1]
+        if sink_label < 0:
+            bindings[-sink_label - 1] = data_label
+        elif not ids_match(data_label, sink_label):
+            node_mismatches += 1
+        # ... then walk both edge sequences backwards.
+        data_pos = plen - 2
+        query_pos = len(query_edges) - 1
+        budget = data_pos - query_pos
+        if budget < 0:
+            budget = 0
+        while data_pos >= 0 and query_pos >= 0:
+            data_edge = path_edges[data_pos]
+            query_edge = query_edges[query_pos]
+            if budget > 0 and not (query_edge < 0
+                                   or ids_match(data_edge, query_edge)):
+                # Spend insertion budget at the first incompatible edge:
+                # skip the data (edge, node) pair and retry this query
+                # edge one step earlier, exactly like the scanner.
+                edge_insertions += 1
+                node_insertions += 1
+                data_pos -= 1
+                budget -= 1
+                continue
+            if query_edge < 0:
+                bound = bindings[-query_edge - 1]
+                if bound is None:
+                    bindings[-query_edge - 1] = data_edge
+                elif bound != data_edge:
+                    edge_mismatches += 1     # conflict: binding kept
+            elif not ids_match(data_edge, query_edge):
+                edge_mismatches += 1
+            data_label = path_nodes[data_pos]
+            query_label = query_nodes[query_pos]
+            if query_label < 0:
+                bound = bindings[-query_label - 1]
+                if bound is None:
+                    bindings[-query_label - 1] = data_label
+                elif bound != data_label:
+                    node_mismatches += 1
+            elif not ids_match(data_label, query_label):
+                node_mismatches += 1
+            data_pos -= 1
+            query_pos -= 1
+        if data_pos >= 0:       # longer data path: leading inserts
+            edge_insertions += data_pos + 1
+            node_insertions += data_pos + 1
+        if query_pos >= 0:      # longer query path: leading deletes
+            edge_deletions += query_pos + 1
+            node_deletions += query_pos + 1
+        score = (node_mis * node_mismatches
+                 + node_ins * node_insertions
+                 + edge_mis * edge_mismatches
+                 + edge_ins * edge_insertions
+                 + node_del * node_deletions
+                 + edge_del * edge_deletions)
+        if with_starts:
+            results.append((score, gid, plen, start))
+        else:
+            results.append((score, gid, plen))
+    results.sort(key=lambda item: (item[0], item[1]))
+    return results, tripped

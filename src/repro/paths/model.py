@@ -64,6 +64,14 @@ class Path:
     def __setattr__(self, name, value):  # pragma: no cover - guard rail
         raise AttributeError("Path is immutable")
 
+    def __reduce__(self):
+        # Pickle through :meth:`from_terms`: the default slot-state
+        # protocol restores via ``setattr`` and hits the immutability
+        # guard.  Cached label ids are interner-specific and deliberately
+        # not shipped — the receiving side re-derives them against its
+        # own interner.
+        return (Path.from_terms, (self.nodes, self.edges, self.node_ids))
+
     @classmethod
     def from_terms(cls, nodes: "tuple[Term, ...]", edges: "tuple[Term, ...]",
                    node_ids: "tuple[int, ...] | None" = None) -> "Path":

@@ -32,6 +32,12 @@ class Term:
     def __setattr__(self, name, val):  # pragma: no cover - guard rail
         raise AttributeError(f"{type(self).__name__} is immutable")
 
+    def __reduce__(self):
+        # Rebuild through the constructor: pickle's default slot-state
+        # protocol restores via ``setattr`` and trips the immutability
+        # guard above.  Subclasses with extra slots override this.
+        return (type(self), (self.value,))
+
     def __eq__(self, other):
         return type(self) is type(other) and self.value == other.value
 
@@ -114,6 +120,9 @@ class Literal(Term):
 
     def __hash__(self):
         return hash(("Literal", self.value, self.language, self.datatype))
+
+    def __reduce__(self):
+        return (Literal, (self.value, self.language, self.datatype))
 
     def __repr__(self):
         extras = []

@@ -1,0 +1,439 @@
+"""Process-pool execution mode: spawn safety, columnar scoring, faults.
+
+The tentpole contract under test: ``worker_mode="procs"`` moves each
+shard's λ scoring into a long-lived worker process scoring a columnar
+view of its shard, and **nothing observable changes except wall-clock**
+— rankings are bit-identical to threads and serial at every shard
+count, fault plans keep their exact chaos semantics, and a killed
+worker degrades the query (``SHARD_FAILED`` + breaker accounting)
+instead of hanging it.  Alongside ride the satellite regressions:
+pickle round-trips for everything that crosses the process boundary,
+the shared-executor regrowth fix, and ``SAMA_WORKERS`` /
+``SAMA_WORKER_MODE`` validation.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import random
+from array import array
+import signal
+import time
+import warnings
+
+import pytest
+
+from repro.engine import EngineConfig, SamaEngine
+from repro.engine.clustering import _prefix_at_anchor
+from repro.index import build_index, build_sharded_index
+from repro.index.columnar import (ColumnarView, EncodedQuery, encode_query,
+                                  make_id_matcher, score_pairs)
+from repro.index.labels import SemanticMatcher
+from repro.index.thesaurus import default_thesaurus
+from repro.parallel import ShardTask, worker_count, worker_mode
+from repro.paths.alignment import align, exact_match
+from repro.paths.model import Path
+from repro.rdf.terms import BlankNode, Literal, URI, Variable
+from repro.resilience import FaultPlan, install
+from repro.resilience.budget import DegradationCause
+from repro.resilience.health import OPEN
+from repro.scoring.weights import PAPER_WEIGHTS
+
+SHARDS = 3
+
+
+def ranking(result) -> list:
+    return [(round(answer.score, 9), str(answer)) for answer in result]
+
+
+def shard_failed_reasons(result):
+    return [reason for reason in result.reasons
+            if reason.cause is DegradationCause.SHARD_FAILED]
+
+
+def wait_for(predicate, timeout: float = 15.0) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.05)
+    return False
+
+
+def open_engine(directory, **overrides) -> SamaEngine:
+    """Scatter engages on the tiny GovTrack graph (threshold 2)."""
+    overrides.setdefault("workers", 4)
+    config = EngineConfig(scatter_threshold=2, **overrides)
+    return SamaEngine.open(directory, config=config)
+
+
+# -- pickle round-trips (everything that crosses the spawn boundary) -----------
+
+
+class TestSpawnEnvelope:
+
+    TERMS = [
+        URI("http://example.org/gov/CarlaBunes"),
+        BlankNode("b7"),
+        Variable("?v1"),
+        Literal("Health Care"),
+        Literal("Gesundheit", language="de"),
+        Literal("5", datatype=URI("http://www.w3.org/2001/XMLSchema#int")),
+    ]
+
+    @pytest.mark.parametrize("term", TERMS, ids=lambda t: type(t).__name__
+                             + "-" + t.value[:12])
+    def test_term_roundtrip(self, term):
+        clone = pickle.loads(pickle.dumps(term))
+        assert clone == term
+        assert type(clone) is type(term)
+
+    def test_path_roundtrip(self):
+        path = Path.from_terms(
+            (URI("http://x/a"), Variable("v"), Literal("leaf")),
+            (URI("http://x/p"), URI("http://x/q")),
+            (3, 1, 4))
+        clone = pickle.loads(pickle.dumps(path))
+        assert clone == path
+        assert clone.node_ids == path.node_ids
+        # Interner-specific id caches are deliberately not shipped.
+        assert clone.label_ids is None
+
+    def test_task_envelope_roundtrip(self):
+        task = ShardTask(
+            task_id=17,
+            gids=array("q", [5, 9]),
+            offsets=array("q", [120, 384]),
+            query_path=Path.from_terms(
+                (Variable("v"), URI("http://x/sink")),
+                (URI("http://x/edge"),), None),
+            anchor=URI("http://x/anchor"),
+            weights=PAPER_WEIGHTS,
+            remaining_ms=87.5)
+        clone = pickle.loads(pickle.dumps(task))
+        assert clone.task_id == task.task_id
+        assert list(clone.pairs) == [(5, 120), (9, 384)]
+        assert clone.query_path == task.query_path
+        assert clone.anchor == task.anchor
+        assert clone.weights == task.weights
+        assert clone.remaining_ms == task.remaining_ms
+
+    def test_thesaurus_roundtrip(self):
+        thesaurus = default_thesaurus()
+        clone = pickle.loads(pickle.dumps(thesaurus))
+        assert clone.synonyms("male") == thesaurus.synonyms("male")
+
+
+# -- columnar scoring: bit-equality against align() ----------------------------
+
+
+@pytest.fixture(scope="module")
+def flat_index(tmp_path_factory, govtrack):
+    directory = str(tmp_path_factory.mktemp("columnar-index"))
+    index, _stats = build_index(govtrack, directory,
+                                thesaurus=default_thesaurus())
+    yield index
+    index.close()
+
+
+@pytest.fixture(scope="module")
+def view(flat_index):
+    return ColumnarView.build(flat_index)
+
+
+def reference_rows(index, offsets, query_path, matcher, anchor=None):
+    """What the in-process shard task computes: trim, align, weighted λ."""
+    weights = PAPER_WEIGHTS
+    rows = []
+    for offset in offsets:
+        path = index.path_at(offset)
+        if anchor is not None:
+            path = _prefix_at_anchor(path, anchor, matcher)
+            if path is None:
+                continue
+        counts = align(path, query_path, matcher, transcript=False).counts
+        score = (weights.node_mismatch * counts.node_mismatches
+                 + weights.node_insertion * counts.node_insertions
+                 + weights.edge_mismatch * counts.edge_mismatches
+                 + weights.edge_insertion * counts.edge_insertions
+                 + weights.node_deletion * counts.node_deletions
+                 + weights.edge_deletion * counts.edge_deletions)
+        rows.append((score, offset, path.length))
+    rows.sort(key=lambda row: (row[0], row[1]))
+    return rows
+
+
+def query_variants(index, offsets, seed: int = 7, count: int = 24):
+    """Deterministic query paths derived from stored ones: variables
+    substituted (including a repeated variable, to exercise binding
+    conflicts), prefixes shortened, paths crossed with one another."""
+    rng = random.Random(seed)
+    stored = [index.path_at(offset) for offset in offsets]
+    variants = []
+    for _ in range(count):
+        base = rng.choice(stored)
+        nodes = list(base.nodes)
+        edges = list(base.edges)
+        shared = Variable("x")      # may bind twice -> conflict path
+        for position in range(len(nodes)):
+            roll = rng.random()
+            if roll < 0.25:
+                nodes[position] = shared
+            elif roll < 0.4:
+                nodes[position] = Variable(f"n{position}")
+            elif roll < 0.5:
+                donor = rng.choice(stored)
+                nodes[position] = donor.nodes[rng.randrange(donor.length)]
+        for position in range(len(edges)):
+            roll = rng.random()
+            if roll < 0.2:
+                edges[position] = shared
+            elif roll < 0.3:
+                donor = rng.choice(stored)
+                if donor.edges:
+                    edges[position] = donor.edges[
+                        rng.randrange(len(donor.edges))]
+        if len(nodes) > 2 and rng.random() < 0.3:
+            cut = rng.randrange(2, len(nodes))
+            nodes, edges = nodes[:cut], edges[:cut - 1]
+        variants.append(Path.from_terms(tuple(nodes), tuple(edges), None))
+    return variants
+
+
+class TestColumnarScoring:
+
+    @pytest.mark.parametrize("level", ["exact", "semantic"])
+    def test_scores_bit_equal_to_align(self, flat_index, view, level):
+        matcher = (exact_match if level == "exact"
+                   else SemanticMatcher(default_thesaurus(), level=level))
+        ids_match = make_id_matcher(flat_index.interner, matcher)
+        offsets = flat_index.all_offsets()
+        pairs = [(offset, offset) for offset in offsets]
+        for query_path in query_variants(flat_index, offsets):
+            expected = reference_rows(flat_index, offsets, query_path,
+                                      matcher)
+            query = encode_query(query_path, flat_index.interner)
+            got, tripped = score_pairs(view, pairs, query, PAPER_WEIGHTS,
+                                       ids_match)
+            assert not tripped
+            assert got == expected, f"diverged on {query_path}"
+
+    def test_trimmed_scores_bit_equal(self, flat_index, view):
+        matcher = SemanticMatcher(default_thesaurus(), level="semantic")
+        ids_match = make_id_matcher(flat_index.interner, matcher)
+        offsets = flat_index.all_offsets()
+        pairs = [(offset, offset) for offset in offsets]
+        # Anchors drawn from mid-path data nodes: some candidates trim,
+        # some drop entirely — both outcomes must agree with
+        # _prefix_at_anchor.
+        anchors = []
+        for offset in offsets:
+            path = flat_index.path_at(offset)
+            if path.length >= 3:
+                anchors.append(path.nodes[path.length - 2])
+            if len(anchors) == 5:
+                break
+        assert anchors, "need at least one mid-path anchor"
+        trimmed_any = False
+        for anchor in anchors:
+            for query_path in query_variants(flat_index, offsets, seed=11,
+                                             count=6):
+                expected = reference_rows(flat_index, offsets, query_path,
+                                          matcher, anchor=anchor)
+                query = encode_query(query_path, flat_index.interner,
+                                     anchor=anchor)
+                got, _tripped = score_pairs(view, pairs, query,
+                                            PAPER_WEIGHTS, ids_match)
+                assert got == expected
+                if len(got) != len(pairs):
+                    trimmed_any = True
+        assert trimmed_any, "anchors never dropped a candidate"
+
+    def test_deadline_trips_mid_scan(self, flat_index, view):
+        ids_match = make_id_matcher(flat_index.interner, exact_match)
+        offsets = flat_index.all_offsets()
+        # Repeat pairs past the check stride so the 0 ms slice trips.
+        pairs = [(offset, offset) for offset in offsets] * 40
+        assert len(pairs) > 64
+        query_path = flat_index.path_at(offsets[0])
+        query = encode_query(query_path, flat_index.interner)
+        got, tripped = score_pairs(view, pairs, query, PAPER_WEIGHTS,
+                                   ids_match, remaining_ms=0.0)
+        assert tripped
+        assert len(got) < len(pairs)
+
+
+# -- satellite: shared_executor regrowth + SAMA_WORKERS validation ------------
+
+
+class TestSharedExecutor:
+
+    def test_regrow_keeps_old_pool_usable(self, monkeypatch):
+        import repro.parallel as parallel
+        monkeypatch.setattr(parallel, "_executor", None)
+        monkeypatch.setattr(parallel, "_executor_workers", 0)
+        monkeypatch.setattr(parallel, "_retired_executors", [])
+        small = parallel.shared_executor(2)
+        big = parallel.shared_executor(4)
+        assert big is not small
+        # A caller that grabbed the pool before the regrow is mid-query:
+        # its follow-up submits must not hit a shut-down executor.
+        assert small.submit(lambda: 21 * 2).result(timeout=10) == 42
+        assert small in parallel._retired_executors
+        small.shutdown(wait=False)
+        big.shutdown(wait=False)
+
+    def test_same_size_reuses_pool(self, monkeypatch):
+        import repro.parallel as parallel
+        monkeypatch.setattr(parallel, "_executor", None)
+        monkeypatch.setattr(parallel, "_executor_workers", 0)
+        monkeypatch.setattr(parallel, "_retired_executors", [])
+        first = parallel.shared_executor(3)
+        assert parallel.shared_executor(3) is first
+        assert parallel.shared_executor(2) is first   # shrink: no churn
+        assert not parallel._retired_executors
+        first.shutdown(wait=False)
+
+    def test_invalid_sama_workers_warns_once(self, monkeypatch):
+        import repro.parallel as parallel
+        monkeypatch.setenv("SAMA_WORKERS", "four")
+        monkeypatch.setattr(parallel, "_warned_worker_values", set())
+        with pytest.warns(RuntimeWarning, match="four"):
+            assert worker_count() == (os.cpu_count() or 1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            worker_count()     # second call with the same value: silent
+
+    def test_explicit_workers_beat_environment(self, monkeypatch):
+        monkeypatch.setenv("SAMA_WORKERS", "8")
+        assert worker_count(2) == 2
+        monkeypatch.delenv("SAMA_WORKERS")
+        assert worker_count(3) == 3
+
+
+class TestWorkerMode:
+
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("SAMA_WORKER_MODE", "procs")
+        assert worker_mode("threads") == "threads"
+
+    def test_environment_default(self, monkeypatch):
+        monkeypatch.delenv("SAMA_WORKER_MODE", raising=False)
+        assert worker_mode() == "threads"
+        monkeypatch.setenv("SAMA_WORKER_MODE", "procs")
+        assert worker_mode() == "procs"
+
+    def test_invalid_explicit_raises(self):
+        with pytest.raises(ValueError, match="worker_mode"):
+            worker_mode("fibers")
+
+    def test_invalid_environment_warns_and_falls_back(self, monkeypatch):
+        import repro.parallel as parallel
+        monkeypatch.setenv("SAMA_WORKER_MODE", "fibers")
+        monkeypatch.setattr(parallel, "_warned_mode_values", set())
+        with pytest.warns(RuntimeWarning, match="fibers"):
+            assert worker_mode() == "threads"
+
+
+# -- procs mode end to end: equivalence, kills, fault plans -------------------
+
+
+@pytest.fixture(scope="module")
+def procs_dir(tmp_path_factory, govtrack):
+    directory = str(tmp_path_factory.mktemp("procs-index"))
+    index, _report = build_sharded_index(govtrack, directory, SHARDS,
+                                         thesaurus=default_thesaurus())
+    index.close()
+    return directory
+
+
+class TestProcsMode:
+
+    def test_rankings_identical_across_modes(self, procs_dir, q1):
+        with open_engine(procs_dir, workers=1) as engine:
+            serial = ranking(engine.query(q1, k=10))
+        with open_engine(procs_dir, worker_mode="threads") as engine:
+            threads = ranking(engine.query(q1, k=10))
+        with open_engine(procs_dir, worker_mode="procs") as engine:
+            procs = ranking(engine.query(q1, k=10))
+            # Same engine again: workers are reused, not respawned.
+            pool = engine.shard_pool()
+            again = ranking(engine.query(q1, k=10))
+            assert pool.restarts == 0
+        assert serial == threads == procs == again
+
+    def test_sigkilled_worker_degrades_then_heals(self, procs_dir, q1):
+        with open_engine(procs_dir, worker_mode="procs") as engine:
+            baseline = ranking(engine.query(q1, k=10))
+            pool = engine.shard_pool()
+            pids = pool.worker_pids()
+            assert pids, "no shard workers were spawned"
+            victim = sorted(pids)[0]
+            os.kill(pids[victim], signal.SIGKILL)
+            assert wait_for(
+                lambda: pool.worker_pids().get(victim) != pids[victim])
+            # The next query degrades — never hangs — naming the shard.
+            degraded = engine.query(q1, k=10)
+            failed = shard_failed_reasons(degraded)
+            assert failed, "SIGKILLed worker did not surface as SHARD_FAILED"
+            assert str(victim) in failed[0].detail
+            assert pool.restarts >= 1
+            # The respawned worker serves the query after that, and the
+            # healed ranking is bit-identical to the baseline.
+            healed = engine.query(q1, k=10)
+            assert not shard_failed_reasons(healed)
+            assert ranking(healed) == baseline
+
+    def test_repeated_kills_trip_the_breaker(self, procs_dir, q1):
+        with open_engine(procs_dir, worker_mode="procs") as engine:
+            engine.query(q1, k=10)
+            pool = engine.shard_pool()
+            health = engine.index.health
+            victim = sorted(pool.worker_pids())[0]
+            threshold = health.config.failure_threshold
+            for _ in range(threshold):
+                assert wait_for(lambda: victim in pool.worker_pids())
+                pid = pool.worker_pids()[victim]
+                os.kill(pid, signal.SIGKILL)
+                assert wait_for(
+                    lambda: pool.worker_pids().get(victim) != pid)
+                result = engine.query(q1, k=10)
+                assert shard_failed_reasons(result)
+            assert health.state(victim) == OPEN
+            assert pool.restarts >= threshold
+
+    def test_fault_plan_semantics_match_threads_mode(self, procs_dir, q1):
+        plan = FaultPlan(fail_shards=(1,), seed=7)
+        with open_engine(procs_dir, worker_mode="threads") as engine:
+            install(engine, plan)
+            expected = engine.query(q1, k=10)
+        with open_engine(procs_dir, worker_mode="procs") as engine:
+            install(engine, plan)
+            got = engine.query(q1, k=10)
+            assert shard_failed_reasons(got)
+        assert ranking(got) == ranking(expected)
+
+    def test_environment_selects_procs(self, procs_dir, q1, monkeypatch):
+        monkeypatch.setenv("SAMA_WORKER_MODE", "procs")
+        with open_engine(procs_dir) as engine:
+            engine.query(q1, k=5)
+            assert engine.shard_pool() is not None
+
+    def test_close_stops_every_worker(self, procs_dir, q1):
+        engine = open_engine(procs_dir, worker_mode="procs")
+        engine.query(q1, k=10)
+        pids = engine.shard_pool().worker_pids()
+        assert pids
+        engine.close()
+
+        def all_gone():
+            for pid in pids.values():
+                try:
+                    os.kill(pid, 0)
+                    return False
+                except ProcessLookupError:
+                    continue
+            return True
+
+        assert wait_for(all_gone)
