@@ -8,7 +8,9 @@ layer and utilities::
     sama index build data.nt ./my-index --shards 4
     sama index compact ./my-incremental-index
     sama index reshard ./my-index --shards 8
+    sama index sketch ./my-index
     sama query ./my-index -e 'SELECT ?s WHERE { ?s <http://...> ?o . }'
+    sama query ./my-index --two-stage safe -e 'SELECT ...'
     sama profile ./my-index -e 'SELECT ...' --repeat 3
     sama serve ./my-index --port 8080
     sama bench-serve ./my-index --clients 8
@@ -19,9 +21,10 @@ the ranked answers with scores and bindings, and with ``--explain``
 also renders the forest of paths (Fig. 4).  ``sama index`` groups the
 offline maintenance verbs — ``build`` (``--shards N`` partitions the
 paths across N self-contained shards), ``compact`` (vacuum an
-incremental index) and ``reshard`` (repartition an existing index);
-the historical spelling ``sama index DATA DIR`` still works as an
-alias for ``build``.  ``sama serve`` keeps one
+incremental index), ``reshard`` (repartition an existing index) and
+``sketch`` (build the per-shard minhash sketches that power
+``--two-stage`` retrieval); the historical spelling
+``sama index DATA DIR`` still works as an alias for ``build``.  ``sama serve`` keeps one
 hot engine resident behind the JSON/HTTP API of
 :mod:`repro.serving.http`; ``sama bench-serve`` drives it with
 concurrent in-process clients and reports throughput and cache
@@ -114,7 +117,33 @@ def _cmd_index_compact(args) -> int:
     print(f"log: {format_bytes(report.old_log_bytes)} -> "
           f"{format_bytes(report.new_log_bytes)} "
           f"({format_bytes(report.reclaimed_bytes)} reclaimed on disk)")
+    if report.sketches_invalidated:
+        print(f"invalidated {report.sketches_invalidated} stale sketch "
+              f"file(s); rerun 'sama index sketch' to rebuild")
     return 0
+
+
+def _cmd_index_sketch(args) -> int:
+    from .index.sharded import ShardedIndex, is_sharded_dir
+    from .sketch import SketchParams, build_sketches
+
+    params = SketchParams(seed=args.seed, num_perm=args.num_perm,
+                          bands=args.bands)
+    if is_sharded_dir(args.index_dir):
+        index = ShardedIndex.open(args.index_dir)
+    else:
+        index = PathIndex.open(args.index_dir)
+    try:
+        written = build_sketches(index, params=params)
+        for path in written:
+            print(f"wrote {path}")
+        print(f"sketched {index.path_count} paths across "
+              f"{len(written)} file(s) "
+              f"({params.num_perm} permutations, {params.bands} bands, "
+              f"seed {params.seed})")
+        return 0
+    finally:
+        index.close()
 
 
 def _parse_workers(raw: str) -> "tuple[int, str | None]":
@@ -146,7 +175,9 @@ def _cmd_serve(args) -> int:
     serving_workers, worker_mode = _parse_workers(args.workers)
     config = EngineConfig(matcher_level=args.matcher,
                           hedge_ms=args.hedge_ms,
-                          worker_mode=worker_mode)
+                          worker_mode=worker_mode,
+                          two_stage=args.two_stage,
+                          recall_target=args.recall_target)
     # recover=True: a sharded index with damaged shards opens anyway,
     # the damage quarantined on the health board — the server answers
     # degraded from the surviving shards instead of refusing to start.
@@ -285,9 +316,15 @@ def _cmd_query(args) -> int:
         print("error: provide a query file or -e 'SELECT ...'",
               file=sys.stderr)
         return 2
-    config = EngineConfig(matcher_level=args.matcher)
+    config = EngineConfig(matcher_level=args.matcher,
+                          two_stage=args.two_stage,
+                          recall_target=args.recall_target)
     engine = SamaEngine.open(args.index_dir, config=config)
     try:
+        if args.two_stage != "off" and engine.sketch_filter() is None:
+            print("note: no usable sketches found (run 'sama index "
+                  "sketch' first); falling back to exhaustive recall",
+                  file=sys.stderr)
         if args.explain:
             print(engine.explain(text).render())
             print()
@@ -483,6 +520,23 @@ def build_parser() -> argparse.ArgumentParser:
                                     "instead of replacing in place")
     index_reshard.set_defaults(func=_cmd_index_reshard)
 
+    index_sketch = index_sub.add_parser(
+        "sketch", help="build (or rebuild) the per-shard minhash "
+                       "sketches for two-stage retrieval")
+    index_sketch.add_argument("index_dir",
+                              help="existing index (sharded or plain)")
+    index_sketch.add_argument("--num-perm", type=int, default=32,
+                              help="minhash permutations per signature "
+                                   "(default 32)")
+    index_sketch.add_argument("--bands", type=int, default=8,
+                              help="LSH bands; must divide --num-perm "
+                                   "(default 8)")
+    index_sketch.add_argument("--seed", type=int, default=2013,
+                              help="hash seed; queries recompute "
+                                   "signatures with the same seed "
+                                   "(default 2013)")
+    index_sketch.set_defaults(func=_cmd_index_sketch)
+
     query = sub.add_parser("query", help="run a SPARQL query on an index")
     query.add_argument("index_dir")
     query.add_argument("query_file", nargs="?", default=None,
@@ -501,6 +555,15 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--partial-ok", action="store_true",
                        help="when the deadline trips, print the answers "
                             "found so far instead of failing")
+    query.add_argument("--two-stage", choices=["off", "safe", "approx"],
+                       default="off",
+                       help="sketch-based candidate recall before exact "
+                            "scoring: 'safe' never changes rankings, "
+                            "'approx' trades recall for speed (needs "
+                            "'sama index sketch' first)")
+    query.add_argument("--recall-target", type=float, default=0.95,
+                       help="target recall for --two-stage approx "
+                            "(default 0.95)")
     query.set_defaults(func=_cmd_query)
 
     profile = sub.add_parser(
@@ -563,6 +626,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="duplicate a straggling shard task after this "
                             "many ms; first result wins (sharded indexes "
                             "only)")
+    serve.add_argument("--two-stage", choices=["off", "safe", "approx"],
+                       default="off",
+                       help="sketch-based candidate recall before exact "
+                            "scoring (cache keys include the mode, so "
+                            "staged and exhaustive results never alias)")
+    serve.add_argument("--recall-target", type=float, default=0.95,
+                       help="target recall for --two-stage approx "
+                            "(default 0.95)")
     serve.add_argument("--drain-deadline-ms", type=_non_negative_ms,
                        default=10_000.0,
                        help="on SIGTERM, seconds*1000 granted to in-flight "
@@ -604,7 +675,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 #: ``sama index`` verbs; anything else in that position is data (the
 #: historical ``sama index DATA DIR`` spelling, kept as a build alias).
-_INDEX_VERBS = frozenset({"build", "compact", "reshard"})
+_INDEX_VERBS = frozenset({"build", "compact", "reshard", "sketch"})
 
 
 def main(argv: "list[str] | None" = None) -> int:

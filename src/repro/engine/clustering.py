@@ -381,7 +381,8 @@ def build_clusters(prepared: PreparedQuery, index: PathIndex,
                    scatter_threshold: int = SCATTER_THRESHOLD,
                    hedge_ms: "float | None" = None,
                    proc_pool=None,
-                   transcript: bool = False) -> list[Cluster]:
+                   transcript: bool = False,
+                   sketch_filter=None) -> list[Cluster]:
     """Build one cluster per query path of ``prepared``.
 
     ``semantic_lookup`` controls whether index retrieval may widen
@@ -447,6 +448,14 @@ def build_clusters(prepared: PreparedQuery, index: PathIndex,
     injected faults must keep their exact chaos-harness semantics); a
     crashed or overrun worker surfaces as a per-shard storage fault on
     the usual ``SHARD_FAILED`` + breaker path.
+
+    ``sketch_filter`` is the optional two-stage recall hook (a
+    :class:`repro.sketch.twostage.TwoStageFilter`, usually wrapped by
+    the engine with its span and counters): called as
+    ``sketch_filter(query_path, offsets, trim_to_anchor, anchor)``
+    right after candidate retrieval, it returns the surviving subset —
+    still in ascending gid order — and everything downstream (budget
+    charging, scatter-gather, serial scoring) sees only survivors.
     """
     clusters = []
     next_uid = 0
@@ -508,6 +517,11 @@ def build_clusters(prepared: PreparedQuery, index: PathIndex,
                         anchor, semantic=semantic_lookup)
                     if offsets:
                         break
+        # Two-stage recall: judge every retrieved candidate against its
+        # sketch row before any budget is charged or any path decoded.
+        if sketch_filter is not None and offsets:
+            offsets = sketch_filter(query_path, offsets, trim_to_anchor,
+                                    anchor)
         # Sharded scatter-gather: when the index is partitioned and an
         # executor is available, charge the budget up front over the
         # *global* candidate order (identical trip points for the

@@ -98,6 +98,19 @@ class EngineConfig:
     #: to ``SAMA_WORKER_MODE``, default ``"threads"``.  Rankings are
     #: bit-identical across modes.
     worker_mode: "str | None" = None
+    #: Two-stage retrieval mode (``repro.sketch``): ``"off"`` scores
+    #: every retrieved candidate exactly (the paper's behaviour);
+    #: ``"safe"`` prunes only candidates provably outside the kept
+    #: cluster, so rankings stay bit-identical; ``"approx"`` trades
+    #: recall for speed under ``recall_target``.  Both staged modes
+    #: need persisted sketches (``sama index sketch``) — without them
+    #: the engine silently falls back to exhaustive recall.
+    two_stage: str = "off"
+    #: Target recall of ``two_stage="approx"`` (ignored otherwise):
+    #: the fraction of exhaustive top-k answers the staged run should
+    #: keep.  Measured, not promised — ``benchmarks/bench_twostage.py``
+    #: gates it.
+    recall_target: float = 0.95
 
 
 class SamaEngine:
@@ -108,12 +121,17 @@ class SamaEngine:
                  thesaurus: "Thesaurus | None" = None):
         self.index = index
         self.config = config or EngineConfig()
+        from ..sketch import validate_mode
+        validate_mode(self.config.two_stage)
         self.thesaurus = thesaurus if thesaurus is not None else default_thesaurus()
         self.matcher = self._build_matcher()
         self.last_result: "SearchResult | None" = None
         self.index_stats: "IndexStats | None" = None
         self._proc_pool: "ProcessShardPool | None" = None
         self._pool_lock = threading.Lock()
+        self._sketch_lock = threading.Lock()
+        self._sketch_filter = None
+        self._sketch_epoch = None
 
     def _build_matcher(self) -> LabelMatcher:
         level = self.config.matcher_level
@@ -230,7 +248,8 @@ class SamaEngine:
                                   scatter_threshold=scatter_threshold,
                                   hedge_ms=self.config.hedge_ms,
                                   proc_pool=proc_pool,
-                                  transcript=transcript)
+                                  transcript=transcript,
+                                  sketch_filter=self.sketch_filter())
 
     def query(self, query, k: "int | None" = None, *,
               deadline_ms: "float | None" = None,
@@ -358,6 +377,63 @@ class SamaEngine:
         if isinstance(query, str):
             return parse_select(query).graph()
         raise TypeError(f"cannot interpret {type(query).__name__} as a query")
+
+    # -- two-stage retrieval ---------------------------------------------------
+
+    def sketch_filter(self):
+        """The stage-1 candidate filter, or ``None`` (exhaustive recall).
+
+        Built lazily from the persisted ``sketch.bin`` files when
+        ``config.two_stage`` is ``"safe"`` or ``"approx"``, and rebuilt
+        whenever the index epoch moves (an incremental round, a reopen
+        after compaction) — a moved epoch orphans the loaded sketches,
+        and the reload finds either fresh files or nothing, in which
+        case recall silently falls back to exhaustive.  The returned
+        callable wraps the pure filter with the ``sketch`` span and the
+        ``sama_sketch_candidates_total`` / ``sama_sketch_pruned_total``
+        counters, so clustering stays observability-free.
+        """
+        mode = self.config.two_stage
+        if mode == "off":
+            return None
+        index = self.index
+        epoch_vector = getattr(index, "epoch_vector", None)
+        epoch_key = (tuple(epoch_vector) if epoch_vector is not None
+                     else (getattr(index, "epoch", 0),))
+        with self._sketch_lock:
+            if self._sketch_epoch == epoch_key:
+                return self._sketch_filter
+            self._sketch_epoch = epoch_key
+            self._sketch_filter = None
+            if getattr(index, "interner", None) is None:
+                return None     # in-memory indexes carry no sketches
+            from ..obs import get_registry
+            from ..sketch import SketchIndex, TwoStageFilter
+            sketches = SketchIndex.for_index(index)
+            if sketches is None:
+                return None
+            judge = TwoStageFilter(index, sketches, self.matcher,
+                                   self.config.weights, mode,
+                                   self.config.max_cluster_size,
+                                   recall_target=self.config.recall_target)
+            registry = get_registry()
+            candidates_total = registry.counter(
+                "sama_sketch_candidates_total",
+                "Candidates entering the two-stage sketch filter")
+            pruned_total = registry.counter(
+                "sama_sketch_pruned_total",
+                "Candidates pruned by the sketch filter before exact "
+                "lambda/psi scoring")
+
+            def filtered(query_path, offsets, trim_to_anchor, anchor):
+                with span("sketch"):
+                    kept = judge(query_path, offsets, trim_to_anchor, anchor)
+                candidates_total.inc(len(offsets))
+                pruned_total.inc(len(offsets) - len(kept))
+                return kept
+
+            self._sketch_filter = filtered
+        return self._sketch_filter
 
     # -- execution mode --------------------------------------------------------
 

@@ -470,6 +470,9 @@ class CompactionReport:
     #: paths.log size before and after the rewrite.
     old_log_bytes: int
     new_log_bytes: int
+    #: Persisted ``sketch.bin`` files deleted because the rewrite
+    #: renumbered their offsets (rebuild with ``sama index sketch``).
+    sketches_invalidated: int = 0
 
     @property
     def reclaimed_bytes(self) -> int:
@@ -500,9 +503,21 @@ def compact_directory(directory, output=None) -> CompactionReport:
     atomically swaps the compacted directory into place (the original
     is staged aside and removed only after the swap, so a crash leaves
     a complete index under either name, never a torn one).
+
+    Persisted two-stage sketches (``sketch.bin``,
+    :mod:`repro.sketch.store`) are deleted up front: the rewrite
+    renumbers every record offset and bumps every epoch, so they are
+    stale the moment compaction succeeds.  Deleting early is safe — a
+    crashed compaction leaves the old index authoritative and a
+    missing sketch merely falls back to exhaustive recall (rebuild
+    with ``sama index sketch``); the epoch key in each sketch header
+    remains the backstop for writers that bypass this path.
     """
+    from ..sketch.store import invalidate_sketches
+
     directory = os.fspath(directory)
     manifest = _read_manifest(directory)
+    sketches_invalidated = invalidate_sketches(directory)
     store = PageStore(os.path.join(directory, "paths.log"),
                       page_size=manifest["page_size"])
     records = RecordFile(store, BufferPool(store))
@@ -549,4 +564,5 @@ def compact_directory(directory, output=None) -> CompactionReport:
                             live_paths=len(alive),
                             dead_bytes=manifest["dead_bytes"],
                             old_log_bytes=old_log_bytes,
-                            new_log_bytes=new_log_bytes)
+                            new_log_bytes=new_log_bytes,
+                            sketches_invalidated=sketches_invalidated)

@@ -57,9 +57,16 @@ def canonical_form(query) -> str:
     return best
 
 
-def cache_key(query, k: int, epoch: int) -> str:
-    """The result-cache key: canonical query text + ``k`` + data epoch."""
-    return f"epoch={epoch}|k={k}|{canonical_form(query)}"
+def cache_key(query, k: int, epoch: int, mode: str = "off") -> str:
+    """The result-cache key: canonical query text + ``k`` + data epoch
+    + retrieval mode.
+
+    ``mode`` is the engine's two-stage retrieval mode (``off`` /
+    ``safe`` / ``approx``).  Safe mode returns the exhaustive rankings
+    by construction, but approximate mode may not — keying the cache
+    by mode guarantees staged and exhaustive results never alias, even
+    across a config flip on a reused cache."""
+    return f"epoch={epoch}|k={k}|mode={mode}|{canonical_form(query)}"
 
 
 def _pattern_set(query) -> list[Triple]:

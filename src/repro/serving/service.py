@@ -323,7 +323,8 @@ class ServingEngine:
 
         key = ""
         if self.cache.max_bytes:
-            key = cache_key(graph, k, epoch_key)
+            key = cache_key(graph, k, epoch_key,
+                            getattr(self.engine.config, "two_stage", "off"))
             entry = self.cache.get(key)
             if entry is not None:
                 latency = (time.perf_counter() - started) * 1000.0

@@ -1,0 +1,39 @@
+"""repro.sketch — two-stage retrieval: minhash recall + exact rerank.
+
+See :mod:`repro.sketch.minhash` for the signature scheme,
+:mod:`repro.sketch.store` for the per-shard persisted ``sketch.bin``
+artifacts, and :mod:`repro.sketch.twostage` for the candidate filter
+the engine wires into ``build_clusters``.
+"""
+
+from .minhash import (DEFAULT_BANDS, DEFAULT_NUM_PERM, DEFAULT_SEED,
+                      SketchParams, band_keys, coefficients,
+                      estimate_jaccard, signature)
+from .store import (SKETCH_FILE, ShardSketch, SketchFormatError,
+                    build_sketches, invalidate_sketches, load_shard_sketch,
+                    load_sketches, sketch_path)
+from .twostage import (APPROX_MIN_KEEP, SketchIndex, TwoStageFilter,
+                       validate_mode)
+
+__all__ = [
+    "APPROX_MIN_KEEP",
+    "DEFAULT_BANDS",
+    "DEFAULT_NUM_PERM",
+    "DEFAULT_SEED",
+    "SKETCH_FILE",
+    "ShardSketch",
+    "SketchFormatError",
+    "SketchIndex",
+    "SketchParams",
+    "TwoStageFilter",
+    "band_keys",
+    "build_sketches",
+    "coefficients",
+    "estimate_jaccard",
+    "invalidate_sketches",
+    "load_shard_sketch",
+    "load_sketches",
+    "sketch_path",
+    "signature",
+    "validate_mode",
+]

@@ -1,0 +1,122 @@
+"""MinHash signatures over interned label ids (stdlib only, seeded).
+
+A stored path is summarised by the *set* of dense label ids of its
+nodes and edges (the same signature set the shard router hashes).  Its
+minhash signature is ``num_perm`` universal-hash minima over that set::
+
+    h_i(x) = (a_i * x + b_i) mod (2^61 - 1)
+    sig[i] = min over the set of h_i(x)
+
+The coefficients ``a_i, b_i`` are drawn from ``random.Random(seed)``
+once per parameter set, so the same ``(seed, num_perm)`` always yields
+the same signature for the same id set — in any process, on any
+platform.  That determinism is what lets signatures be persisted next
+to a shard and recomputed for queries by whichever process answers
+them (asserted by ``tests/test_sketch.py``).
+
+The classic banded LSH trick turns signatures into a candidate recall
+structure: the signature is cut into ``bands`` slices of
+``num_perm // bands`` rows, each slice hashed into a bucket, and two
+sets collide when *any* band slice agrees.  With 32 permutations in
+8 bands of 4 rows, sets at Jaccard similarity ``s`` collide with
+probability ``1 - (1 - s^4)^8`` — near-certain above ~0.6, rare below
+~0.2 — which is the recall/pruning dial the approximate retrieval mode
+rides (see :mod:`repro.sketch.twostage`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+#: The Mersenne prime 2^61 - 1: the universal-hash modulus.  Big
+#: enough that distinct small label ids essentially never collide,
+#: small enough that ``a * x + b`` stays a fast machine-word-ish int.
+MERSENNE_PRIME = (1 << 61) - 1
+
+#: Signature slot of an *empty* id set.  No hash value can reach the
+#: modulus itself, so empty sets collide only with empty sets.
+EMPTY_SLOT = MERSENNE_PRIME
+
+DEFAULT_SEED = 2013
+DEFAULT_NUM_PERM = 32
+DEFAULT_BANDS = 8
+
+
+@dataclass(frozen=True)
+class SketchParams:
+    """The (seed, permutations, bands) triple identifying a sketch space.
+
+    Two sketches are comparable only when their params are equal; the
+    store persists the triple in every sketch file header and the
+    loader refuses to mix spaces.
+    """
+
+    seed: int = DEFAULT_SEED
+    num_perm: int = DEFAULT_NUM_PERM
+    bands: int = DEFAULT_BANDS
+
+    def __post_init__(self):
+        if self.num_perm < 1:
+            raise ValueError(f"num_perm must be >= 1, got {self.num_perm}")
+        if self.bands < 1:
+            raise ValueError(f"bands must be >= 1, got {self.bands}")
+        if self.num_perm % self.bands:
+            raise ValueError(
+                f"bands ({self.bands}) must divide num_perm "
+                f"({self.num_perm}) so every band gets equal rows")
+        if not 0 <= self.seed < (1 << 64):
+            raise ValueError("seed must fit an unsigned 64-bit int")
+
+    @property
+    def rows_per_band(self) -> int:
+        return self.num_perm // self.bands
+
+
+def coefficients(params: SketchParams) -> "tuple[tuple[int, int], ...]":
+    """The seeded ``(a_i, b_i)`` universal-hash coefficient pairs.
+
+    Drawn from ``random.Random(params.seed)`` — Python's Mersenne
+    Twister is specified and stable across versions and platforms, so
+    the coefficient sequence is a pure function of the seed.
+    """
+    rng = random.Random(params.seed)
+    return tuple((rng.randrange(1, MERSENNE_PRIME),
+                  rng.randrange(0, MERSENNE_PRIME))
+                 for _ in range(params.num_perm))
+
+
+def signature(ids, coeffs) -> "tuple[int, ...]":
+    """The minhash signature of an id set under ``coeffs``.
+
+    ``ids`` may be any iterable of non-negative ints (duplicates are
+    harmless: min() over a multiset equals min() over its set).  An
+    empty set yields all-:data:`EMPTY_SLOT`.
+    """
+    ids = list(ids)
+    if not ids:
+        return tuple([EMPTY_SLOT] * len(coeffs))
+    return tuple(min((a * x + b) % MERSENNE_PRIME for x in ids)
+                 for a, b in coeffs)
+
+
+def band_keys(sig, params: SketchParams) -> "list[tuple]":
+    """The banded LSH bucket keys of one signature.
+
+    Each key is ``(band number, the band's signature slice)``; two
+    signatures share a bucket exactly when some band slice agrees.
+    """
+    rows = params.rows_per_band
+    return [(band, tuple(sig[band * rows:(band + 1) * rows]))
+            for band in range(params.bands)]
+
+
+def estimate_jaccard(sig_a, sig_b) -> float:
+    """The fraction of agreeing signature slots — the unbiased minhash
+    estimator of the Jaccard similarity of the underlying id sets."""
+    if len(sig_a) != len(sig_b):
+        raise ValueError("signatures come from different sketch spaces")
+    if not sig_a:
+        return 0.0
+    agree = sum(1 for a, b in zip(sig_a, sig_b) if a == b)
+    return agree / len(sig_a)

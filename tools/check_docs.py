@@ -8,7 +8,10 @@ from ``repro.cli.build_parser()``:
 - every ``--flag``/``-x`` must be an option of that subcommand;
 - the legacy positional form ``sama index DATA DIR`` is flagged: the
   runtime keeps it working through a compatibility shim, but docs must
-  show the current ``sama index build`` spelling.
+  show the current ``sama index build`` spelling;
+- coverage runs in reverse too: every parser subcommand and every
+  ``index`` verb must appear in at least one documented example, so a
+  new verb (``sketch``, say) cannot ship undocumented.
 
 Placeholders are tolerated: ``...``/``…`` tokens, ALL-CAPS words like
 ``DIR``, and quoted SPARQL strings are not validated.  Run from the
@@ -135,12 +138,52 @@ def check_command(command: str, toplevel: dict) -> "list[str]":
     return errors
 
 
+def documented_names(command: str) -> "tuple[str, str] | None":
+    """``(subcommand, verb)`` named by one example; verb ``""`` if none."""
+    try:
+        tokens = shlex.split(command.split("  #")[0].strip())
+    except ValueError:
+        return None
+    tokens = tokens[1:]  # drop "sama"
+    if not tokens:
+        return None
+    name = tokens[0]
+    verb = ""
+    if len(tokens) > 1 and not tokens[1].startswith("-") \
+            and not _PLACEHOLDER.match(tokens[1]):
+        verb = tokens[1]
+    return (name, verb)
+
+
+def coverage_gaps(toplevel: dict, seen: "set[tuple[str, str]]") \
+        -> "list[str]":
+    """Parser subcommands/verbs no doc example mentions.
+
+    The forward direction (every example parses) catches docs going
+    stale; this direction catches a new subcommand or ``index`` verb
+    shipping without a single documented example.
+    """
+    gaps = []
+    named = {name for name, _ in seen}
+    for name, parser in sorted(toplevel.items()):
+        if name not in named:
+            gaps.append(f"subcommand 'sama {name}' has no documented "
+                        "example")
+            continue
+        for verb in sorted(_subparser_map(parser)):
+            if (name, verb) not in seen:
+                gaps.append(f"verb 'sama {name} {verb}' has no "
+                            "documented example")
+    return gaps
+
+
 def main() -> int:
     from repro.cli import build_parser
 
     toplevel = _subparser_map(build_parser())
     failures = 0
     checked = 0
+    seen = set()
     for relative in DOC_FILES:
         path = REPO_ROOT / relative
         if not path.exists():
@@ -149,10 +192,16 @@ def main() -> int:
             continue
         for lineno, command in extract_commands(path.read_text()):
             checked += 1
+            names = documented_names(command)
+            if names is not None:
+                seen.add(names)
             for error in check_command(command, toplevel):
                 print(f"check-docs: FAIL {relative}:{lineno}: "
                       f"{command!r}: {error}")
                 failures += 1
+    for gap in coverage_gaps(toplevel, seen):
+        print(f"check-docs: FAIL coverage: {gap}")
+        failures += 1
     print(f"check-docs: {checked} documented sama command(s) checked, "
           f"{failures} problem(s)")
     return 1 if failures else 0
