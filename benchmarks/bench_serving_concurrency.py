@@ -1,0 +1,387 @@
+"""Asyncio front-end concurrency benchmark: 1k+ keep-alive connections.
+
+Opens ``--connections`` simultaneous keep-alive HTTP/1.1 connections
+against the :mod:`repro.serving.aserve` front end over one LUBM index
+and drives a closed loop (every client waits for its response before
+sending the next request) through two arms:
+
+- ``identical``: every client sends the *same* query with the result
+  cache disabled — the single-flight stampede case.  Each wave of
+  concurrent requests must collapse onto one engine computation, so
+  the coalesce rate is the headline number;
+- ``mixed``: clients sweep the five-query Fig. 6 workload with the
+  cache enabled — the steady-state case; p99 latency under full
+  connection load is the headline number.
+
+Each arm reports client-side latency percentiles (p50/p95/p99), the
+shed rate (engine 503s), the coalesce rate, and the server's framing
+counters — any connection the server closed to protect framing is a
+correctness failure, not a statistic.  Results land in
+``BENCH_concurrency.json`` and ``results/concurrency.txt``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serving_concurrency.py          # full run
+    PYTHONPATH=src python benchmarks/bench_serving_concurrency.py --smoke  # CI gate
+
+``--smoke`` shrinks the fleet and gates on behaviour, not wall-clock:
+zero framing errors on either side, zero HTTP-level client errors, a
+non-zero coalesce rate under identical load, and a reported p99.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import socket
+import sys
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.datasets import dataset, lubm_queries  # noqa: E402
+from repro.engine import SamaEngine  # noqa: E402
+from repro.serving import (ServingConfig, ServingEngine,  # noqa: E402
+                           serve_async)
+
+QUERY_IDS = ["Q1", "Q2", "Q3", "Q5", "Q7"]
+
+JSON_PATH = REPO_ROOT / "BENCH_concurrency.json"
+TXT_PATH = REPO_ROOT / "results" / "concurrency.txt"
+
+
+def _raise_fd_limit(connections: int) -> int:
+    """Ask for enough file descriptors (client + server ends + slack);
+    returns the connection count that actually fits."""
+    try:
+        import resource
+    except ImportError:  # non-POSIX: hope for the best
+        return connections
+    needed = 4 * connections + 256
+    soft, hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+    if soft < needed:
+        try:
+            resource.setrlimit(resource.RLIMIT_NOFILE,
+                               (min(needed, hard), hard))
+            soft = min(needed, hard)
+        except (ValueError, OSError):
+            pass
+    if soft < needed:
+        fitting = max(16, (soft - 256) // 4)
+        print(f"note: RLIMIT_NOFILE={soft} caps the fleet at {fitting} "
+              f"connections (asked for {connections})")
+        return fitting
+    return connections
+
+
+def _post_bytes(body: bytes) -> bytes:
+    return (f"POST /query HTTP/1.1\r\nHost: bench\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n\r\n").encode() + body
+
+
+def _read_response(handle) -> "tuple[int, bytes]":
+    """One framed response; raises ValueError on any framing violation."""
+    status_line = handle.readline()
+    if not status_line.startswith(b"HTTP/1.1 "):
+        raise ValueError(f"bad status line {status_line!r}")
+    status = int(status_line.split()[1])
+    length = 0
+    while True:
+        line = handle.readline()
+        if line in (b"\r\n", b"\n"):
+            break
+        if not line:
+            raise ValueError("EOF inside response headers")
+        name, _, value = line.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            length = int(value)
+    body = handle.read(length)
+    if len(body) != length:
+        raise ValueError(f"truncated body ({len(body)}/{length})")
+    return status, body
+
+
+class _ArmState:
+    """Shared accumulator for one arm's client fleet."""
+
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.latencies_ms: "list[float]" = []
+        self.ok = 0
+        self.shed = 0
+        self.errors = 0
+        self.framing = 0
+
+
+def _client(host: str, port: int, payloads: "list[bytes]", rounds: int,
+            offset: int, barrier: threading.Barrier,
+            state: _ArmState) -> None:
+    """One closed-loop keep-alive connection for the whole arm."""
+    try:
+        sock = socket.create_connection((host, port), timeout=600)
+        handle = sock.makefile("rb")
+    except OSError:
+        with state.lock:
+            state.errors += rounds
+        barrier.wait()
+        return
+    try:
+        barrier.wait()  # every connection is open before traffic starts
+        for step in range(rounds):
+            request = payloads[(offset + step) % len(payloads)]
+            started = time.perf_counter()
+            try:
+                sock.sendall(request)
+                status, _body = _read_response(handle)
+            except ValueError:
+                with state.lock:
+                    state.framing += 1
+                return  # the connection is desynchronised: stop using it
+            except OSError:
+                with state.lock:
+                    state.errors += 1
+                return
+            latency_ms = (time.perf_counter() - started) * 1000.0
+            with state.lock:
+                state.latencies_ms.append(latency_ms)
+                if status == 200:
+                    state.ok += 1
+                elif status == 503:
+                    state.shed += 1
+                else:
+                    state.errors += 1
+    finally:
+        handle.close()
+        sock.close()
+
+
+def _percentile(ordered: "list[float]", fraction: float) -> "float | None":
+    if not ordered:
+        return None
+    position = min(len(ordered) - 1,
+                   max(0, round(fraction * (len(ordered) - 1))))
+    return round(ordered[position], 3)
+
+
+def _run_arm(server, payloads: "list[bytes]", connections: int,
+             rounds: int) -> dict:
+    """``connections`` keep-alive clients, each issuing ``rounds``
+    closed-loop requests; client-side latencies + server counters."""
+    state = _ArmState()
+    barrier = threading.Barrier(connections + 1)
+    flight0 = (server.flight.leaders, server.flight.coalesced)
+    framing0 = server.connections.framing_close
+    shed0 = server.serving.stats.snapshot().shed
+    threads = [
+        threading.Thread(target=_client,
+                         args=(server.host, server.port, payloads, rounds,
+                               i, barrier, state), daemon=True)
+        for i in range(connections)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+
+    leaders = server.flight.leaders - flight0[0]
+    coalesced = server.flight.coalesced - flight0[1]
+    attempts = state.ok + state.shed + state.errors
+    ordered = sorted(state.latencies_ms)
+    return {
+        "connections": connections,
+        "requests": attempts,
+        "ok": state.ok,
+        "shed": state.shed,
+        "errors": state.errors,
+        "client_framing_errors": state.framing,
+        "server_framing_closes": (server.connections.framing_close
+                                  - framing0),
+        "engine_shed": server.serving.stats.snapshot().shed - shed0,
+        "seconds": round(elapsed, 4),
+        "qps": round(attempts / elapsed, 2) if elapsed else None,
+        "latency_p50_ms": _percentile(ordered, 0.50),
+        "latency_p95_ms": _percentile(ordered, 0.95),
+        "latency_p99_ms": _percentile(ordered, 0.99),
+        "singleflight_leaders": leaders,
+        "singleflight_coalesced": coalesced,
+        "coalesce_rate": (round(coalesced / (leaders + coalesced), 4)
+                          if leaders + coalesced else 0.0),
+        "shed_rate": (round(state.shed / attempts, 4) if attempts else 0.0),
+    }
+
+
+def run_bench(triples: int, connections: int, rounds: int, k: int,
+              workers: int, seed: int = 0) -> dict:
+    graph = dataset("lubm").build(triples, seed=seed)
+    queries = [spec for spec in lubm_queries() if spec.qid in QUERY_IDS]
+    payloads_mixed = [
+        _post_bytes(json.dumps({"query": spec.sparql, "k": k}).encode())
+        for spec in queries
+    ]
+    payloads_identical = payloads_mixed[:1]
+
+    import tempfile
+    arms = {}
+    with tempfile.TemporaryDirectory(prefix="sama-aserve-") as directory:
+        engine = SamaEngine.from_graph(graph, directory=directory)
+
+        # identical: the stampede arm — cache off so *every* wave must
+        # coalesce, not just the cold one.
+        serving = ServingEngine(engine, ServingConfig(
+            workers=workers, max_queue=max(64, 2 * workers),
+            cache_bytes=0, default_k=k))
+        server = serve_async(serving, port=0,
+                             max_connections=connections + 8,
+                             read_timeout_s=600.0,
+                             write_timeout_s=600.0).serve_background()
+        try:
+            arms["identical"] = _run_arm(server, payloads_identical,
+                                         connections, rounds)
+        finally:
+            server.shutdown(close_engine=False)
+
+        # mixed: the steady-state arm — cache on, five-query sweep.
+        serving = ServingEngine(engine, ServingConfig(
+            workers=workers, max_queue=max(64, 2 * workers),
+            cache_bytes=64 << 20, default_k=k))
+        server = serve_async(serving, port=0,
+                             max_connections=connections + 8,
+                             read_timeout_s=600.0,
+                             write_timeout_s=600.0).serve_background()
+        try:
+            arms["mixed"] = _run_arm(server, payloads_mixed,
+                                     connections, rounds)
+        finally:
+            server.shutdown(close_engine=False)
+        engine.close()
+
+    return {
+        "meta": {
+            "triples": triples,
+            "connections": connections,
+            "rounds": rounds,
+            "k": k,
+            "workers": workers,
+            "queries": QUERY_IDS,
+            "frontend": "asyncio",
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+        "identical": arms["identical"],
+        "mixed": arms["mixed"],
+    }
+
+
+def render_report(report: dict) -> str:
+    meta = report["meta"]
+    lines = []
+    lines.append("Asyncio front end under full connection load "
+                 "(closed-loop keep-alive clients)")
+    lines.append(f"LUBM {meta['triples']} triples, "
+                 f"{meta['connections']} connections x {meta['rounds']} "
+                 f"requests, k={meta['k']}, {meta['workers']} workers, "
+                 f"Python {meta['python']}")
+    lines.append("")
+    lines.append(f"{'arm':<10} {'requests':>9} {'ok':>7} {'shed':>6} "
+                 f"{'err':>4} {'req/s':>8} {'p50 ms':>8} {'p95 ms':>9} "
+                 f"{'p99 ms':>9} {'coalesce':>9}")
+    for arm in ("identical", "mixed"):
+        row = report[arm]
+        lines.append(
+            f"{arm:<10} {row['requests']:>9} {row['ok']:>7} "
+            f"{row['shed']:>6} {row['errors']:>4} {row['qps']:>8.1f} "
+            f"{row['latency_p50_ms']:>8.2f} {row['latency_p95_ms']:>9.2f} "
+            f"{row['latency_p99_ms']:>9.2f} {row['coalesce_rate']:>8.1%}")
+    identical = report["identical"]
+    lines.append("")
+    lines.append(
+        f"identical-query load: {identical['singleflight_coalesced']} of "
+        f"{identical['singleflight_coalesced'] + identical['singleflight_leaders']} "
+        f"requests coalesced onto {identical['singleflight_leaders']} "
+        f"engine computations "
+        f"({identical['coalesce_rate']:.1%} coalesce rate)")
+    framing = (identical["server_framing_closes"]
+               + report["mixed"]["server_framing_closes"]
+               + identical["client_framing_errors"]
+               + report["mixed"]["client_framing_errors"])
+    lines.append(f"framing violations (client + server, both arms): "
+                 f"{framing}")
+    return "\n".join(lines)
+
+
+def smoke_check(report: dict) -> int:
+    """Behavioural gate for CI: correctness, not wall-clock."""
+    failures = []
+    for arm in ("identical", "mixed"):
+        row = report[arm]
+        if row["client_framing_errors"]:
+            failures.append(f"{arm}: {row['client_framing_errors']} "
+                            "client-side framing errors")
+        if row["server_framing_closes"]:
+            failures.append(f"{arm}: server closed "
+                            f"{row['server_framing_closes']} connections "
+                            "to protect framing")
+        if row["errors"]:
+            failures.append(f"{arm}: {row['errors']} HTTP client errors")
+        if row["latency_p99_ms"] is None:
+            failures.append(f"{arm}: no p99 latency recorded")
+    if report["identical"]["coalesce_rate"] <= 0.0:
+        failures.append("identical: no single-flight coalescing under "
+                        "duplicate load")
+    for line in (failures or ["all checks passed"]):
+        print(f"smoke: {line}")
+    print(f"smoke: {'FAIL' if failures else 'PASS'}")
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--triples", type=int, default=1500)
+    parser.add_argument("--connections", type=int, default=1024,
+                        help="simultaneous keep-alive connections")
+    parser.add_argument("--rounds", type=int, default=4,
+                        help="closed-loop requests per connection")
+    parser.add_argument("-k", type=int, default=10)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="serving worker threads (default: cpu_count)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced fleet + behavioural gate for CI")
+    parser.add_argument("--no-write", action="store_true",
+                        help="do not update the committed result files")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.triples = min(args.triples, 800)
+        args.connections = min(args.connections, 64)
+        args.rounds = min(args.rounds, 3)
+    args.connections = _raise_fd_limit(args.connections)
+    workers = args.workers or (os.cpu_count() or 4)
+
+    report = run_bench(args.triples, args.connections, args.rounds,
+                       args.k, workers=workers, seed=args.seed)
+    text = render_report(report)
+    print(text)
+
+    if args.smoke:
+        return smoke_check(report)
+
+    if not args.no_write:
+        JSON_PATH.write_text(json.dumps(report, indent=2) + "\n")
+        TXT_PATH.parent.mkdir(exist_ok=True)
+        TXT_PATH.write_text(text + "\n")
+        print(f"\nwrote {JSON_PATH} and {TXT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -170,6 +170,7 @@ def _cmd_serve(args) -> int:
     import threading
 
     from .serving import ServingConfig, ServingEngine
+    from .serving.aserve import serve_async
     from .serving.http import serve
 
     serving_workers, worker_mode = _parse_workers(args.workers)
@@ -200,12 +201,28 @@ def _cmd_serve(args) -> int:
         queue_deadline_ms=args.queue_deadline_ms,
         slow_query_ms=args.slow_query_ms,
         slow_query_log=args.slow_query_log))
-    server = serve(serving, host=args.host, port=args.port,
-                   verbose=args.verbose)
+    if args.frontend == "asyncio":
+        api_keys = (set(filter(None, args.api_keys.split(",")))
+                    if args.api_keys else None)
+        server = serve_async(
+            serving, host=args.host, port=args.port,
+            max_connections=args.max_connections,
+            tenant_rate=args.tenant_rate, tenant_burst=args.tenant_burst,
+            api_keys=api_keys, verbose=args.verbose)
+        # Bind now so the printed URL shows the real port (port=0 picks
+        # a free one); serve_forever below just blocks.
+        server.serve_background()
+    else:
+        server = serve(serving, host=args.host, port=args.port,
+                       verbose=args.verbose)
     mode_note = f", shard workers: {worker_mode}" if worker_mode else ""
+    quota_note = (f", quota {args.tenant_rate:g}/s×{args.tenant_burst:g}"
+                  if args.frontend == "asyncio"
+                  and args.tenant_rate is not None else "")
     print(f"serving {args.index_dir} on {server.url} "
-          f"({serving_workers} workers{mode_note}, queue {args.max_queue}, "
-          f"cache {args.cache_mb} MiB)")
+          f"({args.frontend} front end, {serving_workers} workers"
+          f"{mode_note}, queue {args.max_queue}, "
+          f"cache {args.cache_mb} MiB{quota_note})")
     print("endpoints: POST /query, GET /healthz, GET /stats, "
           "GET /metrics  (Ctrl-C to stop, SIGTERM to drain)")
 
@@ -634,6 +651,29 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--recall-target", type=float, default=0.95,
                        help="target recall for --two-stage approx "
                             "(default 0.95)")
+    serve.add_argument("--frontend", choices=["threads", "asyncio"],
+                       default="threads",
+                       help="HTTP front end: 'threads' (one OS thread per "
+                            "connection) or 'asyncio' (event loop with "
+                            "keep-alive, single-flight coalescing of "
+                            "identical in-flight queries, and per-tenant "
+                            "quotas)")
+    serve.add_argument("--max-connections", type=int, default=1024,
+                       help="asyncio front end: concurrent connections "
+                            "before new ones are refused with 503 "
+                            "(default 1024)")
+    serve.add_argument("--tenant-rate", type=float, default=None,
+                       help="asyncio front end: per-tenant admission rate "
+                            "in requests/second (token bucket keyed by "
+                            "X-API-Key; over-quota requests get 429 + "
+                            "Retry-After; default: no quota)")
+    serve.add_argument("--tenant-burst", type=float, default=10.0,
+                       help="token-bucket burst capacity per tenant "
+                            "(default 10)")
+    serve.add_argument("--api-keys", default=None,
+                       help="comma-separated allow-list of API keys; "
+                            "requests with any other key are refused "
+                            "(default: every key is its own tenant)")
     serve.add_argument("--drain-deadline-ms", type=_non_negative_ms,
                        default=10_000.0,
                        help="on SIGTERM, seconds*1000 granted to in-flight "

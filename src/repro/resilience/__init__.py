@@ -23,9 +23,9 @@ with an unstructured traceback.  This package supplies the pieces:
 from .budget import (Budget, DegradationCause, DegradationReason,
                      PartialResult)
 from .errors import (IndexCorruptError, InvalidQueryError, OverloadedError,
-                     PageCorruptError, ParseError, QueryTimeout, ReproError,
-                     ShardUnavailableError, StorageError,
-                     TransientStorageError)
+                     PageCorruptError, ParseError, QueryTimeout,
+                     QuotaExceededError, ReproError, ShardUnavailableError,
+                     StorageError, TransientStorageError)
 from .faults import (FaultInjector, FaultPlan, ShardFaultSet, install,
                      uninstall)
 from .health import BreakerConfig, ShardBreaker, ShardHealth
@@ -37,7 +37,8 @@ __all__ = [
     "DegradationReason", "FaultInjector", "FaultPlan", "IndexCorruptError",
     "InvalidQueryError", "JITTERED_RETRY", "NO_RETRY", "OverloadedError",
     "PageCorruptError", "ParseError", "PartialResult", "QueryTimeout",
-    "ReproError", "RetryPolicy", "ShardBreaker", "ShardFaultSet",
+    "QuotaExceededError", "ReproError", "RetryPolicy", "ShardBreaker",
+    "ShardFaultSet",
     "ShardHealth", "ShardUnavailableError", "StorageError",
     "TransientStorageError", "install", "retry_call", "uninstall",
 ]

@@ -93,6 +93,24 @@ class OverloadedError(ReproError, RuntimeError):
         self.capacity = capacity
 
 
+class QuotaExceededError(ReproError, RuntimeError):
+    """A tenant exhausted its admission quota and this request was refused.
+
+    Raised ahead of the engine's capacity semaphore by the per-tenant
+    token-bucket admission in the asyncio front end (HTTP 429): the
+    *service* still has room, but this API key is sending faster than
+    its provisioned rate.  ``retry_after_s`` is the earliest moment a
+    retry can succeed (the next token), so well-behaved clients back
+    off exactly as long as needed and no longer.
+    """
+
+    def __init__(self, message: str, tenant: "str | None" = None,
+                 retry_after_s: "float | None" = None):
+        super().__init__(message)
+        self.tenant = tenant
+        self.retry_after_s = retry_after_s
+
+
 class StorageError(ReproError, RuntimeError):
     """Invalid or failed page/record operation in the storage layer."""
 

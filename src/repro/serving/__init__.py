@@ -15,22 +15,32 @@ query phase; this package is the online phase grown into a service:
 - :mod:`repro.serving.http` / :mod:`repro.serving.client` — a
   stdlib-only JSON-over-HTTP front end (``POST /query``,
   ``GET /healthz``, ``GET /stats``, ``GET /metrics`` in Prometheus
-  text format) and its client helper.
+  text format) and its client helper;
+- :mod:`repro.serving.aserve` — the asyncio front end for
+  thousand-connection workloads: HTTP/1.1 keep-alive with strict
+  framing, bounded connection backlog, single-flight coalescing of
+  identical in-flight queries, and per-tenant token-bucket quotas
+  (``sama serve --frontend asyncio``).
 
 CLI: ``sama serve INDEX_DIR`` and ``sama bench-serve INDEX_DIR``.
 """
 
+from .aserve import (AsyncServingServer, SingleFlight, TenantQuotas,
+                     TokenBucket, serve_async)
 from .cache import CachedResult, ResultCache, ResultCacheStats
 from .canonical import cache_key, canonical_form
 from .client import ServingClient, ServingClientError
 from .http import ServingRequestHandler, ServingServer, serve
-from .service import (ServedResult, ServingConfig, ServingEngine,
-                      ServingStats, StatsSnapshot, answers_payload)
+from .service import (RequestFingerprint, ServedResult, ServingConfig,
+                      ServingEngine, ServingStats, StatsSnapshot,
+                      answers_payload)
 
 __all__ = [
-    "CachedResult", "ResultCache", "ResultCacheStats", "ServedResult",
-    "ServingClient", "ServingClientError", "ServingConfig", "ServingEngine",
+    "AsyncServingServer", "CachedResult", "RequestFingerprint",
+    "ResultCache", "ResultCacheStats", "ServedResult", "ServingClient",
+    "ServingClientError", "ServingConfig", "ServingEngine",
     "ServingRequestHandler", "ServingServer", "ServingStats",
-    "StatsSnapshot", "answers_payload", "cache_key", "canonical_form",
-    "serve",
+    "SingleFlight", "StatsSnapshot", "TenantQuotas", "TokenBucket",
+    "answers_payload", "cache_key", "canonical_form", "serve",
+    "serve_async",
 ]

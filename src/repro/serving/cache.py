@@ -96,10 +96,15 @@ class ResultCache:
 
     @property
     def current_bytes(self) -> int:
-        return self._bytes
+        # Under the lock: ``/stats`` scrapes race with eviction, and a
+        # torn read here could report bytes from mid-eviction (entries
+        # popped, budget not yet released).
+        with self._lock:
+            return self._bytes
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def get(self, key: str) -> "CachedResult | None":
         with self._lock:
@@ -175,6 +180,12 @@ class ResultCache:
             return replace(self.stats)
 
     def __repr__(self):
-        return (f"<ResultCache: {len(self._entries)} entries, "
-                f"{self._bytes}/{self.max_bytes} bytes, "
-                f"hit rate {self.stats.hit_rate:.2%}>")
+        # One locked snapshot: entry count, bytes and hit rate must
+        # describe the same instant even while eviction is running.
+        with self._lock:
+            entries = len(self._entries)
+            current = self._bytes
+            hit_rate = self.stats.hit_rate
+        return (f"<ResultCache: {entries} entries, "
+                f"{current}/{self.max_bytes} bytes, "
+                f"hit rate {hit_rate:.2%}>")

@@ -17,11 +17,13 @@ import json
 import urllib.error
 import urllib.request
 
-from ..resilience.errors import OverloadedError, ReproError
+from ..resilience.errors import (OverloadedError, QuotaExceededError,
+                                 ReproError)
 
 
 class ServingClientError(ReproError, RuntimeError):
-    """A non-2xx response from the serving API (other than overload)."""
+    """A non-2xx response from the serving API (other than overload
+    or quota exhaustion, which raise their typed errors)."""
 
     def __init__(self, message: str, status: int,
                  body: "dict | None" = None):
@@ -53,9 +55,11 @@ class ServingClient:
     4
     """
 
-    def __init__(self, base_url: str, timeout: float = 30.0):
+    def __init__(self, base_url: str, timeout: float = 30.0,
+                 api_key: "str | None" = None):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.api_key = api_key
 
     # -- wire helpers -------------------------------------------------------
 
@@ -63,6 +67,10 @@ class ServingClient:
                  payload: "dict | None" = None) -> dict:
         data = None
         headers = {"Accept": "application/json"}
+        if self.api_key:
+            # Tenant identity for the asyncio front end's quotas; the
+            # threaded front end ignores it.
+            headers["X-API-Key"] = self.api_key
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -82,6 +90,11 @@ class ServingClient:
                     body.get("message", "server overloaded"),
                     in_flight=body.get("in_flight"),
                     capacity=body.get("capacity")) from exc
+            if exc.code == 429:
+                raise QuotaExceededError(
+                    body.get("message", "tenant quota exceeded"),
+                    tenant=body.get("tenant"),
+                    retry_after_s=body.get("retry_after_s")) from exc
             raise ServingClientError(
                 body.get("message", f"HTTP {exc.code} from {path}"),
                 status=exc.code, body=body) from exc

@@ -51,24 +51,102 @@ class ServingRequestHandler(BaseHTTPRequestHandler):
 
     # -- helpers -----------------------------------------------------------
 
+    def _note_disconnect(self) -> None:
+        """Count a client that went away mid-write (never a crash)."""
+        self.close_connection = True
+        self.serving.registry.counter(
+            "sama_client_disconnects_total",
+            "Responses aborted because the client disconnected mid-write",
+        ).inc()
+
     def _send_json(self, status: int, payload: dict,
                    headers: "dict[str, str] | None" = None) -> None:
         body = json.dumps(payload).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        for name, value in (headers or {}).items():
-            self.send_header(name, value)
-        self.end_headers()
-        self.wfile.write(body)
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
+            if self.close_connection:
+                # The framing code decided this connection cannot be
+                # reused (oversized/truncated body); tell the client so
+                # it does not pipeline into a socket about to close.
+                self.send_header("Connection", "close")
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            # The client hung up between sending the request and reading
+            # the answer.  That is their prerogative, not our crash: the
+            # handler thread must survive to serve the next connection.
+            self._note_disconnect()
 
-    def _read_body(self) -> dict:
-        length = int(self.headers.get("Content-Length") or 0)
+    def _read_raw_body(self) -> bytes:
+        """The declared request body, read *fully* (or ``ValueError``).
+
+        A single ``rfile.read(length)`` is not enough: a slow or
+        chunking client delivers the body in pieces, and a short read
+        here would both truncate the JSON *and* desynchronise the
+        keep-alive connection (the unread tail would be parsed as the
+        next request line).  Loop until ``length`` bytes or EOF; a
+        truncated body closes the connection, because the framing can
+        no longer be trusted.
+        """
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except (TypeError, ValueError):
+            self.close_connection = True
+            raise ValueError("missing or malformed Content-Length")
         if length <= 0:
             raise ValueError("empty request body")
         if length > MAX_BODY_BYTES:
+            # Never read (or drain) an oversized body — the connection
+            # cannot be reused, so mark it for closing.
+            self.close_connection = True
             raise ValueError(f"request body over {MAX_BODY_BYTES} bytes")
-        raw = self.rfile.read(length)
+        chunks = []
+        remaining = length
+        while remaining > 0:
+            chunk = self.rfile.read(remaining)
+            if not chunk:
+                break
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        if remaining > 0:
+            self.close_connection = True
+            raise ValueError(
+                f"truncated request body ({length - remaining}/{length} "
+                f"bytes received)")
+        return b"".join(chunks)
+
+    def _drain_body(self) -> None:
+        """Consume a request body that is not going to be used.
+
+        Error responses sent while the body is still in the socket
+        would leave those bytes to be parsed as the *next* request
+        under keep-alive (connection desync).  Either the body is
+        drained here, or the connection is marked to close.
+        """
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except (TypeError, ValueError):
+            self.close_connection = True
+            return
+        if length <= 0:
+            return
+        if length > MAX_BODY_BYTES:
+            self.close_connection = True
+            return
+        remaining = length
+        while remaining > 0:
+            chunk = self.rfile.read(remaining)
+            if not chunk:
+                self.close_connection = True
+                return
+            remaining -= len(chunk)
+
+    def _read_body(self) -> dict:
+        raw = self._read_raw_body()
         document = json.loads(raw.decode("utf-8"))
         if not isinstance(document, dict):
             raise ValueError("request body must be a JSON object")
@@ -89,17 +167,23 @@ class ServingRequestHandler(BaseHTTPRequestHandler):
             self._send_json(200, self.serving.stats_payload())
         elif self.path == "/metrics":
             body = self.serving.render_metrics().encode("utf-8")
-            self.send_response(200)
-            self.send_header("Content-Type",
-                             "text/plain; version=0.0.4; charset=utf-8")
-            self.send_header("Content-Length", str(len(body)))
-            self.end_headers()
-            self.wfile.write(body)
+            try:
+                self.send_response(200)
+                self.send_header("Content-Type",
+                                 "text/plain; version=0.0.4; charset=utf-8")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+            except (BrokenPipeError, ConnectionResetError):
+                self._note_disconnect()
         else:
             self._send_json(404, {"error": "NotFound", "message": self.path})
 
     def do_POST(self):  # noqa: N802 - stdlib naming
         if self.path != "/query":
+            # The 404 must still account for the declared body: leftover
+            # bytes would desync the next keep-alive request.
+            self._drain_body()
             self._send_json(404, {"error": "NotFound", "message": self.path})
             return
         try:

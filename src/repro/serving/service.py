@@ -73,6 +73,25 @@ class ServingConfig:
     slow_query_log: "str | None" = None
 
 
+@dataclass(eq=False)
+class RequestFingerprint:
+    """The canonical identity of one request, computed once.
+
+    ``key`` is the canonical-form × k × epoch (× retrieval-mode) string
+    that both the result cache and the asyncio front end's single-flight
+    map key by.  Front ends compute the fingerprint to decide whether a
+    request can coalesce onto an in-flight computation, then hand it
+    back to :meth:`ServingEngine.submit` so the query is only
+    canonicalised once per request.
+    """
+
+    graph: "object"            # the coerced QueryGraph
+    k: int
+    key: str
+    epoch_key: "int | tuple"   # scalar epoch or per-shard vector
+    epoch: int                 # monotone scalar (vector sum when sharded)
+
+
 @dataclass
 class ServedResult:
     """One answered request: the ranked answers plus serving metadata."""
@@ -280,14 +299,42 @@ class ServingEngine:
 
     # -- request path -------------------------------------------------------
 
+    def _retrieval_mode(self) -> str:
+        """The retrieval-mode component of cache keys (two-stage
+        rankings are not interchangeable with exact ones)."""
+        return getattr(getattr(self.engine, "config", None),
+                       "two_stage", "off")
+
+    def fingerprint(self, query,
+                    k: "int | None" = None) -> RequestFingerprint:
+        """Canonicalise one request into a :class:`RequestFingerprint`.
+
+        Front ends that deduplicate (the asyncio single-flight layer)
+        call this first, key their in-flight map by ``.key``, and pass
+        the fingerprint to :meth:`submit` so canonicalisation happens
+        once per request, not twice.
+        """
+        k = self.config.default_k if k is None else k
+        graph = self.engine._coerce_query(query)
+        epoch_key = self.epoch_key
+        epoch = epoch_key if isinstance(epoch_key, int) else sum(epoch_key)
+        key = cache_key(graph, k, epoch_key, self._retrieval_mode())
+        return RequestFingerprint(graph=graph, k=k, key=key,
+                                  epoch_key=epoch_key, epoch=epoch)
+
     def submit(self, query, k: "int | None" = None, *,
-               deadline_ms: "float | None" = None) -> "Future[ServedResult]":
+               deadline_ms: "float | None" = None,
+               fingerprint: "RequestFingerprint | None" = None,
+               ) -> "Future[ServedResult]":
         """Admit one request; a future for its :class:`ServedResult`.
 
         Raises :class:`OverloadedError` synchronously when the service
         is at capacity (the request is *shed*, nothing was queued).
         Cache hits are answered inline on the caller's thread — they
-        cost a dictionary lookup and are never shed.
+        cost a dictionary lookup and are never shed.  ``fingerprint``
+        (from :meth:`fingerprint`) is reused when it still matches the
+        requested ``k`` and the current epoch; a stale one is simply
+        recomputed.
         """
         if self._closed:
             raise RuntimeError("serving engine is closed")
@@ -304,7 +351,6 @@ class ServingEngine:
         k = self.config.default_k if k is None else k
         if deadline_ms is None:
             deadline_ms = self.config.default_deadline_ms
-        graph = self.engine._coerce_query(query)
 
         epoch_key = self.epoch_key
         epoch = epoch_key if isinstance(epoch_key, int) else sum(epoch_key)
@@ -321,10 +367,23 @@ class ServingEngine:
             # by entries no future request can reach.
             self.cache.drop_stale_epochs(epoch_key)
 
-        key = ""
-        if self.cache.max_bytes:
-            key = cache_key(graph, k, epoch_key,
-                            getattr(self.engine.config, "two_stage", "off"))
+        fresh = (fingerprint is not None and fingerprint.k == k
+                 and fingerprint.epoch_key == epoch_key)
+        if fresh:
+            graph = fingerprint.graph
+            key = fingerprint.key if self.cache.max_bytes else ""
+        else:
+            # No (or stale) fingerprint: canonicalise here.  A stale
+            # one means the epoch moved since the front end computed it
+            # — the fresh key keeps the entry from being filed (or
+            # looked up) under the dead epoch.  Without a cache there
+            # is nothing to key, so the canonical form is never built.
+            graph = (fingerprint.graph if fingerprint is not None
+                     else self.engine._coerce_query(query))
+            key = (cache_key(graph, k, epoch_key, self._retrieval_mode())
+                   if self.cache.max_bytes else "")
+
+        if key:
             entry = self.cache.get(key)
             if entry is not None:
                 latency = (time.perf_counter() - started) * 1000.0

@@ -258,12 +258,61 @@ class TestConcurrencyStress:
 
         with cache._lock:
             entries = list(cache._entries.values())
-            current = cache.current_bytes
+            current = cache._bytes
         assert current == sum(e.size_bytes for e in entries), (
             "byte accounting drifted from the entry map")
         assert current <= cache.max_bytes
+        assert cache.current_bytes == current  # quiesced: same answer
         stats = cache.stats_snapshot()
         assert stats.lookups == stats.hits + stats.misses
+
+    def test_stats_reads_are_locked_during_eviction(self):
+        """``/stats`` readers racing eviction never see torn state.
+
+        Regression for the unlocked ``current_bytes`` / ``__len__`` /
+        ``__repr__`` reads: a scrape running concurrently with ``put``
+        eviction could observe bytes from mid-eviction (entries popped,
+        budget not yet released) — with the lock, every observed
+        (bytes, entries) pair satisfies the budget invariant.
+        """
+        cache = ResultCache(max_bytes=1024)
+        stop = threading.Event()
+        violations: list = []
+        previous_interval = sys.getswitchinterval()
+        sys.setswitchinterval(1e-5)
+        try:
+            def writer(worker_id: int):
+                for op in range(self.OPS):
+                    cache.put(_entry(f"w{worker_id}-{op % 32}",
+                                     size=128 + (op % 5) * 64,
+                                     epoch=op % 3))
+                    if op % 53 == 0:
+                        cache.drop_stale_epochs(1)
+                stop.set()
+
+            def reader():
+                while not stop.is_set():
+                    observed = cache.current_bytes
+                    entries = len(cache)
+                    text = repr(cache)
+                    if observed < 0 or observed > cache.max_bytes:
+                        violations.append(("bytes", observed))
+                    if entries == 0 and observed > 0 and stop.is_set():
+                        violations.append(("empty-but-bytes", observed))
+                    if "ResultCache" not in text:
+                        violations.append(("repr", text))
+
+            threads = [threading.Thread(target=writer, args=(i,))
+                       for i in range(4)]
+            threads.extend(threading.Thread(target=reader)
+                           for _ in range(2))
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        finally:
+            sys.setswitchinterval(previous_interval)
+        assert not violations, f"torn reads observed: {violations[:3]}"
 
     def test_serving_stats_counters_are_exact_at_quiesce(self):
         stats = ServingStats()
