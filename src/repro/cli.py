@@ -9,6 +9,7 @@ layer and utilities::
     sama index compact ./my-incremental-index
     sama index reshard ./my-index --shards 8
     sama index sketch ./my-index
+    sama index quotient ./my-index
     sama query ./my-index -e 'SELECT ?s WHERE { ?s <http://...> ?o . }'
     sama query ./my-index --two-stage safe -e 'SELECT ...'
     sama profile ./my-index -e 'SELECT ...' --repeat 3
@@ -21,9 +22,11 @@ the ranked answers with scores and bindings, and with ``--explain``
 also renders the forest of paths (Fig. 4).  ``sama index`` groups the
 offline maintenance verbs — ``build`` (``--shards N`` partitions the
 paths across N self-contained shards), ``compact`` (vacuum an
-incremental index), ``reshard`` (repartition an existing index) and
+incremental index), ``reshard`` (repartition an existing index),
 ``sketch`` (build the per-shard minhash sketches that power
-``--two-stage`` retrieval); the historical spelling
+``--two-stage`` retrieval) and ``quotient`` (group stored paths into
+label-equality-pattern classes so queries align once per class); the
+historical spelling
 ``sama index DATA DIR`` still works as an alias for ``build``.  ``sama serve`` keeps one
 hot engine resident behind the JSON/HTTP API of
 :mod:`repro.serving.http`; ``sama bench-serve`` drives it with
@@ -81,6 +84,15 @@ def _cmd_index_build(args) -> int:
         counts = ", ".join(str(shard.path_count) for shard in index.shards)
         print(f"partitioned into {index.shard_count} shards "
               f"({counts} paths)")
+    if not args.no_quotient:
+        from .quotient import QuotientIndex, build_quotients
+
+        build_quotients(index)
+        quotients = QuotientIndex.for_index(index)
+        if quotients is not None:
+            print(f"quotient: {quotients.path_count} paths in "
+                  f"{quotients.class_count} equivalence class(es) "
+                  f"({quotients.compression_ratio:.1f}x compression)")
     index.close()
     print(f"indexed {stats.path_count} paths in "
           f"{format_seconds(stats.build_seconds)} "
@@ -120,6 +132,9 @@ def _cmd_index_compact(args) -> int:
     if report.sketches_invalidated:
         print(f"invalidated {report.sketches_invalidated} stale sketch "
               f"file(s); rerun 'sama index sketch' to rebuild")
+    if report.quotients_invalidated:
+        print(f"invalidated {report.quotients_invalidated} stale quotient "
+              f"file(s); rerun 'sama index quotient' to rebuild")
     return 0
 
 
@@ -141,6 +156,31 @@ def _cmd_index_sketch(args) -> int:
               f"{len(written)} file(s) "
               f"({params.num_perm} permutations, {params.bands} bands, "
               f"seed {params.seed})")
+        return 0
+    finally:
+        index.close()
+
+
+def _cmd_index_quotient(args) -> int:
+    from .index.sharded import ShardedIndex, is_sharded_dir
+    from .quotient import QuotientIndex, build_quotients
+
+    if is_sharded_dir(args.index_dir):
+        index = ShardedIndex.open(args.index_dir)
+    else:
+        index = PathIndex.open(args.index_dir)
+    try:
+        written = build_quotients(index)
+        for path in written:
+            print(f"wrote {path}")
+        quotients = QuotientIndex.for_index(index)
+        if quotients is None:
+            print("no quotient files could be loaded back", file=sys.stderr)
+            return 3
+        print(f"quotiented {quotients.path_count} paths into "
+              f"{quotients.class_count} equivalence class(es) across "
+              f"{len(written)} file(s) "
+              f"({quotients.compression_ratio:.1f}x compression)")
         return 0
     finally:
         index.close()
@@ -178,7 +218,8 @@ def _cmd_serve(args) -> int:
                           hedge_ms=args.hedge_ms,
                           worker_mode=worker_mode,
                           two_stage=args.two_stage,
-                          recall_target=args.recall_target)
+                          recall_target=args.recall_target,
+                          quotient=args.quotient)
     # recover=True: a sharded index with damaged shards opens anyway,
     # the damage quarantined on the health board — the server answers
     # degraded from the surviving shards instead of refusing to start.
@@ -335,7 +376,8 @@ def _cmd_query(args) -> int:
         return 2
     config = EngineConfig(matcher_level=args.matcher,
                           two_stage=args.two_stage,
-                          recall_target=args.recall_target)
+                          recall_target=args.recall_target,
+                          quotient=args.quotient)
     engine = SamaEngine.open(args.index_dir, config=config)
     try:
         if args.two_stage != "off" and engine.sketch_filter() is None:
@@ -518,6 +560,11 @@ def build_parser() -> argparse.ArgumentParser:
                              help="partition the paths across N "
                                   "self-contained shards (default 1 = "
                                   "plain unsharded index)")
+    index_build.add_argument("--no-quotient", action="store_true",
+                             help="skip the quotient pass that groups "
+                                  "stored paths into equivalence classes "
+                                  "(run 'sama index quotient' later to "
+                                  "add it)")
     index_build.set_defaults(func=_cmd_index_build)
 
     index_compact = index_sub.add_parser(
@@ -554,6 +601,13 @@ def build_parser() -> argparse.ArgumentParser:
                                    "(default 2013)")
     index_sketch.set_defaults(func=_cmd_index_sketch)
 
+    index_quotient = index_sub.add_parser(
+        "quotient", help="build (or rebuild) the per-shard equivalence "
+                         "classes for quotient-compressed scoring")
+    index_quotient.add_argument("index_dir",
+                                help="existing index (sharded or plain)")
+    index_quotient.set_defaults(func=_cmd_index_quotient)
+
     query = sub.add_parser("query", help="run a SPARQL query on an index")
     query.add_argument("index_dir")
     query.add_argument("query_file", nargs="?", default=None,
@@ -581,6 +635,12 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--recall-target", type=float, default=0.95,
                        help="target recall for --two-stage approx "
                             "(default 0.95)")
+    query.add_argument("--quotient", choices=["auto", "off"],
+                       default="auto",
+                       help="score once per stored-path equivalence class "
+                            "when quotient.bin files match the index "
+                            "epoch ('auto', the default; rankings are "
+                            "bit-identical) or never load them ('off')")
     query.set_defaults(func=_cmd_query)
 
     profile = sub.add_parser(
@@ -651,6 +711,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--recall-target", type=float, default=0.95,
                        help="target recall for --two-stage approx "
                             "(default 0.95)")
+    serve.add_argument("--quotient", choices=["auto", "off"],
+                       default="auto",
+                       help="quotient-compressed scoring when persisted "
+                            "quotient.bin files match the index epoch "
+                            "(default auto; compression shows on /stats)")
     serve.add_argument("--frontend", choices=["threads", "asyncio"],
                        default="threads",
                        help="HTTP front end: 'threads' (one OS thread per "
@@ -715,7 +780,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 #: ``sama index`` verbs; anything else in that position is data (the
 #: historical ``sama index DATA DIR`` spelling, kept as a build alias).
-_INDEX_VERBS = frozenset({"build", "compact", "reshard", "sketch"})
+_INDEX_VERBS = frozenset({"build", "compact", "reshard", "sketch",
+                          "quotient"})
 
 
 def main(argv: "list[str] | None" = None) -> int:

@@ -23,6 +23,7 @@ from ..index.pathindex import PathIndex
 from ..parallel import chunked
 from ..paths.alignment import Alignment, LabelMatcher, align, exact_match
 from ..paths.model import Path
+from ..quotient.resolve import DROPPED
 from ..resilience.budget import Budget, DegradationCause
 from ..resilience.errors import IndexCorruptError, StorageError
 from ..scoring.quality import lambda_cost
@@ -382,7 +383,8 @@ def build_clusters(prepared: PreparedQuery, index: PathIndex,
                    hedge_ms: "float | None" = None,
                    proc_pool=None,
                    transcript: bool = False,
-                   sketch_filter=None) -> list[Cluster]:
+                   sketch_filter=None,
+                   quotient=None) -> list[Cluster]:
     """Build one cluster per query path of ``prepared``.
 
     ``semantic_lookup`` controls whether index retrieval may widen
@@ -456,6 +458,19 @@ def build_clusters(prepared: PreparedQuery, index: PathIndex,
     right after candidate retrieval, it returns the surviving subset —
     still in ascending gid order — and everything downstream (budget
     charging, scatter-gather, serial scoring) sees only survivors.
+
+    ``quotient`` is the optional class-compression hook (a
+    :class:`repro.quotient.resolve.QuotientResolver`): per cluster it
+    yields a refine-key context, and candidates sharing a refine key
+    are aligned **once** — the representative's ``(λ, trimmed
+    length)`` is copied to the other members, which enter the cluster
+    as :class:`LazyClusterEntry` rows carrying their own node ids.
+    Budget charging still sees every retrieved candidate (identical
+    ``max_candidates`` trip points), uids are assigned in the same
+    candidate order, and the ``(λ, gid)`` sort key is unchanged, so
+    rankings are bit-identical to per-path scoring
+    (``benchmarks/bench_quotient.py`` asserts it across shard counts ×
+    worker modes × two-stage modes).
     """
     clusters = []
     next_uid = 0
@@ -522,6 +537,12 @@ def build_clusters(prepared: PreparedQuery, index: PathIndex,
         if sketch_filter is not None and offsets:
             offsets = sketch_filter(query_path, offsets, trim_to_anchor,
                                     anchor)
+        # Quotient compression: one refine-key context per cluster (the
+        # key depends on the query path's constants and the trim
+        # anchor, both fixed for the cluster).  ``None`` when the
+        # resolver is absent — every candidate then scores exhaustively.
+        qctx = (quotient.context(query_path, trim_to_anchor, anchor)
+                if quotient is not None and offsets else None)
         # Sharded scatter-gather: when the index is partitioned and an
         # executor is available, charge the budget up front over the
         # *global* candidate order (identical trip points for the
@@ -550,7 +571,7 @@ def build_clusters(prepared: PreparedQuery, index: PathIndex,
                 index, kept, query_path, trim_to_anchor, anchor, matcher,
                 weights, memo, transcript, budget, dispatch_executor,
                 hedge_ms=hedge_ms, dead_shards=dead_shards,
-                proc_pool=proc_pool)
+                proc_pool=proc_pool, quotient_ctx=qctx)
             tripped = tripped or scatter_tripped
             context = _EntryContext(index, query_path, matcher, memo,
                                     transcript)
@@ -570,6 +591,24 @@ def build_clusters(prepared: PreparedQuery, index: PathIndex,
             clusters.append(Cluster(
                 query_path=query_path, entries=entries,
                 missing_penalty=missing_path_penalty(query_path, weights)))
+            if qctx is not None:
+                quotient.observe(qctx)
+            continue
+        # Quotient-aware serial path: identical budget charging and
+        # sort keys, but only one alignment per refined class.
+        if qctx is not None:
+            entries, next_uid, q_tripped = _quotient_serial(
+                index, offsets, query_path, trim_to_anchor, anchor,
+                matcher, weights, memo, transcript, budget, executor,
+                parallel_threshold, sharded, health, dead_shards, qctx,
+                uid_pool, next_uid)
+            tripped = tripped or q_tripped
+            if max_cluster_size is not None:
+                entries = entries[:max_cluster_size]
+            clusters.append(Cluster(
+                query_path=query_path, entries=entries,
+                missing_penalty=missing_path_penalty(query_path, weights)))
+            quotient.observe(qctx)
             continue
         # Stage 1 (serial): charge the budget, decode, and trim.  The
         # storage layer stays single-threaded; only the pure-CPU
@@ -639,6 +678,121 @@ def build_clusters(prepared: PreparedQuery, index: PathIndex,
     return clusters
 
 
+def _quotient_serial(index, offsets, query_path: Path,
+                     trim_to_anchor: bool, anchor, matcher: LabelMatcher,
+                     weights: ScoringWeights, memo: AlignmentMemo,
+                     transcript: bool, budget: "Budget | None", executor,
+                     parallel_threshold: int, sharded: bool, health,
+                     dead_shards: "dict[int, str]", qctx, uid_pool,
+                     next_uid: int) -> "tuple[list, int, bool]":
+    """The serial cluster stages with one alignment per refined class.
+
+    Mirrors :func:`build_clusters`'s stages 1–3 exactly — identical
+    budget charging (every candidate is charged, member or not),
+    identical dead-shard skips and per-candidate fault isolation,
+    identical uid assignment order, identical ``(λ, offset)`` sort —
+    except that a candidate whose refine key was already seen skips the
+    decode/trim/align pipeline entirely: it enters the cluster as a
+    :class:`LazyClusterEntry` carrying its own node ids and the
+    representative's bit-identical ``(λ, trimmed length)``.
+
+    The first candidate of a class becomes its representative.  A
+    representative that faults during decode does *not* register its
+    key — the next member of the class is decoded and becomes the
+    representative instead, preserving per-candidate fault isolation.
+    A representative dropped by the anchor trim registers the class as
+    dropped, which drops every member (the trim verdict is refine-key
+    invariant).  A deadline that trips before a representative is
+    scored loses its members too — the documented unbudgeted-queries
+    caveat, shared with two-stage retrieval.
+    """
+    tripped = False
+    pool_pairs: list[tuple[int, Path]] = []
+    # Refine key -> pool index of the class representative, or -1 when
+    # the representative fell to the anchor trim.
+    rep_state: dict = {}
+    # Candidate-order plan: ``(offset, key, pool index | None)`` —
+    # ``None`` pool index marks a member expanded from its class.
+    plan: list = []
+    for rank, offset in enumerate(offsets):
+        if (budget is not None and rank % _CHARGE_BLOCK == 0
+                and budget.charge_candidates(
+                    min(_CHARGE_BLOCK, len(offsets) - rank))):
+            tripped = True
+            break
+        if sharded and dead_shards \
+                and index.locate(offset)[0] in dead_shards:
+            continue
+        key = qctx.key_of(offset)
+        if key is not None:
+            state = rep_state.get(key)
+            if state is not None:
+                if state >= 0:
+                    qctx.members += 1
+                    plan.append((offset, key, None))
+                continue
+        try:
+            path = index.path_at(offset)
+        except _SHARD_FAULTS as exc:
+            if not sharded:
+                raise      # one directory, no shard to isolate
+            shard_no = index.locate(offset)[0]
+            dead_shards.setdefault(shard_no, str(exc))
+            if health is not None:
+                health.record_failure(shard_no, exc)
+            continue
+        if trim_to_anchor:
+            path = _prefix_at_anchor(path, anchor, matcher)
+            if path is None:
+                if key is not None:
+                    rep_state[key] = -1
+                continue
+        if key is not None:
+            rep_state[key] = len(pool_pairs)
+            qctx.reps += 1
+        plan.append((offset, key, len(pool_pairs)))
+        pool_pairs.append((offset, path))
+    scored = _score_candidates(pool_pairs, query_path, matcher, weights,
+                               memo, transcript, budget, executor,
+                               parallel_threshold)
+    if len(scored) < len(pool_pairs):
+        tripped = True
+    context = _EntryContext(index, query_path, matcher, memo, transcript)
+    entries: list = []
+    for offset, key, pool_index in plan:
+        if pool_index is not None:
+            if pool_index >= len(scored):
+                continue       # deadline tripped before this rep scored
+            path = pool_pairs[pool_index][1]
+            alignment, score = scored[pool_index]
+            uid_key = (offset, path.length)
+            uid = uid_pool.get(uid_key)
+            if uid is None:
+                uid = next_uid
+                uid_pool[uid_key] = uid
+                next_uid += 1
+            entries.append(ClusterEntry(
+                offset=offset, path=path, alignment=alignment,
+                score=score, uid=uid))
+        else:
+            rep_index = rep_state[key]
+            if rep_index >= len(scored):
+                continue       # representative lost to the deadline
+            score = scored[rep_index][1]
+            plen = pool_pairs[rep_index][1].length
+            uid_key = (offset, plen)
+            uid = uid_pool.get(uid_key)
+            if uid is None:
+                uid = next_uid
+                uid_pool[uid_key] = uid
+                next_uid += 1
+            entries.append(LazyClusterEntry(
+                context, offset, plen, score, uid,
+                node_ids=qctx.member_node_ids(offset, plen)))
+    entries.sort(key=lambda entry: (entry.score, entry.offset))
+    return entries, next_uid, tripped
+
+
 def _score_candidates(pool_pairs: list[tuple[int, Path]], query_path: Path,
                       matcher: LabelMatcher, weights: ScoringWeights,
                       memo: AlignmentMemo, transcript: bool,
@@ -705,7 +859,7 @@ def _scatter_gather(index, gids: list[int], query_path: Path,
                     transcript: bool, budget: "Budget | None", executor,
                     hedge_ms: "float | None" = None,
                     dead_shards: "dict[int, str] | None" = None,
-                    proc_pool=None,
+                    proc_pool=None, quotient_ctx=None,
                     ) -> "tuple[list[tuple], bool]":
     """Fan one cluster's candidates out across shards; merge on (λ, gid).
 
@@ -739,6 +893,18 @@ def _scatter_gather(index, gids: list[int], query_path: Path,
     The memo is shared across tasks on purpose: its table is a dict
     whose get/put are GIL-atomic, and a racing duplicate alignment is
     merely redundant work, never a wrong score.
+
+    ``quotient_ctx`` (a :class:`repro.quotient.resolve.QuotientContext`)
+    turns on class compression inside the thread tasks: the first
+    candidate of a refined class is decoded and aligned, its
+    ``(λ, trimmed length)`` verdict is published in a cluster-wide
+    class memo, and later members — on *any* shard, classes span
+    shards — ship a row copied from it with their own node ids.  The
+    memo is shared like the alignment memo: dict ops are GIL-atomic
+    and the refine key determines the verdict bit-exactly, so a racing
+    duplicate write stores the identical value.  Procs-eligible shards
+    do their own class grouping inside the worker instead (the flag
+    rides on the task envelope); both produce the same sorted rows.
     """
     node_mis = weights.node_mismatch
     node_ins = weights.node_insertion
@@ -746,6 +912,12 @@ def _scatter_gather(index, gids: list[int], query_path: Path,
     edge_ins = weights.edge_insertion
     node_del = weights.node_deletion
     edge_del = weights.edge_deletion
+    #: Refine key -> ``(λ, trimmed length)`` of the class
+    #: representative, or :data:`DROPPED` when the representative fell
+    #: to the anchor trim.  One dict per cluster, shared by its shard
+    #: tasks (including hedges) — see the docstring for why the races
+    #: are benign.
+    class_memo: "dict | None" = {} if quotient_ctx is not None else None
 
     def run_shard(shard_no: int, pairs: list[tuple[int, int]]):
         shard = index.shards[shard_no]
@@ -756,10 +928,26 @@ def _scatter_gather(index, gids: list[int], query_path: Path,
                     and budget.poll("cluster")):
                 tripped = True
                 break
+            ckey = None
+            if class_memo is not None:
+                ckey = quotient_ctx.key_of(gid)
+                if ckey is not None:
+                    verdict = class_memo.get(ckey)
+                    if verdict is DROPPED:
+                        continue
+                    if verdict is not None:
+                        score, plen = verdict
+                        quotient_ctx.members += 1
+                        results.append((
+                            score, gid, plen,
+                            quotient_ctx.member_node_ids(gid, plen)))
+                        continue
             path = shard.path_at(offset)
             if trim_to_anchor:
                 path = _prefix_at_anchor(path, anchor, matcher)
                 if path is None:
+                    if ckey is not None:
+                        class_memo[ckey] = DROPPED
                     continue
             key = (gid, path.length, query_path)
             found = memo.get(key)
@@ -776,6 +964,9 @@ def _scatter_gather(index, gids: list[int], query_path: Path,
                          + node_del * counts.node_deletions
                          + edge_del * counts.edge_deletions)
                 memo.put(key, alignment, score)
+            if ckey is not None:
+                class_memo[ckey] = (score, path.length)
+                quotient_ctx.reps += 1
             results.append((score, gid, path.length, path.label_ids))
         results.sort(key=lambda item: (item[0], item[1]))
         return results, tripped
@@ -806,7 +997,8 @@ def _scatter_gather(index, gids: list[int], query_path: Path,
             remaining = budget.remaining_ms() if budget is not None else None
             task = partial(proc_pool.run_shard, shard_no, pairs,
                            query_path, anchor if trim_to_anchor else None,
-                           weights, remaining)
+                           weights, remaining,
+                           quotient_ctx is not None)
             future = executor.submit(task)
         else:
             future = executor.submit(run_shard, shard_no, pairs)

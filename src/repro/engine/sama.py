@@ -111,6 +111,14 @@ class EngineConfig:
     #: keep.  Measured, not promised — ``benchmarks/bench_twostage.py``
     #: gates it.
     recall_target: float = 0.95
+    #: Quotient-compressed scoring (``repro.quotient``): ``"auto"``
+    #: aligns once per refined equivalence class whenever persisted
+    #: ``quotient.bin`` files match the index epoch (built by
+    #: ``sama index build`` / ``sama index quotient``), silently
+    #: falling back to per-path scoring when they are absent or stale;
+    #: ``"off"`` never loads them.  Rankings are bit-identical either
+    #: way (``benchmarks/bench_quotient.py`` gates it).
+    quotient: str = "auto"
 
 
 class SamaEngine:
@@ -123,6 +131,9 @@ class SamaEngine:
         self.config = config or EngineConfig()
         from ..sketch import validate_mode
         validate_mode(self.config.two_stage)
+        if self.config.quotient not in ("auto", "off"):
+            raise ValueError(f"quotient must be 'auto' or 'off', "
+                             f"got {self.config.quotient!r}")
         self.thesaurus = thesaurus if thesaurus is not None else default_thesaurus()
         self.matcher = self._build_matcher()
         self.last_result: "SearchResult | None" = None
@@ -132,6 +143,9 @@ class SamaEngine:
         self._sketch_lock = threading.Lock()
         self._sketch_filter = None
         self._sketch_epoch = None
+        self._quotient_lock = threading.Lock()
+        self._quotient_resolver = None
+        self._quotient_epoch = None
 
     def _build_matcher(self) -> LabelMatcher:
         level = self.config.matcher_level
@@ -249,7 +263,10 @@ class SamaEngine:
                                   hedge_ms=self.config.hedge_ms,
                                   proc_pool=proc_pool,
                                   transcript=transcript,
-                                  sketch_filter=self.sketch_filter())
+                                  sketch_filter=self.sketch_filter(),
+                                  quotient=(self.quotient_resolver()
+                                            if self.config.fast_path
+                                            else None))
 
     def query(self, query, k: "int | None" = None, *,
               deadline_ms: "float | None" = None,
@@ -400,6 +417,9 @@ class SamaEngine:
         epoch_vector = getattr(index, "epoch_vector", None)
         epoch_key = (tuple(epoch_vector) if epoch_vector is not None
                      else (getattr(index, "epoch", 0),))
+        # Resolved before taking the sketch lock — the two lazy caches
+        # stay lock-disjoint, so there is no ordering to get wrong.
+        quotient = self.quotient_resolver()
         with self._sketch_lock:
             if self._sketch_epoch == epoch_key:
                 return self._sketch_filter
@@ -415,7 +435,8 @@ class SamaEngine:
             judge = TwoStageFilter(index, sketches, self.matcher,
                                    self.config.weights, mode,
                                    self.config.max_cluster_size,
-                                   recall_target=self.config.recall_target)
+                                   recall_target=self.config.recall_target,
+                                   quotient=quotient)
             registry = get_registry()
             candidates_total = registry.counter(
                 "sama_sketch_candidates_total",
@@ -434,6 +455,57 @@ class SamaEngine:
 
             self._sketch_filter = filtered
         return self._sketch_filter
+
+    # -- quotient compression --------------------------------------------------
+
+    def quotient_resolver(self):
+        """The class-compression hook, or ``None`` (per-path scoring).
+
+        Built lazily from the persisted ``quotient.bin`` files when
+        ``config.quotient`` is ``"auto"``, and rebuilt whenever the
+        index epoch moves (an incremental round, a reopen after
+        compaction) — a moved epoch orphans the loaded classes, and
+        the reload finds either fresh files or nothing, in which case
+        scoring silently falls back to per-path alignment: the exact
+        contract ``sketch.bin`` established.  Loading refreshes the
+        ``sama_quotient_classes`` / ``sama_quotient_paths`` /
+        ``sama_quotient_compression_ratio`` gauges, so ``/stats``
+        reports the live compression.
+        """
+        if self.config.quotient == "off":
+            return None
+        index = self.index
+        epoch_vector = getattr(index, "epoch_vector", None)
+        epoch_key = (tuple(epoch_vector) if epoch_vector is not None
+                     else (getattr(index, "epoch", 0),))
+        with self._quotient_lock:
+            if self._quotient_epoch == epoch_key:
+                return self._quotient_resolver
+            self._quotient_epoch = epoch_key
+            self._quotient_resolver = None
+            if getattr(index, "interner", None) is None:
+                return None     # in-memory indexes carry no quotients
+            from ..obs import get_registry
+            from ..quotient import QuotientIndex, QuotientResolver
+            quotients = QuotientIndex.for_index(index)
+            if quotients is None:
+                return None
+            registry = get_registry()
+            registry.gauge(
+                "sama_quotient_classes",
+                "Equality-pattern equivalence classes loaded from "
+                "quotient.bin files").set(quotients.class_count)
+            registry.gauge(
+                "sama_quotient_paths",
+                "Stored paths covered by loaded quotient.bin files",
+            ).set(quotients.path_count)
+            registry.gauge(
+                "sama_quotient_compression_ratio",
+                "Stored paths per equivalence class across loaded "
+                "quotients").set(quotients.compression_ratio)
+            self._quotient_resolver = QuotientResolver(
+                index, quotients, self.matcher)
+        return self._quotient_resolver
 
     # -- execution mode --------------------------------------------------------
 

@@ -473,6 +473,9 @@ class CompactionReport:
     #: Persisted ``sketch.bin`` files deleted because the rewrite
     #: renumbered their offsets (rebuild with ``sama index sketch``).
     sketches_invalidated: int = 0
+    #: Persisted ``quotient.bin`` files deleted for the same reason
+    #: (rebuild with ``sama index quotient``).
+    quotients_invalidated: int = 0
 
     @property
     def reclaimed_bytes(self) -> int:
@@ -504,27 +507,35 @@ def compact_directory(directory, output=None) -> CompactionReport:
     is staged aside and removed only after the swap, so a crash leaves
     a complete index under either name, never a torn one).
 
-    Persisted two-stage sketches (``sketch.bin``,
-    :mod:`repro.sketch.store`) are deleted up front: the rewrite
-    renumbers every record offset and bumps every epoch, so they are
-    stale the moment compaction succeeds.  Deleting early is safe — a
-    crashed compaction leaves the old index authoritative and a
-    missing sketch merely falls back to exhaustive recall (rebuild
-    with ``sama index sketch``); the epoch key in each sketch header
-    remains the backstop for writers that bypass this path.
+    Persisted sidecars — two-stage sketches (``sketch.bin``,
+    :mod:`repro.sketch.store`) and quotient classes (``quotient.bin``,
+    :mod:`repro.quotient.store`) — are deleted up front *only when
+    compacting in place*: the rewrite renumbers every record offset
+    and bumps every epoch, so they are stale the moment compaction
+    succeeds.  Deleting early is safe — a crashed compaction leaves
+    the old index authoritative and a missing sidecar merely falls
+    back to exhaustive scoring (rebuild with ``sama index sketch`` /
+    ``sama index quotient``); the epoch key in each sidecar header
+    remains the backstop for writers that bypass this path.  With
+    ``output`` set the source directory stays authoritative and keeps
+    its valid sidecars; the fresh copy simply starts without any.
     """
+    from ..quotient.store import invalidate_quotients
     from ..sketch.store import invalidate_sketches
 
     directory = os.fspath(directory)
     manifest = _read_manifest(directory)
-    sketches_invalidated = invalidate_sketches(directory)
+    in_place = output is None
+    sketches_invalidated = (invalidate_sketches(directory)
+                            if in_place else 0)
+    quotients_invalidated = (invalidate_quotients(directory)
+                             if in_place else 0)
     store = PageStore(os.path.join(directory, "paths.log"),
                       page_size=manifest["page_size"])
     records = RecordFile(store, BufferPool(store))
     records.discard_tail()
     old_log_bytes = store.size_bytes()
 
-    in_place = output is None
     target = directory + ".compacting" if in_place else os.fspath(output)
     if os.path.exists(target):
         shutil.rmtree(target)
@@ -565,4 +576,5 @@ def compact_directory(directory, output=None) -> CompactionReport:
                             dead_bytes=manifest["dead_bytes"],
                             old_log_bytes=old_log_bytes,
                             new_log_bytes=new_log_bytes,
-                            sketches_invalidated=sketches_invalidated)
+                            sketches_invalidated=sketches_invalidated,
+                            quotients_invalidated=quotients_invalidated)

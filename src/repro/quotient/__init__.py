@@ -1,0 +1,31 @@
+"""repro.quotient — bisimulation-quotient path compression.
+
+See :mod:`repro.quotient.store` for the per-shard persisted
+``quotient.bin`` artifacts (label-equality-pattern classes, built
+offline by ``sama index quotient`` or ``sama index build``) and
+:mod:`repro.quotient.resolve` for the query-time refine-key machinery
+the engine wires into ``build_clusters`` so one alignment per refined
+class serves every member — rankings bit-identical to per-path
+scoring.
+"""
+
+from .resolve import (DROPPED, QuotientContext, QuotientIndex,
+                      QuotientResolver)
+from .store import (QUOTIENT_FILE, QuotientFormatError, ShardQuotient,
+                    build_quotients, invalidate_quotients,
+                    load_quotients, load_shard_quotient, quotient_path)
+
+__all__ = [
+    "DROPPED",
+    "QUOTIENT_FILE",
+    "QuotientContext",
+    "QuotientFormatError",
+    "QuotientIndex",
+    "QuotientResolver",
+    "ShardQuotient",
+    "build_quotients",
+    "invalidate_quotients",
+    "load_quotients",
+    "load_shard_quotient",
+    "quotient_path",
+]

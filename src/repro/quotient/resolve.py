@@ -1,0 +1,217 @@
+"""Query-time class resolution: score one path per refined class.
+
+The persisted quotient (:mod:`repro.quotient.store`) groups paths by
+label-*equality pattern*; whether two members of a class score the
+same λ against a *particular* query additionally depends on how their
+concrete slot fillers compare to that query's constants.  The resolver
+closes that gap with a **refine key** per candidate:
+
+.. code-block:: text
+
+    key = (class pattern, (feature(param) for each slot filler))
+    feature(p) = { query constant c : ids_match(p, c) }
+
+where the constants are the interned ids of every constant node and
+edge of the query path plus the trim anchor.  Two candidates with
+equal refine keys are indistinguishable to the greedy sink-anchored
+scan (:func:`repro.paths.alignment.align` and its id-space replica
+:func:`repro.index.columnar.score_pairs`):
+
+- at every *compared* position the scan's verdict is
+  ``ids_match(data id, query constant)`` — equal features ⇒ equal
+  verdicts position by position (positions map to slots identically
+  because the patterns are equal);
+- at repeated-*variable* positions the scan compares the candidate's
+  own ids against each other — determined by the pattern alone;
+- the §4.3 anchor trim scans node positions sink-first for the first
+  anchor match — the anchor is one of the constants, so equal
+  features ⇒ the same trim position (or the same drop);
+- the insertion-budget rule spends on the same verdicts, so the
+  traversal itself is branch-identical.
+
+Branch-identical scans produce the *same integer counts*, and λ is a
+weighted sum of those integers evaluated in one fixed order — so the
+scores are bit-identical floats, not merely close.  The engine
+therefore aligns one representative per refine key and copies
+``(λ, trimmed length)`` to the other members; members re-enter the
+pipeline as :class:`~repro.engine.clustering.LazyClusterEntry` rows
+carrying their own concrete node ids (reconstructed from their slot
+fillers), so everything downstream — ψ/χ set intersections, candidate
+buckets, final answers — sees the member's true labels.  Rankings are
+asserted bit-identical to unquotiented scoring across shard counts,
+worker modes and two-stage modes by ``benchmarks/bench_quotient.py``.
+
+The bit-identity claim is for unbudgeted, fault-free queries — the
+same caveat two-stage retrieval documents: a deadline that trips
+mid-cluster keeps whatever was scored, and with quotients a lost
+representative loses its members too.  Budget *charging* is untouched
+(every retrieved candidate is charged, member or not), so
+``max_candidates`` trips at identical points either way.
+"""
+
+from __future__ import annotations
+
+from ..index.columnar import make_id_matcher
+from ..obs import get_registry
+from ..rdf.terms import Variable
+from .store import load_quotients
+
+#: Refine-key verdict for a class whose representative was dropped by
+#: the anchor trim: every member is dropped too.
+DROPPED = object()
+
+
+class QuotientIndex:
+    """Gid-space view over per-shard quotients (``None`` holes allowed)."""
+
+    __slots__ = ("quotients", "_locate")
+
+    def __init__(self, quotients, locate):
+        self.quotients = quotients
+        self._locate = locate
+
+    @classmethod
+    def for_index(cls, index) -> "QuotientIndex | None":
+        """Load the persisted quotients of ``index``; ``None`` when no
+        shard has a usable one (absent, stale epoch, corrupt)."""
+        quotients = load_quotients(index)
+        if quotients is None:
+            return None
+        locate = getattr(index, "locate", None)
+        if locate is None:
+            locate = lambda gid: (0, gid)
+        return cls(quotients, locate)
+
+    def lookup(self, gid: int):
+        """``(shard quotient, row)`` for ``gid``, or ``None`` when its
+        shard has no quotient (→ the path scores exhaustively)."""
+        shard_no, offset = self._locate(gid)
+        quotient = self.quotients[shard_no]
+        if quotient is None:
+            return None
+        row = quotient.row_of.get(offset)
+        if row is None:
+            return None
+        return quotient, row
+
+    @property
+    def path_count(self) -> int:
+        return sum(len(quotient) for quotient in self.quotients
+                   if quotient is not None)
+
+    @property
+    def class_count(self) -> int:
+        return sum(quotient.class_count for quotient in self.quotients
+                   if quotient is not None)
+
+    @property
+    def compression_ratio(self) -> float:
+        """Stored paths per equality-pattern class (≥ 1.0)."""
+        classes = self.class_count
+        return self.path_count / classes if classes else 1.0
+
+
+class QuotientContext:
+    """Refine-key machinery for one ``(query path, anchor)`` pair.
+
+    Created by :meth:`QuotientResolver.context` once per cluster and
+    shared across that cluster's shard tasks — the key is
+    content-defined (classes span shards), so two shards computing the
+    key of pattern-equal rows agree.
+    """
+
+    __slots__ = ("_lookup", "_ids_match", "_constants", "_features",
+                 "members", "reps")
+
+    def __init__(self, lookup, ids_match, constants: tuple):
+        self._lookup = lookup
+        self._ids_match = ids_match
+        self._constants = constants
+        #: param id -> frozenset of matched query constants, memoised
+        #: across every candidate of the cluster.
+        self._features: "dict[int, frozenset]" = {}
+        self.members = 0
+        self.reps = 0
+
+    def key_of(self, gid: int):
+        """The candidate's refine key, or ``None`` when its shard has
+        no usable quotient (→ score it exhaustively)."""
+        found = self._lookup(gid)
+        if found is None:
+            return None
+        quotient, row = found
+        pattern = quotient.patterns[quotient.class_ids[row]]
+        features = self._features
+        feats = []
+        for param in quotient.params[row]:
+            feature = features.get(param)
+            if feature is None:
+                ids_match = self._ids_match
+                feature = frozenset(
+                    constant for constant in self._constants
+                    if ids_match(param, constant))
+                features[param] = feature
+            feats.append(feature)
+        return (pattern.tobytes(), tuple(feats))
+
+    def member_node_ids(self, gid: int, plen: int):
+        """The member's own first ``plen`` node label ids (its concrete
+        slot fillers — downstream ψ/χ must see real labels, never the
+        representative's)."""
+        quotient, row = self._lookup(gid)
+        return quotient.member_node_ids(row, plen)
+
+
+class QuotientResolver:
+    """The engine-held factory of per-cluster :class:`QuotientContext`.
+
+    Holds what outlives queries: the gid-space quotient view and the
+    memoised id matcher (verdicts depend only on the two labels, like
+    :func:`~repro.index.columnar.make_id_matcher` documents).
+    """
+
+    __slots__ = ("quotients", "_intern", "_ids_match", "_members_total",
+                 "_reps_total")
+
+    def __init__(self, index, quotient_index: QuotientIndex, matcher):
+        self.quotients = quotient_index
+        interner = index.interner
+        self._intern = interner.intern
+        self._ids_match = make_id_matcher(interner, matcher)
+        registry = get_registry()
+        self._members_total = registry.counter(
+            "sama_quotient_members_total",
+            "Candidates scored by copying their class representative")
+        self._reps_total = registry.counter(
+            "sama_quotient_reps_total",
+            "Class representatives aligned exactly on behalf of a "
+            "refined equivalence class")
+
+    def context(self, query_path, trim_to_anchor: bool,
+                anchor) -> QuotientContext:
+        """A fresh refine-key context for one cluster.
+
+        The constant set is everything the scan may compare a data
+        label against: the query path's constant nodes and edges, plus
+        the trim anchor (an anchor is always one of the path's
+        constants, but intern it explicitly rather than assume so).
+        """
+        intern = self._intern
+        constants = set()
+        for term in query_path.nodes:
+            if not isinstance(term, Variable):
+                constants.add(intern(term))
+        for term in query_path.edges:
+            if not isinstance(term, Variable):
+                constants.add(intern(term))
+        if trim_to_anchor and anchor is not None:
+            constants.add(intern(anchor))
+        return QuotientContext(self.quotients.lookup, self._ids_match,
+                               tuple(sorted(constants)))
+
+    def observe(self, context: QuotientContext) -> None:
+        """Fold one finished cluster's savings into the counters."""
+        if context.members:
+            self._members_total.inc(context.members)
+        if context.reps:
+            self._reps_total.inc(context.reps)

@@ -301,9 +301,20 @@ class ServingEngine:
 
     def _retrieval_mode(self) -> str:
         """The retrieval-mode component of cache keys (two-stage
-        rankings are not interchangeable with exact ones)."""
-        return getattr(getattr(self.engine, "config", None),
+        rankings are not interchangeable with exact ones).
+
+        Quotient-compressed scoring is appended when active: it is
+        proven rank-preserving for unbudgeted queries, but served
+        queries run under deadlines, where a class representative lost
+        to a trip loses its members too — so quotiented and
+        exhaustive results never alias in the cache.
+        """
+        mode = getattr(getattr(self.engine, "config", None),
                        "two_stage", "off")
+        resolver = getattr(self.engine, "quotient_resolver", None)
+        if resolver is not None and resolver() is not None:
+            return f"{mode}+quotient"
+        return mode
 
     def fingerprint(self, query,
                     k: "int | None" = None) -> RequestFingerprint:
@@ -484,6 +495,9 @@ class ServingEngine:
         snap = self.stats.snapshot()
         cache = self.cache.stats_snapshot()
         health = getattr(self.engine.index, "health", None)
+        resolver = getattr(self.engine, "quotient_resolver", None)
+        resolver = resolver() if resolver is not None else None
+        quotients = resolver.quotients if resolver is not None else None
         return {
             "epoch": self.epoch,
             "shards": getattr(self.engine.index, "shard_count", 1),
@@ -500,6 +514,11 @@ class ServingEngine:
             "drain_rejected": snap.drain_rejected,
             "shard_health": (health.snapshot()
                              if health is not None else None),
+            "quotient": (None if quotients is None else {
+                "classes": quotients.class_count,
+                "paths": quotients.path_count,
+                "compression_ratio": round(quotients.compression_ratio, 2),
+            }),
             "latency_p50_ms": snap.percentile(0.50),
             "latency_p95_ms": snap.percentile(0.95),
             "cache": {

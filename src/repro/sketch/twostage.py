@@ -84,6 +84,13 @@ APPROX_MIN_KEEP = 32
 
 _MODES = ("off", "safe", "approx")
 
+#: Per-class verdict for a refined class whose sketch row proved the
+#: anchor trim drops it — every member is dropped without another set
+#: intersection.  Local sentinel (not ``repro.quotient.DROPPED``) so
+#: the sketch package never imports the quotient package, which itself
+#: builds on ``repro.sketch.store``.
+_CLASS_DROPPED = object()
+
 
 def validate_mode(mode: str) -> str:
     if mode not in _MODES:
@@ -144,7 +151,16 @@ class TwoStageFilter:
 
     def __init__(self, index, sketch_index: SketchIndex, matcher, weights,
                  mode: str, max_cluster_size: "int | None",
-                 recall_target: float = 0.95):
+                 recall_target: float = 0.95, quotient=None):
+        #: Optional :class:`repro.quotient.resolve.QuotientResolver`:
+        #: candidates sharing a refine key provably receive identical
+        #: ``(LB, UB)`` verdicts (the disjointness of a slot filler
+        #: against a constant's match set is exactly that constant's
+        #: membership in the slot's refine feature, and the stored
+        #: length is fixed by the class pattern), so the filter judges
+        #: one member per class and reuses the verdict.  The kept gid
+        #: list is unchanged — only the set intersections are skipped.
+        self.quotient = quotient
         self.sketches = sketch_index
         self.mode = validate_mode(mode)
         self.limit = max_cluster_size
@@ -224,6 +240,11 @@ class TwoStageFilter:
 
         trimmed_floor = upper_bound(1)
         lookup = self.sketches.lookup
+        qctx = (self.quotient.context(query_path, trim_to_anchor, anchor)
+                if self.quotient is not None else None)
+        #: Refine key -> ``(LB, UB)`` or :data:`_CLASS_DROPPED`, valid
+        #: for this call only (the bounds depend on the query path).
+        class_verdicts: "dict | None" = {} if qctx is not None else None
         judged = []          # (gid, LB, UB) for every trim survivor
         for gid in gids:
             found = lookup(gid)
@@ -233,8 +254,19 @@ class TwoStageFilter:
                 judged.append((gid, 0.0, math.inf, None))
                 continue
             sketch, row = found
+            ckey = qctx.key_of(gid) if qctx is not None else None
+            if ckey is not None:
+                verdict = class_verdicts.get(ckey)
+                if verdict is _CLASS_DROPPED:
+                    continue
+                if verdict is not None:
+                    judged.append((gid, verdict[0], verdict[1],
+                                   (sketch, row)))
+                    continue
             node_set = sketch.node_sets[row]
             if anchor_set is not None and anchor_set.isdisjoint(node_set):
+                if ckey is not None:
+                    class_verdicts[ckey] = _CLASS_DROPPED
                 continue        # exact: the §4.3 trim drops it anyway
             edge_set = sketch.edge_sets[row]
             stored = sketch.lengths[row]
@@ -263,6 +295,8 @@ class TwoStageFilter:
                                                      else node_set):
                         bound += unit
                 ceiling = max(trimmed_floor, upper_bound(stored))
+            if ckey is not None:
+                class_verdicts[ckey] = (bound, ceiling)
             judged.append((gid, bound, ceiling, (sketch, row)))
 
         if self.mode == "safe":

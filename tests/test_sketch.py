@@ -442,6 +442,43 @@ class TestStore:
         assert report.sketches_invalidated == 1
         assert not os.path.exists(sketch_path(directory))
 
+    def test_incremental_update_orphans_quotients(self, tmp_path):
+        """An incremental round that merely *adds a member to an
+        existing equivalence class* still bumps the epoch, so a
+        quotient keyed to the old epoch loads as ``None`` (exhaustive
+        fallback) until rebuilt against the new one — same contract as
+        the stale-sketch tests above."""
+        from repro.quotient import load_shard_quotient, quotient_path
+        from repro.quotient.store import ShardQuotient
+
+        graph = DataGraph.from_triples([
+            ("http://x/s1", "http://x/memberOf", "http://x/d1"),
+            ("http://x/s2", "http://x/memberOf", "http://x/d2"),
+        ])
+        directory = str(tmp_path / "inc")
+        index = IncrementalIndex(graph, directory)
+
+        def snapshot():
+            return _MemoryIndex([index.path_at(offset)
+                                 for offset in index.all_offsets()])
+
+        before = ShardQuotient.from_index(snapshot(), index.epoch)
+        before.save(quotient_path(directory))
+        assert load_shard_quotient(directory, index.epoch) is not None
+
+        old_epoch = index.epoch
+        index.add_triple("http://x/s3", "http://x/memberOf", "http://x/d3")
+        assert index.epoch > old_epoch
+        assert load_shard_quotient(directory, index.epoch) is None
+
+        rebuilt = ShardQuotient.from_index(snapshot(), index.epoch)
+        rebuilt.save(quotient_path(directory))
+        loaded = load_shard_quotient(directory, index.epoch)
+        assert loaded is not None
+        assert len(loaded) > len(before)
+        assert loaded.class_count == before.class_count
+        index.close()
+
     def test_invalidate_sweeps_shard_dirs(self, tmp_path):
         os.makedirs(tmp_path / "shard-00")
         for target in (tmp_path / "sketch.bin",

@@ -13,6 +13,15 @@ from ``repro.cli.build_parser()``:
   ``index`` verb must appear in at least one documented example, so a
   new verb (``sketch``, say) cannot ship undocumented.
 
+Two structural checks ride along:
+
+- every package and top-level module under ``src/repro/`` must be
+  mentioned (as ``repro.<name>``) in ``docs/ARCHITECTURE.md``, so a
+  new subsystem cannot ship without a place on the map;
+- every relative markdown link in the prose docs must resolve — the
+  target file must exist, and a ``#fragment`` must name a real heading
+  in the target (GitHub-style slugs).
+
 Placeholders are tolerated: ``...``/``…`` tokens, ALL-CAPS words like
 ``DIR``, and quoted SPARQL strings are not validated.  Run from the
 repo root (CI's ``docs`` job does)::
@@ -32,7 +41,12 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 DOC_FILES = ["README.md", "EXPERIMENTS.md", "DESIGN.md",
-             "docs/OPERATIONS.md"]
+             "docs/OPERATIONS.md", "docs/ARCHITECTURE.md",
+             "docs/retrieval.md", "docs/serving.md",
+             "docs/resilience.md"]
+
+#: The file that must mention every ``src/repro/*`` package.
+ARCHITECTURE_DOC = "docs/ARCHITECTURE.md"
 
 #: Tokens that stand in for user-supplied values, not literal syntax.
 _PLACEHOLDER = re.compile(r"^(\.\.\.|…|[A-Z][A-Z0-9_-]*)$")
@@ -177,6 +191,79 @@ def coverage_gaps(toplevel: dict, seen: "set[tuple[str, str]]") \
     return gaps
 
 
+def package_gaps() -> "list[str]":
+    """``src/repro/*`` packages/modules missing from ARCHITECTURE_DOC.
+
+    The subsystem map must be complete: a new package that ships
+    without a ``repro.<name>`` mention on the map fails the docs job.
+    """
+    arch = REPO_ROOT / ARCHITECTURE_DOC
+    text = arch.read_text() if arch.exists() else ""
+    gaps = []
+    for child in sorted((REPO_ROOT / "src" / "repro").iterdir()):
+        if child.name.startswith(("_", ".")):
+            continue
+        if child.is_dir() and (child / "__init__.py").exists():
+            name = child.name
+        elif child.suffix == ".py":
+            name = child.stem
+        else:
+            continue
+        if f"repro.{name}" not in text:
+            gaps.append(f"package 'repro.{name}' is not mentioned in "
+                        f"{ARCHITECTURE_DOC}")
+    return gaps
+
+
+#: ``[text](target)`` / ``[text](target#fragment)`` markdown links.
+_MD_LINK = re.compile(r"\[[^\]^\n]*\]\(([^)#\s]*)(#[^)\s]*)?\)")
+
+
+def _heading_slug(heading: str) -> str:
+    """GitHub-style anchor slug for one markdown heading."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _heading_slugs(path: Path) -> "set[str]":
+    slugs = set()
+    in_fence = False
+    for line in path.read_text().splitlines():
+        if line.strip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if not in_fence and re.match(r"^#{1,6}\s", line):
+            slugs.add(_heading_slug(line.lstrip("#")))
+    return slugs
+
+
+def link_gaps() -> "list[str]":
+    """Relative markdown links in DOC_FILES that do not resolve."""
+    gaps = []
+    for relative in DOC_FILES:
+        path = REPO_ROOT / relative
+        if not path.exists():
+            continue  # reported by main() already
+        text = path.read_text()
+        for match in _MD_LINK.finditer(text):
+            target, fragment = match.group(1), match.group(2)
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:
+                continue
+            lineno = text.count("\n", 0, match.start()) + 1
+            dest = path if not target else (path.parent / target)
+            if not dest.exists():
+                gaps.append(f"{relative}:{lineno}: broken link "
+                            f"({target!r} does not exist)")
+                continue
+            if fragment and dest.suffix == ".md":
+                if fragment[1:].lower() not in _heading_slugs(dest):
+                    gaps.append(f"{relative}:{lineno}: link anchor "
+                                f"{fragment!r} names no heading in "
+                                f"{target or relative!r}")
+    return gaps
+
+
 def main() -> int:
     from repro.cli import build_parser
 
@@ -201,6 +288,12 @@ def main() -> int:
                 failures += 1
     for gap in coverage_gaps(toplevel, seen):
         print(f"check-docs: FAIL coverage: {gap}")
+        failures += 1
+    for gap in package_gaps():
+        print(f"check-docs: FAIL coverage: {gap}")
+        failures += 1
+    for gap in link_gaps():
+        print(f"check-docs: FAIL link: {gap}")
         failures += 1
     print(f"check-docs: {checked} documented sama command(s) checked, "
           f"{failures} problem(s)")
